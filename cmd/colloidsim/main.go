@@ -1,0 +1,99 @@
+// Command colloidsim reproduces the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	colloidsim -list
+//	colloidsim -exp fig1
+//	colloidsim -exp fig5,fig6a -quick
+//	colloidsim -exp all -quick -seed 7
+//
+// Each experiment prints the table corresponding to a figure or table
+// in "Tiered Memory Management: Access Latency is the Key!" (SOSP'24);
+// see EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"colloid/internal/experiments"
+	"colloid/internal/trace"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		exp    = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		quick  = flag.Bool("quick", false, "shorter runs (noisier numbers, same shapes)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		csvDir = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.List() {
+			fmt.Println("  " + id)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, id := range experiments.List() {
+			if id == "fig9-series" {
+				continue // bulky; run explicitly
+			}
+			ids = append(ids, id)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tab, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(tab.Render())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tab); err != nil {
+				fmt.Fprintf(os.Stderr, "csv for %s: %v\n", id, err)
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeCSV saves the table under dir as <id>.csv.
+func writeCSV(dir string, tab *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tab.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteTableCSV(f, tab.Columns, tab.Rows); err != nil {
+		return err
+	}
+	return f.Close()
+}

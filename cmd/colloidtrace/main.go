@@ -1,0 +1,160 @@
+// Command colloidtrace runs a single tiered-memory scenario and emits
+// its per-interval time series (throughput, per-tier latency and
+// bandwidth, migration rate) as CSV — the raw material behind every
+// line plot in the paper.
+//
+// Examples:
+//
+//	# HeMem+Colloid under a contention step at t=30s
+//	colloidtrace -system hemem -colloid -intensity 0 -step-intensity 3 -step-at 30 -duration 60
+//
+//	# Vanilla MEMTIS with a hot-set shift
+//	colloidtrace -system memtis -hotshift-at 100 -duration 200 -o memtis.csv
+//
+//	# Object-size variant of GUPS on a custom hot set
+//	colloidtrace -system tpp -colloid -object 4096 -hot-gb 12 -ws-gb 48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colloid/internal/core"
+	"colloid/internal/hemem"
+	"colloid/internal/memsys"
+	"colloid/internal/memtis"
+	"colloid/internal/related"
+	"colloid/internal/sim"
+	"colloid/internal/tpp"
+	"colloid/internal/trace"
+	"colloid/internal/workloads"
+)
+
+func main() {
+	var (
+		system     = flag.String("system", "hemem", "tiering system: hemem|tpp|memtis|batman|carrefour|none")
+		withCol    = flag.Bool("colloid", false, "enable the Colloid controller (hemem/tpp/memtis)")
+		intensity  = flag.Int("intensity", 0, "initial antagonist intensity (0-3)")
+		stepAt     = flag.Float64("step-at", 0, "time (sec) to change the antagonist intensity (0 = never)")
+		stepTo     = flag.Int("step-intensity", 0, "intensity applied at -step-at")
+		hotshiftAt = flag.Float64("hotshift-at", 0, "time (sec) to replace the hot set (0 = never)")
+		duration   = flag.Float64("duration", 60, "simulated seconds")
+		wsGB       = flag.Int64("ws-gb", 72, "working set (GiB)")
+		hotGB      = flag.Int64("hot-gb", 24, "hot set (GiB)")
+		object     = flag.Int64("object", 64, "GUPS object size (bytes)")
+		cores      = flag.Int("cores", 15, "application cores")
+		sample     = flag.Float64("sample", 1, "trace sampling interval (sec)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		out        = flag.String("o", "", "output CSV path (default stdout)")
+	)
+	flag.Parse()
+
+	if err := run(settings{
+		system: *system, colloid: *withCol,
+		intensity: *intensity, stepAt: *stepAt, stepTo: *stepTo,
+		hotshiftAt: *hotshiftAt, duration: *duration,
+		wsGB: *wsGB, hotGB: *hotGB, object: *object, cores: *cores,
+		sample: *sample, seed: *seed, out: *out,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "colloidtrace:", err)
+		os.Exit(1)
+	}
+}
+
+type settings struct {
+	system             string
+	colloid            bool
+	intensity, stepTo  int
+	stepAt, hotshiftAt float64
+	duration           float64
+	wsGB, hotGB        int64
+	object             int64
+	cores              int
+	sample             float64
+	seed               uint64
+	out                string
+}
+
+func run(s settings) error {
+	topo, err := memsys.NewTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+	if err != nil {
+		return err
+	}
+	gups := &workloads.GUPS{
+		WorkingSetBytes: s.wsGB * memsys.GiB,
+		HotSetBytes:     s.hotGB * memsys.GiB,
+		HotProb:         0.9,
+		ObjectBytes:     s.object,
+		Cores:           s.cores,
+	}
+	engine, err := sim.New(sim.Config{
+		Topology:        topo,
+		WorkingSetBytes: gups.WorkingSetBytes,
+		Profile:         gups.Profile(),
+		AntagonistCores: workloads.AntagonistForIntensity(s.intensity).Cores,
+		Seed:            s.seed,
+		SampleEverySec:  s.sample,
+	})
+	if err != nil {
+		return err
+	}
+	if err := gups.Install(engine.AS(), engine.WorkloadRNG()); err != nil {
+		return err
+	}
+	sys, err := makeSystem(s.system, s.colloid)
+	if err != nil {
+		return err
+	}
+	engine.SetSystem(sys)
+	if s.stepAt > 0 {
+		to := s.stepTo
+		engine.ScheduleAt(s.stepAt, func(e *sim.Engine) {
+			e.SetAntagonist(workloads.AntagonistForIntensity(to).Cores)
+		})
+	}
+	if s.hotshiftAt > 0 {
+		engine.ScheduleAt(s.hotshiftAt, func(e *sim.Engine) {
+			gups.ShiftHotSet(e.AS(), e.WorkloadRNG())
+		})
+	}
+	if err := engine.Run(s.duration); err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if s.out != "" {
+		f, err := os.Create(s.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return trace.WriteSamplesCSV(w, engine.Samples(), topo.NumTiers())
+}
+
+// makeSystem builds the requested tiering system; "none" runs static
+// first-fit placement.
+func makeSystem(name string, withColloid bool) (sim.System, error) {
+	var opts *core.Options
+	if withColloid {
+		opts = &core.Options{}
+	}
+	switch name {
+	case "hemem":
+		return hemem.New(hemem.Config{Colloid: opts}), nil
+	case "tpp":
+		return tpp.New(tpp.Config{Colloid: opts}), nil
+	case "memtis":
+		return memtis.New(memtis.Config{Colloid: opts}), nil
+	case "batman":
+		return related.New(related.Config{Policy: related.BATMAN}), nil
+	case "carrefour":
+		return related.New(related.Config{Policy: related.Carrefour}), nil
+	case "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown system %q", name)
+	}
+}

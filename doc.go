@@ -1,0 +1,29 @@
+// Package colloid is a from-scratch Go reproduction of "Tiered Memory
+// Management: Access Latency is the Key!" (Vuppalapati & Agarwal,
+// SOSP 2024) — the Colloid memory-tiering mechanism, the three
+// state-of-the-art systems it integrates with (HeMem, TPP, MEMTIS), and
+// the tiered-memory hardware substrate they all run on, rebuilt as a
+// calibrated closed-loop simulator.
+//
+// The module root holds only documentation and the per-figure benchmark
+// harness (bench_test.go); the implementation lives under internal/:
+//
+//   - internal/core — Colloid: Little's-law latency measurement over CHA
+//     counters with EWMA smoothing, Algorithm 2's watermark binary
+//     search, the dynamic migration limit, and a multi-tier
+//     generalization.
+//   - internal/memsys, internal/cha, internal/sim — the substrate:
+//     per-tier queueing latency models calibrated to the paper's
+//     testbed, CHA occupancy/rate counters, and the quantum-stepped
+//     closed-loop simulation engine.
+//   - internal/hemem, internal/tpp, internal/memtis — the baselines,
+//     each with its paper-described access tracking and placement
+//     policy, and each accepting a Colloid controller.
+//   - internal/apps/... — real mini-applications (GAPBS PageRank, a
+//     Silo-style OCC store, a CacheLib-style LRU cache) whose executed
+//     access profiles drive the Figure 11 experiments.
+//   - internal/experiments — one runner per paper figure/table;
+//     cmd/colloidsim prints them.
+//
+// Start with examples/quickstart, then cmd/colloidsim -list.
+package colloid

@@ -1,0 +1,3 @@
+module colloid
+
+go 1.22

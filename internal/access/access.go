@@ -1,0 +1,206 @@
+// Package access provides the access-tracking mechanisms the tiering
+// systems build on: a weighted page sampler standing in for PEBS (the
+// PMU samples memory accesses in proportion to their true rates), a
+// frequency tracker with HeMem-style cooling, and a page-table
+// scan / hint-fault model for TPP.
+package access
+
+import (
+	"sort"
+
+	"colloid/internal/pages"
+	"colloid/internal/stats"
+)
+
+// Sampler draws page IDs distributed according to the address space's
+// true page weights — exactly what PEBS sampling of memory accesses
+// observes. The cumulative distribution is cached and rebuilt only when
+// the weight distribution changes (AddressSpace.Version).
+type Sampler struct {
+	as      *pages.AddressSpace
+	rng     *stats.RNG
+	version uint64
+	built   bool
+	cum     []float64
+	ids     []pages.PageID
+	total   float64
+}
+
+// NewSampler returns a sampler over as using rng.
+func NewSampler(as *pages.AddressSpace, rng *stats.RNG) *Sampler {
+	return &Sampler{as: as, rng: rng}
+}
+
+func (s *Sampler) rebuild() {
+	s.cum = s.cum[:0]
+	s.ids = s.ids[:0]
+	acc := 0.0
+	s.as.ForEachLive(func(p pages.Page) {
+		if p.Weight <= 0 {
+			return
+		}
+		acc += p.Weight
+		s.cum = append(s.cum, acc)
+		s.ids = append(s.ids, p.ID)
+	})
+	s.total = acc
+	s.version = s.as.Version()
+	s.built = true
+}
+
+// Sample returns one page drawn with probability proportional to its
+// weight, or pages.NoPage if no page has weight.
+func (s *Sampler) Sample() pages.PageID {
+	if !s.built || s.version != s.as.Version() {
+		s.rebuild()
+	}
+	if s.total <= 0 {
+		return pages.NoPage
+	}
+	x := s.rng.Float64() * s.total
+	i := sort.SearchFloat64s(s.cum, x)
+	if i >= len(s.ids) {
+		i = len(s.ids) - 1
+	}
+	return s.ids[i]
+}
+
+// SampleN draws n pages with replacement, appending to dst.
+func (s *Sampler) SampleN(dst []pages.PageID, n int) []pages.PageID {
+	for i := 0; i < n; i++ {
+		if id := s.Sample(); id != pages.NoPage {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// FreqTracker maintains per-page access frequency counts with HeMem's
+// cooling rule: when any page's count reaches CoolThreshold, every
+// count is halved. Access probabilities are estimated as a page's
+// count divided by the total count.
+type FreqTracker struct {
+	// CoolThreshold is HeMem's COOLING_THRESHOLD.
+	CoolThreshold uint32
+
+	counts map[pages.PageID]uint32
+	total  uint64
+	cools  int
+}
+
+// NewFreqTracker returns a tracker with the given cooling threshold.
+func NewFreqTracker(coolThreshold uint32) *FreqTracker {
+	if coolThreshold < 2 {
+		panic("access: cooling threshold must be at least 2")
+	}
+	return &FreqTracker{
+		CoolThreshold: coolThreshold,
+		counts:        make(map[pages.PageID]uint32),
+	}
+}
+
+// Touch records one sampled access to id and cools if the threshold is
+// reached.
+func (f *FreqTracker) Touch(id pages.PageID) {
+	c := f.counts[id] + 1
+	f.counts[id] = c
+	f.total++
+	if c >= f.CoolThreshold {
+		f.Cool()
+	}
+}
+
+// Cool halves every count (dropping zeros), as HeMem does when a page
+// hits the cooling threshold.
+func (f *FreqTracker) Cool() {
+	var total uint64
+	for id, c := range f.counts {
+		c /= 2
+		if c == 0 {
+			delete(f.counts, id)
+			continue
+		}
+		f.counts[id] = c
+		total += uint64(c)
+	}
+	f.total = total
+	f.cools++
+}
+
+// Count returns the frequency count of id.
+func (f *FreqTracker) Count(id pages.PageID) uint32 { return f.counts[id] }
+
+// Total returns the cumulative count across pages.
+func (f *FreqTracker) Total() uint64 { return f.total }
+
+// Cools returns how many cooling passes have run.
+func (f *FreqTracker) Cools() int { return f.cools }
+
+// Probability estimates the access probability of id: its count over
+// the total count (0 when nothing has been sampled).
+func (f *FreqTracker) Probability(id pages.PageID) float64 {
+	if f.total == 0 {
+		return 0
+	}
+	return float64(f.counts[id]) / float64(f.total)
+}
+
+// Tracked returns the number of pages with a nonzero count.
+func (f *FreqTracker) Tracked() int { return len(f.counts) }
+
+// ForEach visits every (page, count) pair in unspecified order.
+func (f *FreqTracker) ForEach(fn func(id pages.PageID, count uint32)) {
+	for id, c := range f.counts {
+		fn(id, c)
+	}
+}
+
+// ForEachSorted visits every (page, count) pair in ascending page-ID
+// order. Map iteration order is randomized in Go, so policies whose
+// migration choices depend on visit order (rate-limit cutoffs hit
+// different pages) must use this to keep simulations reproducible.
+func (f *FreqTracker) ForEachSorted(fn func(id pages.PageID, count uint32)) {
+	ids := make([]pages.PageID, 0, len(f.counts))
+	for id := range f.counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fn(id, f.counts[id])
+	}
+}
+
+// ForEachHottest visits every (page, count) pair in descending count
+// order (page-ID ascending within a count), via a counting sort over
+// the bounded count domain — O(n) per call and deterministic. Policies
+// that migrate "hottest pages first" under a rate limit use this so
+// the limited budget lands on the pages that matter.
+func (f *FreqTracker) ForEachHottest(fn func(id pages.PageID, count uint32) (stop bool)) {
+	maxCount := uint32(0)
+	for _, c := range f.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	buckets := make([][]pages.PageID, maxCount+1)
+	for id, c := range f.counts {
+		buckets[c] = append(buckets[c], id)
+	}
+	for c := int(maxCount); c >= 1; c-- {
+		ids := buckets[c]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if fn(id, uint32(c)) {
+				return
+			}
+		}
+	}
+}
+
+// Forget drops a page's count (page died in a split/coalesce).
+func (f *FreqTracker) Forget(id pages.PageID) {
+	if c, ok := f.counts[id]; ok {
+		f.total -= uint64(c)
+		delete(f.counts, id)
+	}
+}

@@ -1,0 +1,94 @@
+package access
+
+import "colloid/internal/pages"
+
+// OrderedSet is a set of page IDs with O(1) add/remove/contains and a
+// deterministic iteration order (insertion order, perturbed only by
+// swap-removes, which are themselves deterministic given a
+// deterministic operation sequence). Go map iteration order is
+// randomized per run, which silently breaks simulation reproducibility
+// whenever a policy's migration cutoff depends on visit order; every
+// such worklist uses this instead.
+type OrderedSet struct {
+	items []pages.PageID
+	idx   map[pages.PageID]int
+}
+
+// NewOrderedSet returns an empty set.
+func NewOrderedSet() *OrderedSet {
+	return &OrderedSet{idx: make(map[pages.PageID]int)}
+}
+
+// Len returns the element count.
+func (s *OrderedSet) Len() int { return len(s.items) }
+
+// Contains reports membership.
+func (s *OrderedSet) Contains(id pages.PageID) bool {
+	_, ok := s.idx[id]
+	return ok
+}
+
+// Add inserts id; no-op if present.
+func (s *OrderedSet) Add(id pages.PageID) {
+	if _, ok := s.idx[id]; ok {
+		return
+	}
+	s.idx[id] = len(s.items)
+	s.items = append(s.items, id)
+}
+
+// Remove deletes id via swap-remove; no-op if absent.
+func (s *OrderedSet) Remove(id pages.PageID) {
+	pos, ok := s.idx[id]
+	if !ok {
+		return
+	}
+	last := len(s.items) - 1
+	moved := s.items[last]
+	s.items[pos] = moved
+	s.idx[moved] = pos
+	s.items = s.items[:last]
+	delete(s.idx, id)
+	if moved == id {
+		return
+	}
+}
+
+// Clear empties the set, retaining capacity.
+func (s *OrderedSet) Clear() {
+	s.items = s.items[:0]
+	for id := range s.idx {
+		delete(s.idx, id)
+	}
+}
+
+// Action is a visitor's verdict on the current element.
+type Action int
+
+// Visitor verdicts: Keep retains the element and continues, Drop
+// removes it and continues, Stop terminates the iteration.
+const (
+	Keep Action = iota
+	Drop
+	Stop
+)
+
+// ForEach visits elements in deterministic order; the visitor's Action
+// controls removal and termination. Dropping swap-fills the hole and
+// the iteration re-examines the hole index, so every element is
+// visited exactly once.
+func (s *OrderedSet) ForEach(fn func(id pages.PageID) Action) {
+	for i := 0; i < len(s.items); {
+		switch fn(s.items[i]) {
+		case Drop:
+			s.Remove(s.items[i])
+		case Stop:
+			return
+		default:
+			i++
+		}
+	}
+}
+
+// At returns the element at position i (for random probing).
+func (s *OrderedSet) At(i int) pages.PageID { return s.items[i] }

@@ -1,0 +1,154 @@
+package access
+
+import (
+	"testing"
+	"testing/quick"
+
+	"colloid/internal/pages"
+)
+
+func TestOrderedSetBasics(t *testing.T) {
+	s := NewOrderedSet()
+	if s.Len() != 0 || s.Contains(1) {
+		t.Fatal("fresh set not empty")
+	}
+	s.Add(3)
+	s.Add(1)
+	s.Add(2)
+	s.Add(1) // duplicate: no-op
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	var order []pages.PageID
+	s.ForEach(func(id pages.PageID) Action {
+		order = append(order, id)
+		return Keep
+	})
+	want := []pages.PageID{3, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestOrderedSetRemove(t *testing.T) {
+	s := NewOrderedSet()
+	for i := pages.PageID(0); i < 5; i++ {
+		s.Add(i)
+	}
+	s.Remove(2)
+	s.Remove(99) // absent: no-op
+	if s.Len() != 4 || s.Contains(2) {
+		t.Fatalf("after remove: len=%d contains(2)=%v", s.Len(), s.Contains(2))
+	}
+	// Every remaining element still reachable and indexed correctly.
+	seen := map[pages.PageID]bool{}
+	s.ForEach(func(id pages.PageID) Action {
+		seen[id] = true
+		return Keep
+	})
+	for _, id := range []pages.PageID{0, 1, 3, 4} {
+		if !seen[id] {
+			t.Fatalf("element %d lost", id)
+		}
+	}
+}
+
+func TestOrderedSetForEachDrop(t *testing.T) {
+	s := NewOrderedSet()
+	for i := pages.PageID(0); i < 10; i++ {
+		s.Add(i)
+	}
+	visited := 0
+	s.ForEach(func(id pages.PageID) Action {
+		visited++
+		if id%2 == 0 {
+			return Drop
+		}
+		return Keep
+	})
+	if visited != 10 {
+		t.Fatalf("visited %d elements, want all 10", visited)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("len after drops = %d", s.Len())
+	}
+	s.ForEach(func(id pages.PageID) Action {
+		if id%2 == 0 {
+			t.Fatalf("even element %d survived", id)
+		}
+		return Keep
+	})
+}
+
+func TestOrderedSetForEachStop(t *testing.T) {
+	s := NewOrderedSet()
+	for i := pages.PageID(0); i < 10; i++ {
+		s.Add(i)
+	}
+	visited := 0
+	s.ForEach(func(id pages.PageID) Action {
+		visited++
+		if visited == 3 {
+			return Stop
+		}
+		return Keep
+	})
+	if visited != 3 {
+		t.Fatalf("visited %d, want 3", visited)
+	}
+}
+
+func TestOrderedSetClear(t *testing.T) {
+	s := NewOrderedSet()
+	s.Add(1)
+	s.Add(2)
+	s.Clear()
+	if s.Len() != 0 || s.Contains(1) {
+		t.Fatal("clear incomplete")
+	}
+	s.Add(7)
+	if !s.Contains(7) || s.At(0) != 7 {
+		t.Fatal("set unusable after clear")
+	}
+}
+
+// Property: set semantics match a reference map under random op
+// sequences, and iteration visits each member exactly once.
+func TestOrderedSetMatchesReference(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := NewOrderedSet()
+		ref := map[pages.PageID]bool{}
+		for _, op := range ops {
+			id := pages.PageID(op & 0x3f)
+			if op < 0 {
+				s.Remove(id)
+				delete(ref, id)
+			} else {
+				s.Add(id)
+				ref[id] = true
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		seen := map[pages.PageID]int{}
+		s.ForEach(func(id pages.PageID) Action {
+			seen[id]++
+			return Keep
+		})
+		if len(seen) != len(ref) {
+			return false
+		}
+		for id, n := range seen {
+			if n != 1 || !ref[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

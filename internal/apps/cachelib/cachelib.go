@@ -1,0 +1,236 @@
+// Package cachelib is a compact sharded in-memory LRU cache in the
+// style of CacheLib's RAM-only mode, the caching system the paper
+// evaluates with the HeMemKV workload (Section 5.3): fixed-size items
+// allocated from a slab-like paged arena, per-shard LRU lists with
+// hash-map indexes, GET/UPDATE operations.
+//
+// Item values live in a paged.Arena so that really executing the cache
+// workload yields the hot/cold page access profile the memory
+// simulation consumes.
+package cachelib
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"colloid/internal/paged"
+	"colloid/internal/stats"
+)
+
+// Config sizes the cache.
+type Config struct {
+	// Shards is the number of independent LRU shards (default 16).
+	Shards int
+	// CapacityItems bounds the total item count; inserting beyond it
+	// evicts from the tail of the owning shard's LRU.
+	CapacityItems int
+	// ValueBytes is the item payload size (4 KiB in HeMemKV).
+	ValueBytes int64
+	// PageBytes is the arena page size.
+	PageBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	if c.PageBytes == 0 {
+		c.PageBytes = 2 << 20
+	}
+	return c
+}
+
+type item struct {
+	key uint64
+	ref paged.Ref
+	ele *list.Element
+}
+
+type shard struct {
+	mu    sync.Mutex
+	index map[uint64]*item
+	lru   *list.List // front = most recent
+	cap   int
+}
+
+// Cache is the sharded LRU cache.
+type Cache struct {
+	cfg    Config
+	shards []*shard
+	arena  *paged.Arena
+	arenaM sync.Mutex
+
+	hits      int64
+	misses    int64
+	evictions int64
+	statsM    sync.Mutex
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CapacityItems <= 0 || cfg.ValueBytes <= 0 {
+		return nil, fmt.Errorf("cachelib: invalid config %+v", cfg)
+	}
+	c := &Cache{
+		cfg:    cfg,
+		arena:  paged.NewArena(cfg.PageBytes),
+		shards: make([]*shard, cfg.Shards),
+	}
+	perShard := cfg.CapacityItems / cfg.Shards
+	if perShard == 0 {
+		perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			index: make(map[uint64]*item),
+			lru:   list.New(),
+			cap:   perShard,
+		}
+	}
+	return c, nil
+}
+
+// Arena exposes the value arena for access-profile extraction.
+func (c *Cache) Arena() *paged.Arena { return c.arena }
+
+func (c *Cache) shardOf(key uint64) *shard {
+	return c.shards[(key*0x9e3779b97f4a7c15)>>32%uint64(len(c.shards))]
+}
+
+// Get looks up key, touching its value pages and refreshing LRU
+// position. Returns false on miss.
+func (c *Cache) Get(key uint64) bool {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	it, ok := sh.index[key]
+	if ok {
+		sh.lru.MoveToFront(it.ele)
+	}
+	sh.mu.Unlock()
+	c.statsM.Lock()
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.statsM.Unlock()
+	if ok {
+		c.arenaM.Lock()
+		c.arena.TouchRange(it.ref, c.cfg.ValueBytes)
+		c.arenaM.Unlock()
+	}
+	return ok
+}
+
+// Set inserts or updates key, evicting LRU items when the shard is at
+// capacity. The value payload is synthetic; the arena touch stands in
+// for writing it.
+func (c *Cache) Set(key uint64) error {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if it, ok := sh.index[key]; ok {
+		sh.lru.MoveToFront(it.ele)
+		sh.mu.Unlock()
+		c.arenaM.Lock()
+		c.arena.TouchRange(it.ref, c.cfg.ValueBytes)
+		c.arenaM.Unlock()
+		return nil
+	}
+	// Evict if full. The arena is a bump allocator; in a real slab
+	// allocator the evicted item's slot is recycled, so reuse its ref.
+	var ref paged.Ref
+	if sh.lru.Len() >= sh.cap {
+		tail := sh.lru.Back()
+		victim := tail.Value.(*item)
+		sh.lru.Remove(tail)
+		delete(sh.index, victim.key)
+		ref = victim.ref
+		c.statsM.Lock()
+		c.evictions++
+		c.statsM.Unlock()
+	} else {
+		c.arenaM.Lock()
+		var err error
+		ref, err = c.arena.Alloc(c.cfg.ValueBytes)
+		c.arenaM.Unlock()
+		if err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+	}
+	it := &item{key: key, ref: ref}
+	it.ele = sh.lru.PushFront(it)
+	sh.index[key] = it
+	sh.mu.Unlock()
+	c.arenaM.Lock()
+	c.arena.TouchRange(ref, c.cfg.ValueBytes)
+	c.arenaM.Unlock()
+	return nil
+}
+
+// Stats returns hit/miss/eviction counters.
+func (c *Cache) Stats() (hits, misses, evictions int64) {
+	c.statsM.Lock()
+	defer c.statsM.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// Len returns the total item count.
+func (c *Cache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// HeMemKVConfig is the Section 5.3 CacheBench workload: a fixed key
+// population, 20% hot keys accessed with 90% probability, GET/UPDATE
+// 90/10.
+type HeMemKVConfig struct {
+	// Keys is the key population (all pre-populated).
+	Keys int
+	// HotFrac is the hot subset fraction (0.2).
+	HotFrac float64
+	// HotProb is the probability an op targets the hot set (0.9).
+	HotProb float64
+	// GetFrac is the GET share (0.9; the rest are UPDATEs).
+	GetFrac float64
+	// Ops is the operation count.
+	Ops int64
+}
+
+// RunHeMemKV populates the cache and executes the workload.
+func RunHeMemKV(c *Cache, cfg HeMemKVConfig, rng *stats.RNG) error {
+	if cfg.Keys <= 0 || cfg.HotFrac <= 0 || cfg.HotFrac >= 1 {
+		return fmt.Errorf("cachelib: invalid workload %+v", cfg)
+	}
+	for k := 0; k < cfg.Keys; k++ {
+		if err := c.Set(uint64(k)); err != nil {
+			return err
+		}
+	}
+	// Steady-state profile only: discard population-phase touches.
+	c.arena.ResetCounts()
+	hotKeys := int(float64(cfg.Keys) * cfg.HotFrac)
+	for i := int64(0); i < cfg.Ops; i++ {
+		var key uint64
+		if rng.Float64() < cfg.HotProb {
+			key = uint64(rng.Intn(hotKeys))
+		} else {
+			key = uint64(rng.Intn(cfg.Keys))
+		}
+		if rng.Float64() < cfg.GetFrac {
+			c.Get(key)
+		} else {
+			if err := c.Set(key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

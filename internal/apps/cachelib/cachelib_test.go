@@ -1,0 +1,133 @@
+package cachelib
+
+import (
+	"testing"
+
+	"colloid/internal/stats"
+)
+
+func newTestCache(t *testing.T, capacity int) *Cache {
+	t.Helper()
+	c, err := New(Config{Shards: 4, CapacityItems: capacity, ValueBytes: 512, PageBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSetGet(t *testing.T) {
+	c := newTestCache(t, 100)
+	if err := c.Set(1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(1) {
+		t.Fatal("miss on present key")
+	}
+	if c.Get(2) {
+		t.Fatal("hit on absent key")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New(Config{Shards: 1, CapacityItems: 3, ValueBytes: 64, PageBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set(1)
+	c.Set(2)
+	c.Set(3)
+	c.Get(1) // refresh 1; 2 becomes LRU
+	c.Set(4) // evicts 2
+	if c.Get(2) {
+		t.Fatal("LRU victim still present")
+	}
+	if !c.Get(1) || !c.Get(3) || !c.Get(4) {
+		t.Fatal("wrong eviction")
+	}
+	_, _, ev := c.Stats()
+	if ev != 1 {
+		t.Fatalf("evictions = %d", ev)
+	}
+}
+
+func TestCapacityBounded(t *testing.T) {
+	c := newTestCache(t, 100)
+	for k := uint64(0); k < 1000; k++ {
+		if err := c.Set(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got > 100 {
+		t.Fatalf("len = %d exceeds capacity", got)
+	}
+	// Arena must not grow past capacity either (slots are recycled).
+	if got := c.Arena().AllocatedBytes(); got > 100*512+4096 {
+		t.Fatalf("arena grew to %d bytes despite recycling", got)
+	}
+}
+
+func TestUpdateRefreshes(t *testing.T) {
+	c, _ := New(Config{Shards: 1, CapacityItems: 2, ValueBytes: 64, PageBytes: 4096})
+	c.Set(1)
+	c.Set(2)
+	c.Set(1) // update refreshes 1; 2 becomes LRU
+	c.Set(3) // evicts 2
+	if c.Get(2) {
+		t.Fatal("updated key was evicted instead of LRU")
+	}
+	if !c.Get(1) {
+		t.Fatal("refreshed key missing")
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := New(Config{CapacityItems: 10, ValueBytes: 0}); err == nil {
+		t.Fatal("zero value size accepted")
+	}
+}
+
+func TestHeMemKVProfile(t *testing.T) {
+	c, err := New(Config{Shards: 8, CapacityItems: 20000, ValueBytes: 4096, PageBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HeMemKVConfig{Keys: 20000, HotFrac: 0.2, HotProb: 0.9, GetFrac: 0.9, Ops: 200000}
+	if err := RunHeMemKV(c, cfg, stats.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := c.Stats()
+	if misses > hits/10 {
+		t.Fatalf("unexpected misses in fully-resident workload: %d hits %d misses", hits, misses)
+	}
+	// Hot 20% of pages should carry ~90% of touches.
+	prof := c.Arena().Profile()
+	var total float64
+	for _, v := range prof {
+		total += v
+	}
+	// Values were populated in key order, so hot keys occupy the first
+	// ~20% of pages.
+	hotPages := len(prof) / 5
+	var hotMass float64
+	for _, v := range prof[:hotPages] {
+		hotMass += v
+	}
+	frac := hotMass / total
+	if frac < 0.8 || frac > 0.98 {
+		t.Fatalf("hot 20%% of pages carry %.1f%% of accesses, want ~90%%", frac*100)
+	}
+}
+
+func TestHeMemKVInvalidConfig(t *testing.T) {
+	c := newTestCache(t, 10)
+	if err := RunHeMemKV(c, HeMemKVConfig{}, stats.NewRNG(1)); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}

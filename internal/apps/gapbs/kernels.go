@@ -1,0 +1,120 @@
+package gapbs
+
+import (
+	"fmt"
+
+	"colloid/internal/paged"
+)
+
+// BFSResult holds a breadth-first search tree.
+type BFSResult struct {
+	// Parent[v] is v's parent in the BFS tree, -1 if unreached, or v
+	// itself for the source.
+	Parent []int32
+	// Depth[v] is v's distance from the source, -1 if unreached.
+	Depth []int32
+	// Reached is the number of visited vertices.
+	Reached int
+}
+
+// BFS runs a breadth-first search from source over the in-edge CSR
+// (treating edges as undirected neighbors for traversal, as GAP's
+// benchmark graphs are symmetrized). If arena is non-nil, frontier
+// reads of the parent array are recorded — BFS's memory behaviour is
+// bursty random access over the vertex arrays.
+func BFS(g *Graph, source int32, arena *paged.Arena) (*BFSResult, error) {
+	n := g.NumNodes()
+	if int(source) < 0 || int(source) >= n {
+		return nil, fmt.Errorf("gapbs: BFS source %d out of range", source)
+	}
+	var refs []paged.Ref
+	if arena != nil {
+		refs = make([]paged.Ref, n)
+		for v := 0; v < n; v++ {
+			r, err := arena.Alloc(4)
+			if err != nil {
+				return nil, err
+			}
+			refs[v] = r
+		}
+	}
+	res := &BFSResult{
+		Parent: make([]int32, n),
+		Depth:  make([]int32, n),
+	}
+	for v := range res.Parent {
+		res.Parent[v] = -1
+		res.Depth[v] = -1
+	}
+	res.Parent[source] = source
+	res.Depth[source] = 0
+	frontier := []int32{source}
+	res.Reached = 1
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, w := range g.InNeighbors(u) {
+				if arena != nil {
+					arena.Touch(refs[w])
+				}
+				if res.Parent[w] == -1 {
+					res.Parent[w] = u
+					res.Depth[w] = depth
+					next = append(next, w)
+					res.Reached++
+				}
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// ConnectedComponents labels vertices with component IDs using the
+// Shiloach-Vishkin style label-propagation GAP's CC kernel uses
+// (hook + compress until no label changes). The graph's in-edges are
+// treated as undirected adjacency.
+func ConnectedComponents(g *Graph, maxIters int) ([]int32, int, error) {
+	n := g.NumNodes()
+	if maxIters <= 0 {
+		maxIters = n
+	}
+	comp := make([]int32, n)
+	for v := range comp {
+		comp[v] = int32(v)
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		// Hook: adopt the smaller label across each edge.
+		for v := 0; v < n; v++ {
+			for _, u := range g.InNeighbors(int32(v)) {
+				if comp[u] < comp[v] {
+					comp[v] = comp[u]
+					changed = true
+				} else if comp[v] < comp[u] {
+					comp[u] = comp[v]
+					changed = true
+				}
+			}
+		}
+		// Compress: point labels at their root.
+		for v := 0; v < n; v++ {
+			for comp[v] != comp[comp[v]] {
+				comp[v] = comp[comp[v]]
+			}
+		}
+		if !changed {
+			components := countDistinct(comp)
+			return comp, components, nil
+		}
+	}
+	return comp, countDistinct(comp), nil
+}
+
+func countDistinct(comp []int32) int {
+	seen := make(map[int32]struct{})
+	for _, c := range comp {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,144 @@
+package gapbs
+
+import (
+	"testing"
+
+	"colloid/internal/paged"
+	"colloid/internal/stats"
+)
+
+func TestBFSReachesConnectedMass(t *testing.T) {
+	g := testGraph(t, 5000, 16)
+	// Pick a high-degree source so it is in the giant component.
+	src := int32(0)
+	best := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := len(g.InNeighbors(int32(v))); d > best {
+			best, src = d, int32(v)
+		}
+	}
+	res, err := BFS(g, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A random power-law multigraph at average degree 16 has a giant
+	// component holding nearly every vertex.
+	if res.Reached < g.NumNodes()*9/10 {
+		t.Fatalf("reached %d of %d", res.Reached, g.NumNodes())
+	}
+	// Tree invariants: parents of reached vertices are reached and one
+	// level shallower (except the source).
+	for v := 0; v < g.NumNodes(); v++ {
+		p := res.Parent[v]
+		if p == -1 {
+			if res.Depth[v] != -1 {
+				t.Fatalf("unreached vertex %d has depth %d", v, res.Depth[v])
+			}
+			continue
+		}
+		if int32(v) == src {
+			if res.Depth[v] != 0 {
+				t.Fatal("source depth != 0")
+			}
+			continue
+		}
+		if res.Depth[v] != res.Depth[p]+1 {
+			t.Fatalf("vertex %d depth %d, parent %d depth %d", v, res.Depth[v], p, res.Depth[p])
+		}
+	}
+}
+
+func TestBFSBadSource(t *testing.T) {
+	g := testGraph(t, 100, 4)
+	if _, err := BFS(g, -1, nil); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := BFS(g, 100, nil); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestBFSRecordsAccesses(t *testing.T) {
+	g := testGraph(t, 2000, 8)
+	arena := paged.NewArena(4096)
+	res, err := BFS(g, 0, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached > 1 && arena.TotalTouches() == 0 {
+		t.Fatal("no accesses recorded")
+	}
+}
+
+func TestConnectedComponentsLabels(t *testing.T) {
+	g := testGraph(t, 3000, 16)
+	comp, count, err := ConnectedComponents(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels must be consistent across every edge.
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.InNeighbors(int32(v)) {
+			if comp[u] != comp[v] {
+				t.Fatalf("edge (%d,%d) spans components %d and %d", u, v, comp[u], comp[v])
+			}
+		}
+	}
+	if count < 1 || count > g.NumNodes() {
+		t.Fatalf("component count = %d", count)
+	}
+	// The giant component dominates a dense random graph.
+	sizes := map[int32]int{}
+	for _, c := range comp {
+		sizes[c]++
+	}
+	max := 0
+	for _, n := range sizes {
+		if n > max {
+			max = n
+		}
+	}
+	if max < g.NumNodes()*9/10 {
+		t.Fatalf("giant component only %d of %d", max, g.NumNodes())
+	}
+}
+
+func TestConnectedComponentsAgreesWithBFS(t *testing.T) {
+	g := testGraph(t, 2000, 12)
+	comp, _, err := ConnectedComponents(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex BFS reaches from 0 shares 0's component label.
+	// (BFS traverses in-neighbors only, so it may reach a subset of
+	// the undirected component — but never cross components.)
+	for v := 0; v < g.NumNodes(); v++ {
+		if res.Parent[v] != -1 && comp[v] != comp[0] {
+			t.Fatalf("BFS reached %d but CC puts it in another component", v)
+		}
+	}
+}
+
+func TestDeterministicKernels(t *testing.T) {
+	g1, _ := GeneratePowerLaw(1000, 8, 0.8, stats.NewRNG(5))
+	g2, _ := GeneratePowerLaw(1000, 8, 0.8, stats.NewRNG(5))
+	r1, _ := BFS(g1, 0, nil)
+	r2, _ := BFS(g2, 0, nil)
+	if r1.Reached != r2.Reached {
+		t.Fatal("BFS nondeterministic across identical seeds")
+	}
+	c1, n1, _ := ConnectedComponents(g1, 0)
+	c2, n2, _ := ConnectedComponents(g2, 0)
+	if n1 != n2 {
+		t.Fatal("CC count nondeterministic")
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatal("CC labels nondeterministic")
+		}
+	}
+}

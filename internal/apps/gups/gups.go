@@ -1,0 +1,133 @@
+// Package gups is an executed implementation of the GUPS microbenchmark
+// the paper adapts from HeMem (Section 2.1): worker goroutines pick a
+// random object — from the hot region with the configured probability,
+// from the full buffer otherwise — read it and write it back (1:1
+// read/write). The buffer is laid out in a paged.Arena; running the
+// loop records the page-level access profile, which cross-validates the
+// analytic distribution in internal/workloads (see the package tests)
+// and can drive the simulator directly.
+package gups
+
+import (
+	"fmt"
+	"sync"
+
+	"colloid/internal/paged"
+	"colloid/internal/stats"
+)
+
+// Config shapes the benchmark.
+type Config struct {
+	// BufferBytes is the working-set size.
+	BufferBytes int64
+	// HotBytes is the hot-region size (a contiguous region at a random
+	// offset, as in the paper's "random 24 GB region").
+	HotBytes int64
+	// HotProb is the probability an op targets the hot region.
+	HotProb float64
+	// ObjectBytes is the object size per op.
+	ObjectBytes int64
+	// PageBytes is the arena page size.
+	PageBytes int64
+	// Workers is the goroutine count.
+	Workers int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.BufferBytes <= 0 || c.HotBytes <= 0 || c.HotBytes > c.BufferBytes:
+		return fmt.Errorf("gups: bad buffer/hot sizes %d/%d", c.BufferBytes, c.HotBytes)
+	case c.HotProb < 0 || c.HotProb > 1:
+		return fmt.Errorf("gups: hot probability %v", c.HotProb)
+	case c.ObjectBytes <= 0 || c.PageBytes <= 0:
+		return fmt.Errorf("gups: bad object/page sizes")
+	case c.Workers <= 0:
+		return fmt.Errorf("gups: workers must be positive")
+	}
+	return nil
+}
+
+// Bench is an instantiated benchmark.
+type Bench struct {
+	cfg      Config
+	arena    *paged.Arena
+	buf      paged.Ref
+	hotStart int64 // byte offset of the hot region
+	objects  int64
+	hotObjs  int64
+	objStart int64 // first object index of the hot region
+}
+
+// New lays out the buffer and places the hot region at a random
+// object-aligned offset.
+func New(cfg Config, rng *stats.RNG) (*Bench, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	arena := paged.NewArena(cfg.PageBytes)
+	buf, err := arena.Alloc(cfg.BufferBytes)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bench{
+		cfg:     cfg,
+		arena:   arena,
+		buf:     buf,
+		objects: cfg.BufferBytes / cfg.ObjectBytes,
+		hotObjs: cfg.HotBytes / cfg.ObjectBytes,
+	}
+	if b.objects == 0 || b.hotObjs == 0 {
+		return nil, fmt.Errorf("gups: object size larger than regions")
+	}
+	b.objStart = rng.Int63n(b.objects - b.hotObjs + 1)
+	b.hotStart = b.objStart * cfg.ObjectBytes
+	return b, nil
+}
+
+// Arena exposes the recorded access profile.
+func (b *Bench) Arena() *paged.Arena { return b.arena }
+
+// HotRange returns the hot region's object index range [start, end).
+func (b *Bench) HotRange() (start, end int64) {
+	return b.objStart, b.objStart + b.hotObjs
+}
+
+// Run executes ops operations split across the configured workers and
+// returns the total operations completed.
+func (b *Bench) Run(ops int64, seed uint64) int64 {
+	var wg sync.WaitGroup
+	per := ops / int64(b.cfg.Workers)
+	var total int64
+	var mu sync.Mutex
+	for w := 0; w < b.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := stats.NewRNG(seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+			n := b.runWorker(per, rng)
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return total
+}
+
+// runWorker is one thread's read-and-update loop.
+func (b *Bench) runWorker(ops int64, rng *stats.RNG) int64 {
+	for i := int64(0); i < ops; i++ {
+		var obj int64
+		if rng.Float64() < b.cfg.HotProb {
+			obj = b.objStart + rng.Int63n(b.hotObjs)
+		} else {
+			obj = rng.Int63n(b.objects)
+		}
+		off := obj * b.cfg.ObjectBytes
+		// Read then update: both touch the object's cachelines; the
+		// writeback hits the same page, so one range-touch per phase.
+		b.arena.TouchRangeAt(b.buf, off, b.cfg.ObjectBytes) // read
+		b.arena.TouchRangeAt(b.buf, off, b.cfg.ObjectBytes) // update
+	}
+	return ops
+}

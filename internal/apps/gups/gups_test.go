@@ -1,0 +1,119 @@
+package gups
+
+import (
+	"math"
+	"testing"
+
+	"colloid/internal/stats"
+)
+
+func testConfig() Config {
+	return Config{
+		BufferBytes: 72 << 20, // scaled: 72 MB standing in for 72 GB
+		HotBytes:    24 << 20,
+		HotProb:     0.9,
+		ObjectBytes: 64,
+		PageBytes:   64 << 10, // scaled pages
+		Workers:     4,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{BufferBytes: 10, HotBytes: 20, HotProb: 0.9, ObjectBytes: 1, PageBytes: 1, Workers: 1},
+		{BufferBytes: 20, HotBytes: 10, HotProb: 1.5, ObjectBytes: 1, PageBytes: 1, Workers: 1},
+		{BufferBytes: 20, HotBytes: 10, HotProb: 0.9, ObjectBytes: 0, PageBytes: 1, Workers: 1},
+		{BufferBytes: 20, HotBytes: 10, HotProb: 0.9, ObjectBytes: 1, PageBytes: 1, Workers: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, stats.NewRNG(1)); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestRunCountsOps(t *testing.T) {
+	b, err := New(testConfig(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Run(40000, 2); got != 40000 {
+		t.Fatalf("ops = %d", got)
+	}
+	// Each op records a read touch and an update touch.
+	if got := b.Arena().TotalTouches(); got != 80000 {
+		t.Fatalf("touches = %d, want 80000", got)
+	}
+}
+
+// The executed benchmark's page profile must match the analytic
+// distribution internal/workloads assigns: hot pages carry
+// HotProb/hotPages plus the uniform share; cold pages the uniform share.
+func TestProfileMatchesAnalyticDistribution(t *testing.T) {
+	cfg := testConfig()
+	b, err := New(cfg, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 2_000_000
+	b.Run(ops, 4)
+	prof := b.Arena().Profile()
+	var total float64
+	for _, c := range prof {
+		total += c
+	}
+	nPages := int64(len(prof))
+	hotPages := cfg.HotBytes / cfg.PageBytes
+	wantHot := 0.9/float64(hotPages) + 0.1/float64(nPages)
+	wantCold := 0.1 / float64(nPages)
+	// The hot region starts at a random object offset; identify hot
+	// pages from the recorded mass (cleanly bimodal).
+	var hotSeen, coldSeen int64
+	for _, c := range prof {
+		share := c / total
+		switch {
+		case math.Abs(share-wantHot)/wantHot < 0.2:
+			hotSeen++
+		case math.Abs(share-wantCold)/wantCold < 0.5:
+			coldSeen++
+		}
+	}
+	// Allow two boundary pages (hot region need not be page-aligned).
+	if hotSeen < hotPages-2 {
+		t.Fatalf("hot pages at analytic share: %d of %d", hotSeen, hotPages)
+	}
+	if coldSeen < nPages-hotPages-3 {
+		t.Fatalf("cold pages at analytic share: %d of %d", coldSeen, nPages-hotPages)
+	}
+}
+
+func TestHotRangeInsideBuffer(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		b, err := New(testConfig(), stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		start, end := b.HotRange()
+		if start < 0 || end > b.objects || end-start != b.hotObjs {
+			t.Fatalf("seed %d: hot range [%d,%d) outside %d objects", seed, start, end, b.objects)
+		}
+	}
+}
+
+func TestDeterministicProfile(t *testing.T) {
+	run := func() []float64 {
+		b, err := New(testConfig(), stats.NewRNG(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Run(50000, 9)
+		return b.Arena().Profile()
+	}
+	a, bb := run(), run()
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("profiles differ at page %d", i)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package silo is a compact in-memory transactional key-value store in
+// the style of Silo (SOSP'13), the database the paper evaluates with
+// YCSB-C (Section 5.3): records carry a transaction-ID version word,
+// transactions buffer reads and writes, and commit runs optimistic
+// concurrency control — lock the write set in canonical order, validate
+// the read set's versions, install, and release.
+//
+// Record values live in a paged.Arena so that really executing
+// transactions yields the Zipf-skewed page access profile the memory
+// simulation consumes.
+package silo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"colloid/internal/paged"
+)
+
+// ErrConflict is returned by Commit when read-set validation fails.
+var ErrConflict = errors.New("silo: transaction conflict")
+
+// ErrNotFound is returned when a key does not exist.
+var ErrNotFound = errors.New("silo: key not found")
+
+// record is one versioned row.
+type record struct {
+	mu     sync.Mutex
+	tid    uint64 // even: unlocked version; odd: locked
+	val    paged.Ref
+	locked bool
+}
+
+// Store is the table: a fixed-capacity open-addressed index from
+// 64-bit keys to records plus the value arena.
+type Store struct {
+	mu    sync.RWMutex
+	index map[uint64]*record
+	arena *paged.Arena
+	clock uint64
+	vsize int64
+}
+
+// NewStore returns a store whose values are vsize bytes, backed by an
+// arena with the given page size.
+func NewStore(pageBytes, vsize int64) (*Store, error) {
+	if vsize <= 0 {
+		return nil, fmt.Errorf("silo: value size %d", vsize)
+	}
+	return &Store{
+		index: make(map[uint64]*record),
+		arena: paged.NewArena(pageBytes),
+		vsize: vsize,
+		// Bulk-loaded records carry TID 2; the commit clock starts
+		// there so the first committed write gets a distinct version.
+		clock: 2,
+	}, nil
+}
+
+// Arena exposes the value arena (for access-profile extraction).
+func (s *Store) Arena() *paged.Arena { return s.arena }
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Load inserts a record non-transactionally (bulk loading).
+func (s *Store) Load(key uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.index[key]; dup {
+		return fmt.Errorf("silo: duplicate key %d", key)
+	}
+	ref, err := s.arena.Alloc(s.vsize)
+	if err != nil {
+		return err
+	}
+	s.index[key] = &record{val: ref, tid: 2}
+	return nil
+}
+
+func (s *Store) lookup(key uint64) (*record, bool) {
+	s.mu.RLock()
+	r, ok := s.index[key]
+	s.mu.RUnlock()
+	return r, ok
+}
+
+// Txn is one transaction's read and write sets.
+type Txn struct {
+	s      *Store
+	reads  map[uint64]readEntry
+	writes map[uint64][]byte
+}
+
+type readEntry struct {
+	rec *record
+	tid uint64
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Txn {
+	return &Txn{
+		s:      s,
+		reads:  make(map[uint64]readEntry),
+		writes: make(map[uint64][]byte),
+	}
+}
+
+// Get reads key within the transaction, recording it in the read set.
+// The returned value is a synthetic encoding of (key, version) — the
+// store does not materialize payload bytes; the arena touch stands in
+// for reading the real value.
+func (t *Txn) Get(key uint64) ([]byte, error) {
+	if v, ok := t.writes[key]; ok {
+		return v, nil // read-own-write
+	}
+	rec, ok := t.s.lookup(key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	// Stable read of the version word (retry while locked).
+	var tid uint64
+	for {
+		rec.mu.Lock()
+		locked := rec.locked
+		tid = rec.tid
+		rec.mu.Unlock()
+		if !locked {
+			break
+		}
+	}
+	t.s.arena.TouchRange(rec.val, t.s.vsize)
+	if prev, seen := t.reads[key]; seen && prev.tid != tid {
+		return nil, ErrConflict // repeatable-read violation detected early
+	}
+	t.reads[key] = readEntry{rec: rec, tid: tid}
+	out := make([]byte, 16)
+	binary.LittleEndian.PutUint64(out, key)
+	binary.LittleEndian.PutUint64(out[8:], tid)
+	return out, nil
+}
+
+// Put buffers a write.
+func (t *Txn) Put(key uint64, val []byte) error {
+	if _, ok := t.s.lookup(key); !ok {
+		return ErrNotFound
+	}
+	t.writes[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// Commit runs Silo's OCC protocol: lock write set in key order,
+// validate read set, install writes with a new TID, unlock.
+func (t *Txn) Commit() error {
+	// Phase 1: lock write set in canonical order (deadlock freedom).
+	keys := make([]uint64, 0, len(t.writes))
+	for k := range t.writes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	locked := make([]*record, 0, len(keys))
+	unlock := func() {
+		for _, r := range locked {
+			r.mu.Lock()
+			r.locked = false
+			r.mu.Unlock()
+		}
+	}
+	for _, k := range keys {
+		rec, ok := t.s.lookup(k)
+		if !ok {
+			unlock()
+			return ErrNotFound
+		}
+		rec.mu.Lock()
+		if rec.locked {
+			rec.mu.Unlock()
+			unlock()
+			return ErrConflict
+		}
+		rec.locked = true
+		rec.mu.Unlock()
+		locked = append(locked, rec)
+	}
+	// Phase 2: validate the read set.
+	for key, re := range t.reads {
+		_, mine := t.writes[key]
+		re.rec.mu.Lock()
+		tid := re.rec.tid
+		lockedByOther := re.rec.locked && !mine
+		re.rec.mu.Unlock()
+		if tid != re.tid || lockedByOther {
+			unlock()
+			return ErrConflict
+		}
+	}
+	// Phase 3: install.
+	t.s.mu.Lock()
+	t.s.clock += 2
+	newTID := t.s.clock
+	t.s.mu.Unlock()
+	for _, rec := range locked {
+		rec.mu.Lock()
+		rec.tid = newTID
+		rec.locked = false
+		rec.mu.Unlock()
+		t.s.arena.TouchRange(rec.val, t.s.vsize)
+	}
+	return nil
+}
+
+// Abort discards the transaction (no state to undo under OCC).
+func (t *Txn) Abort() {
+	t.reads = nil
+	t.writes = nil
+}

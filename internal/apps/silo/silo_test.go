@@ -1,0 +1,218 @@
+package silo
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"colloid/internal/stats"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(4096, 164)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoadAndGet(t *testing.T) {
+	s := newTestStore(t)
+	for k := uint64(0); k < 100; k++ {
+		if err := s.Load(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	txn := s.Begin()
+	if _, err := txn.Get(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDuplicate(t *testing.T) {
+	s := newTestStore(t)
+	s.Load(1)
+	if err := s.Load(1); err == nil {
+		t.Fatal("duplicate load accepted")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := newTestStore(t)
+	txn := s.Begin()
+	if _, err := txn.Get(42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadOwnWrite(t *testing.T) {
+	s := newTestStore(t)
+	s.Load(1)
+	txn := s.Begin()
+	if err := txn.Put(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := txn.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "x" {
+		t.Fatalf("read-own-write = %q", v)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteBumpsVersion(t *testing.T) {
+	s := newTestStore(t)
+	s.Load(1)
+	t1 := s.Begin()
+	v1, _ := t1.Get(1)
+	t1.Commit()
+
+	w := s.Begin()
+	w.Get(1)
+	w.Put(1, []byte("y"))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	t2 := s.Begin()
+	v2, _ := t2.Get(1)
+	if string(v1) == string(v2) {
+		t.Fatal("version did not change after committed write")
+	}
+}
+
+func TestConflictDetected(t *testing.T) {
+	s := newTestStore(t)
+	s.Load(1)
+	// Reader snapshots key 1, then a writer commits, then the reader
+	// tries to commit a write based on the stale read.
+	reader := s.Begin()
+	if _, err := reader.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.Put(1, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+
+	writer := s.Begin()
+	writer.Get(1)
+	writer.Put(1, []byte("fresh"))
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := reader.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale commit error = %v, want ErrConflict", err)
+	}
+}
+
+func TestReadOnlyCommitAlwaysSucceedsWithoutWriters(t *testing.T) {
+	s := newTestStore(t)
+	for k := uint64(0); k < 10; k++ {
+		s.Load(k)
+	}
+	for i := 0; i < 100; i++ {
+		txn := s.Begin()
+		for k := uint64(0); k < 10; k++ {
+			if _, err := txn.Get(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentIncrementsSerialize(t *testing.T) {
+	s := newTestStore(t)
+	s.Load(1)
+	const workers, attempts = 8, 200
+	var commits int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				txn := s.Begin()
+				if _, err := txn.Get(1); err != nil {
+					continue
+				}
+				if err := txn.Put(1, []byte("v")); err != nil {
+					continue
+				}
+				if err := txn.Commit(); err == nil {
+					mu.Lock()
+					commits++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if commits == 0 {
+		t.Fatal("no transaction ever committed")
+	}
+	// The clock starts at 2 and advances by 2 per committed
+	// write-transaction.
+	s.mu.Lock()
+	clock := s.clock
+	s.mu.Unlock()
+	if clock-2 != uint64(commits)*2 {
+		t.Fatalf("clock = %d, commits = %d (lost or phantom commits)", clock, commits)
+	}
+}
+
+func TestYCSBProfileSkewed(t *testing.T) {
+	s := newTestStore(t)
+	res, err := RunYCSB(s, YCSBConfig{Keys: 20000, Skew: 0.99, Ops: 100000}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads != 100000 || res.NotFound != 0 || res.Conflicts != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	prof := s.Arena().Profile()
+	var maxC, sum float64
+	for _, c := range prof {
+		if c > maxC {
+			maxC = c
+		}
+		sum += c
+	}
+	mean := sum / float64(len(prof))
+	if maxC < 3*mean {
+		t.Fatalf("YCSB profile not skewed: max %v mean %v", maxC, mean)
+	}
+}
+
+func TestYCSBWithWrites(t *testing.T) {
+	s := newTestStore(t)
+	res, err := RunYCSB(s, YCSBConfig{Keys: 1000, Ops: 5000, ReadModifyWriteFrac: 0.5}, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes == 0 {
+		t.Fatal("no writes executed")
+	}
+}
+
+func TestYCSBInvalidConfig(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := RunYCSB(s, YCSBConfig{Keys: 0}, stats.NewRNG(1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package silo
+
+import (
+	"fmt"
+
+	"colloid/internal/stats"
+)
+
+// YCSBConfig drives the YCSB-C workload of Section 5.3: read-only
+// lookups with a Zipfian key distribution over a bulk-loaded keyspace.
+type YCSBConfig struct {
+	// Keys is the keyspace size.
+	Keys int64
+	// Skew is the Zipf exponent (YCSB default 0.99).
+	Skew float64
+	// Ops is how many lookups to execute.
+	Ops int64
+	// ReadModifyWriteFrac makes that fraction of operations a
+	// transactional read-modify-write instead of a pure read (0 for
+	// YCSB-C).
+	ReadModifyWriteFrac float64
+}
+
+// YCSBResult summarizes a driver run.
+type YCSBResult struct {
+	Reads     int64
+	Writes    int64
+	Conflicts int64
+	NotFound  int64
+}
+
+// RunYCSB bulk-loads the store if empty and executes the workload,
+// recording accesses into the store's arena.
+func RunYCSB(s *Store, cfg YCSBConfig, rng *stats.RNG) (*YCSBResult, error) {
+	if cfg.Keys <= 0 || cfg.Ops < 0 {
+		return nil, fmt.Errorf("silo: invalid YCSB config %+v", cfg)
+	}
+	if cfg.Skew == 0 {
+		cfg.Skew = 0.99
+	}
+	if s.Len() == 0 {
+		for k := int64(0); k < cfg.Keys; k++ {
+			if err := s.Load(uint64(k)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Keys are hashed in YCSB so Zipf rank order does not correlate
+	// with storage order; emulate with a multiplicative hash.
+	hash := func(rank int64) uint64 {
+		return (uint64(rank) * 0x9e3779b97f4a7c15) % uint64(cfg.Keys)
+	}
+	zipf := stats.NewZipf(cfg.Keys, cfg.Skew)
+	res := &YCSBResult{}
+	for i := int64(0); i < cfg.Ops; i++ {
+		key := hash(zipf.Draw(rng))
+		txn := s.Begin()
+		if _, err := txn.Get(key); err != nil {
+			res.NotFound++
+			txn.Abort()
+			continue
+		}
+		res.Reads++
+		if cfg.ReadModifyWriteFrac > 0 && rng.Float64() < cfg.ReadModifyWriteFrac {
+			if err := txn.Put(key, []byte{1}); err != nil {
+				txn.Abort()
+				continue
+			}
+			res.Writes++
+		}
+		if err := txn.Commit(); err != nil {
+			res.Conflicts++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The epsilon reset is what re-opens the watermark bracket after the
+// equilibrium point escapes it (Figure 4(c)); with it ablated the
+// bracket can only ever narrow. This exercises computeShift directly:
+// collapse the bracket, then present unbalanced latencies.
+func TestAblateWatermarkResetKeepsBracketCollapsed(t *testing.T) {
+	collapse := func(c *Controller) {
+		// Demote updates walk pHi down onto pLo.
+		for _, p := range []float64{0.9, 0.5, 0.3, 0.301, 0.3005, 0.3001} {
+			c.computeShift(p, 200, 100) // L_D > L_A: demote, pHi = p
+		}
+		if lo, hi := c.Watermarks(); hi-lo > 0.01 {
+			// Pin the bracket fully.
+			c.pLo, c.pHi = 0.3, 0.3001
+		}
+	}
+
+	full := NewController(2, Options{})
+	collapse(full)
+	// Latencies still unbalanced in the demote direction with a
+	// collapsed bracket: the reset must re-open pLo to 0.
+	full.computeShift(0.3, 200, 100)
+	if lo, _ := full.Watermarks(); lo != 0 {
+		t.Fatalf("full controller did not reset pLo: %v", lo)
+	}
+
+	ablated := NewController(2, Options{AblateWatermarkReset: true})
+	collapse(ablated)
+	dp := ablated.computeShift(0.3, 200, 100)
+	if lo, hi := ablated.Watermarks(); hi-lo > 0.01 {
+		t.Fatalf("ablated bracket re-opened: [%v, %v]", lo, hi)
+	}
+	if dp > 0.01 {
+		t.Fatalf("ablated deltaP = %v with a collapsed bracket", dp)
+	}
+
+	// Symmetric direction: promote against a collapsed bracket resets
+	// pHi to 1 in the full controller only.
+	full2 := NewController(2, Options{})
+	full2.pLo, full2.pHi = 0.3, 0.3001
+	full2.computeShift(0.3, 100, 200)
+	if _, hi := full2.Watermarks(); hi != 1 {
+		t.Fatalf("full controller did not reset pHi: %v", hi)
+	}
+}
+
+// The proportional-shift ablation still converges on a static workload
+// (it is a valid controller, just not the paper's).
+func TestProportionalShiftConverges(t *testing.T) {
+	c := NewController(2, Options{ProportionalShift: 0.5})
+	pl := newPlant(0.4, 0.95)
+	runPlant(t, pl, c, 600)
+	if math.Abs(pl.p-0.4) > 0.08 {
+		t.Fatalf("proportional controller at p=%v, want ~0.4", pl.p)
+	}
+}
+
+// AblateEWMA uses raw samples; on a noiseless plant behaviour matches
+// the smoothed controller's equilibrium.
+func TestAblateEWMAConvergesWithoutNoise(t *testing.T) {
+	c := NewController(2, Options{AblateEWMA: true})
+	pl := newPlant(0.5, 0.1)
+	runPlant(t, pl, c, 400)
+	if math.Abs(pl.p-0.5) > 0.05 {
+		t.Fatalf("raw-sample controller at p=%v, want ~0.5", pl.p)
+	}
+}
+
+// AblateDynamicLimit reports the static limit instead of the
+// deltaP-proportional one.
+func TestAblateDynamicLimit(t *testing.T) {
+	c := NewController(2, Options{AblateDynamicLimit: true, StaticLimitBytesPerSec: 5e9})
+	pl := newPlant(0.2, 0.9)
+	pl.step()
+	c.Observe(pl.step())
+	d, ok := c.Observe(pl.step())
+	if !ok || d.Mode == Hold {
+		t.Fatal("no decision")
+	}
+	if d.MigrationLimitBytesPerSec != 5e9 {
+		t.Fatalf("limit = %v, want the static 5e9", d.MigrationLimitBytesPerSec)
+	}
+}

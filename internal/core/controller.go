@@ -1,0 +1,294 @@
+// Package core implements Colloid, the paper's contribution: tiered
+// memory management by the principle of balancing access latencies.
+//
+// A Controller consumes CHA counter snapshots each quantum, derives
+// per-tier loaded latencies via Little's law with EWMA smoothing
+// (Section 3.1), and runs the page placement algorithm of Section 3.2:
+// Algorithm 2's watermark binary search computes the desired shift in
+// access probability (delta-p) between the default and alternate tiers,
+// and Algorithm 1 turns it into a promotion or demotion decision with a
+// dynamic migration limit min(delta-p * (R_D + R_A) * 64, M).
+//
+// The Controller is deliberately independent of any particular tiering
+// system: HeMem, TPP and MEMTIS integrations feed it their own CHA
+// snapshots and use their own access-tracking structures to find the
+// pages realizing delta-p (Section 4).
+package core
+
+import (
+	"fmt"
+
+	"colloid/internal/cha"
+	"colloid/internal/memsys"
+	"colloid/internal/stats"
+)
+
+// Mode is the placement direction for the current quantum.
+type Mode int
+
+// Placement directions: Hold (latencies balanced within delta), Promote
+// (default tier is faster; move hot pages in), Demote (default tier is
+// slower; move hot pages out).
+const (
+	Hold Mode = iota
+	Promote
+	Demote
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case Hold:
+		return "hold"
+	case Promote:
+		return "promote"
+	case Demote:
+		return "demote"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a Controller.
+type Options struct {
+	// Epsilon is the watermark-gap threshold for detecting a shifted
+	// equilibrium point (paper default 0.01).
+	Epsilon float64
+	// Delta is the latency deadband: latencies within a factor Delta of
+	// each other count as balanced (paper default 0.05).
+	Delta float64
+	// EWMAAlpha smooths occupancy and rate measurements (default 0.3).
+	EWMAAlpha float64
+	// StaticLimitBytesPerSec is M, the maximum migration rate; the
+	// dynamic limit never exceeds it. 0 means no static cap.
+	StaticLimitBytesPerSec float64
+	// UnloadedLatencyNs optionally supplies per-tier unloaded latencies
+	// used as a prior for tiers that received no traffic in an interval
+	// (an idle tier's Little's-law latency is 0/0; its true latency is
+	// its unloaded latency).
+	UnloadedLatencyNs []float64
+
+	// Ablation switches (DESIGN.md section 4). All default off — the
+	// full Colloid design. They exist so the ablation experiments can
+	// quantify what each mechanism contributes.
+
+	// AblateEWMA feeds raw per-quantum Little's-law samples to the
+	// placement algorithm instead of EWMA-smoothed ones.
+	AblateEWMA bool
+	// AblateDynamicLimit drops the min(deltaP*(R_D+R_A)*64, M) limit,
+	// leaving only the static migration limit M.
+	AblateDynamicLimit bool
+	// AblateWatermarkReset disables the epsilon reset, so a shifted
+	// equilibrium point outside [pLo, pHi] is never re-bracketed
+	// (Figure 4(c) fails).
+	AblateWatermarkReset bool
+	// ProportionalShift replaces Algorithm 2's binary search with a
+	// proportional controller deltaP = gain * |L_D-L_A|/(L_D+L_A),
+	// for comparing convergence behaviour.
+	ProportionalShift float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.01
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.05
+	}
+	if o.EWMAAlpha == 0 {
+		o.EWMAAlpha = 0.3
+	}
+	return o
+}
+
+// Decision is the outcome of one controller quantum.
+type Decision struct {
+	// Mode is the migration direction.
+	Mode Mode
+	// DeltaP is the desired shift in access probability (Algorithm 2).
+	DeltaP float64
+	// P is the measured share of requests served by the default tier.
+	P float64
+	// LatencyNs[t] is the smoothed Little's-law latency of tier t.
+	LatencyNs []float64
+	// RatePerSec[t] is the smoothed request rate of tier t.
+	RatePerSec []float64
+	// MigrationLimitBytesPerSec is the dynamic limit
+	// min(DeltaP*(R_D+R_A)*64, M); multiply by the system quantum for a
+	// per-quantum byte budget. Zero when Mode is Hold.
+	MigrationLimitBytesPerSec float64
+}
+
+// Controller runs Colloid's measurement pipeline and Algorithm 2 for a
+// two-tier system (tier 0 = default; with more tiers, alternates are
+// aggregated — see MultiController for fully general topologies).
+type Controller struct {
+	opts  Options
+	meter *cha.Meter
+	occ   []*stats.EWMA
+	rate  []*stats.EWMA
+	pLo   float64
+	pHi   float64
+	n     int
+}
+
+// NewController returns a controller for numTiers tiers (>= 2).
+func NewController(numTiers int, opts Options) *Controller {
+	if numTiers < 2 {
+		panic("core: controller needs at least two tiers")
+	}
+	o := opts.withDefaults()
+	if o.AblateEWMA {
+		o.EWMAAlpha = 1 // EWMA with alpha 1 tracks raw samples exactly
+	}
+	c := &Controller{
+		opts:  o,
+		meter: cha.NewMeter(numTiers),
+		occ:   make([]*stats.EWMA, numTiers),
+		rate:  make([]*stats.EWMA, numTiers),
+		pLo:   0,
+		pHi:   1,
+		n:     numTiers,
+	}
+	for i := range c.occ {
+		c.occ[i] = stats.NewEWMA(o.EWMAAlpha)
+		c.rate[i] = stats.NewEWMA(o.EWMAAlpha)
+	}
+	return c
+}
+
+// Watermarks returns the current (pLo, pHi) pair, exposed for tests and
+// for the Figure 4 trace.
+func (c *Controller) Watermarks() (pLo, pHi float64) { return c.pLo, c.pHi }
+
+// Observe consumes a cumulative CHA snapshot taken at the end of a
+// controller quantum and returns the placement decision. ok is false
+// while the controller is still priming (first snapshot) or when the
+// interval carried no traffic.
+func (c *Controller) Observe(snap cha.Snapshot) (d Decision, ok bool) {
+	meas, ready := c.meter.Observe(snap)
+	if !ready {
+		return Decision{}, false
+	}
+	// EWMA-smooth occupancy and rate independently (Section 3.1), then
+	// derive latency from the smoothed signals.
+	lat := make([]float64, c.n)
+	rate := make([]float64, c.n)
+	var totalRate float64
+	for t := 0; t < c.n; t++ {
+		o := c.occ[t].Observe(meas[t].Occupancy)
+		r := c.rate[t].Observe(meas[t].RatePerSec)
+		rate[t] = r
+		totalRate += r
+		if r > 0 {
+			// Rate in requests/ns for the Little's-law division.
+			lat[t] = o / (r * 1e-9)
+		}
+	}
+	if totalRate <= 0 {
+		return Decision{}, false
+	}
+	// A tier whose traffic has (all but) vanished cannot be measured:
+	// its occupancy and rate EWMAs decay together, freezing the
+	// Little's-law ratio at a stale value. Treat such tiers as idle —
+	// running at their unloaded latency when a prior is available,
+	// otherwise 0 (which biases toward sending traffic back so the
+	// tier becomes measurable again).
+	for t := 0; t < c.n; t++ {
+		if rate[t] <= totalRate*1e-6 {
+			if len(c.opts.UnloadedLatencyNs) == c.n {
+				lat[t] = c.opts.UnloadedLatencyNs[t]
+			} else {
+				lat[t] = 0
+			}
+		}
+	}
+	// Aggregate alternates: p is the default tier's share; the
+	// alternate latency is the rate-weighted mean over alternates.
+	p := rate[0] / totalRate
+	lD := lat[0]
+	var lA, aRate float64
+	for t := 1; t < c.n; t++ {
+		lA += lat[t] * rate[t]
+		aRate += rate[t]
+	}
+	if aRate > 0 {
+		lA /= aRate
+	} else if len(c.opts.UnloadedLatencyNs) > 1 {
+		// No alternate traffic observed: an idle tier runs at its
+		// unloaded latency.
+		lA = c.opts.UnloadedLatencyNs[1]
+	} else {
+		// Without a prior, treat the alternate as balanced so a zero
+		// signal cannot create promotion pressure.
+		lA = lD
+	}
+
+	d = Decision{
+		P:          p,
+		LatencyNs:  lat,
+		RatePerSec: rate,
+	}
+	deltaP := c.computeShift(p, lD, lA)
+	if deltaP <= 0 {
+		d.Mode = Hold
+		return d, true
+	}
+	if lD < lA {
+		d.Mode = Promote
+	} else {
+		d.Mode = Demote
+	}
+	d.DeltaP = deltaP
+	// Dynamic migration limit (Section 3.2): migrating more bytes/sec
+	// than the desired rate perturbation deltaP*(R_D+R_A) wastes
+	// bandwidth and causes oscillation.
+	d.MigrationLimitBytesPerSec = deltaP * totalRate * memsys.CachelineBytes
+	if c.opts.AblateDynamicLimit {
+		d.MigrationLimitBytesPerSec = c.opts.StaticLimitBytesPerSec
+		if d.MigrationLimitBytesPerSec == 0 {
+			d.MigrationLimitBytesPerSec = 1e18 // unlimited
+		}
+	}
+	if m := c.opts.StaticLimitBytesPerSec; m > 0 && d.MigrationLimitBytesPerSec > m {
+		d.MigrationLimitBytesPerSec = m
+	}
+	return d, true
+}
+
+// computeShift is Algorithm 2: binary-search watermarks with the
+// epsilon reset for shifted equilibria.
+func (c *Controller) computeShift(p, lD, lA float64) float64 {
+	if abs(lD-lA) < c.opts.Delta*lD {
+		return 0
+	}
+	if g := c.opts.ProportionalShift; g > 0 {
+		// Ablation arm: proportional control instead of the watermark
+		// binary search.
+		return g * abs(lD-lA) / (lD + lA)
+	}
+	if lD < lA {
+		c.pLo = p
+	} else {
+		c.pHi = p
+	}
+	if !c.opts.AblateWatermarkReset && c.pHi < c.pLo+c.opts.Epsilon {
+		// Watermarks have collapsed but latencies are still unbalanced:
+		// the equilibrium point moved outside [pLo, pHi]; reset the
+		// side it escaped through (Figure 4(c)).
+		if lD < lA {
+			c.pHi = 1
+		} else {
+			c.pLo = 0
+		}
+	}
+	target := (c.pLo + c.pHi) / 2
+	return abs(target - p)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

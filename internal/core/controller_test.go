@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"colloid/internal/cha"
+)
+
+// plant is a synthetic two-tier system with a known equilibrium pStar:
+// default latency grows with p, alternate latency falls with p, crossing
+// at pStar. It feeds the controller CHA counters and applies the
+// controller's deltaP directly, isolating Algorithm 2 from page
+// granularity.
+type plant struct {
+	counters *cha.Counters
+	pStar    float64
+	p        float64
+	rate     float64 // total requests/sec
+}
+
+func newPlant(pStar, p0 float64) *plant {
+	return &plant{
+		counters: cha.NewCounters(2, 0, nil),
+		pStar:    pStar,
+		p:        p0,
+		rate:     1e9,
+	}
+}
+
+// latencies returns (lD, lA) as linear functions crossing at pStar.
+func (pl *plant) latencies() (float64, float64) {
+	lD := 100 + 200*(pl.p-pl.pStar) // grows as more mass is placed in default
+	lA := 100 - 50*(pl.p-pl.pStar)
+	if lD < 10 {
+		lD = 10
+	}
+	if lA < 10 {
+		lA = 10
+	}
+	return lD, lA
+}
+
+// step advances one quantum of 10 ms and returns the snapshot.
+func (pl *plant) step() cha.Snapshot {
+	lD, lA := pl.latencies()
+	rates := []float64{pl.p * pl.rate, (1 - pl.p) * pl.rate}
+	pl.counters.Advance(10e6, rates, []float64{lD, lA})
+	return pl.counters.Read()
+}
+
+// apply moves deltaP in the decided direction, clamped to [0, 1].
+// Like a real system, the plant cannot shift the whole deltaP within
+// one quantum: page migration rate limits cap the per-quantum movement
+// (the dynamic migration limit of Section 3.2 exists for exactly this
+// reason), so the step is bounded by maxStep.
+func (pl *plant) apply(d Decision) {
+	const maxStep = 0.02
+	step := math.Min(d.DeltaP, maxStep)
+	switch d.Mode {
+	case Promote:
+		pl.p += step
+	case Demote:
+		pl.p -= step
+	}
+	pl.p = math.Min(1, math.Max(0, pl.p))
+}
+
+func runPlant(t *testing.T, pl *plant, c *Controller, quanta int) {
+	t.Helper()
+	for i := 0; i < quanta; i++ {
+		d, ok := c.Observe(pl.step())
+		if !ok {
+			continue
+		}
+		pl.apply(d)
+	}
+}
+
+func TestConvergesToEquilibrium(t *testing.T) {
+	for _, pStar := range []float64{0.2, 0.5, 0.8} {
+		c := NewController(2, Options{})
+		pl := newPlant(pStar, 0.95)
+		runPlant(t, pl, c, 400)
+		if math.Abs(pl.p-pStar) > 0.05 {
+			t.Errorf("pStar=%v: converged to %v", pStar, pl.p)
+		}
+	}
+}
+
+func TestConvergesToPackedWhenDefaultAlwaysFaster(t *testing.T) {
+	// If lD < lA even at p=1, Colloid should converge to p=1 (the
+	// existing systems' placement), per Section 3.2.
+	c := NewController(2, Options{})
+	pl := newPlant(2.0, 0.3) // crossing point beyond p=1
+	runPlant(t, pl, c, 600)
+	if pl.p < 0.97 {
+		t.Fatalf("p = %v, want ~1", pl.p)
+	}
+}
+
+func TestHoldsInsideDeadband(t *testing.T) {
+	c := NewController(2, Options{Delta: 0.05})
+	pl := newPlant(0.5, 0.5)
+	var lastMode Mode
+	for i := 0; i < 50; i++ {
+		d, ok := c.Observe(pl.step())
+		if !ok {
+			continue
+		}
+		lastMode = d.Mode
+		pl.apply(d)
+	}
+	if lastMode != Hold {
+		t.Fatalf("mode at equilibrium = %v, want hold", lastMode)
+	}
+}
+
+func TestWatermarkInvariant(t *testing.T) {
+	// pLo <= pHi must hold throughout any trajectory.
+	c := NewController(2, Options{})
+	pl := newPlant(0.35, 0.9)
+	for i := 0; i < 300; i++ {
+		d, ok := c.Observe(pl.step())
+		if !ok {
+			continue
+		}
+		lo, hi := c.Watermarks()
+		if lo > hi+1e-9 {
+			t.Fatalf("watermarks inverted at quantum %d: lo=%v hi=%v", i, lo, hi)
+		}
+		pl.apply(d)
+	}
+}
+
+func TestRecoversFromEquilibriumShift(t *testing.T) {
+	// Figure 4(c): after convergence, the equilibrium jumps; the
+	// epsilon reset must reopen the watermarks and re-converge.
+	c := NewController(2, Options{})
+	pl := newPlant(0.3, 0.9)
+	runPlant(t, pl, c, 400)
+	if math.Abs(pl.p-0.3) > 0.05 {
+		t.Fatalf("initial convergence failed: p=%v", pl.p)
+	}
+	pl.pStar = 0.8 // contention dropped; more mass belongs in default
+	runPlant(t, pl, c, 600)
+	if math.Abs(pl.p-0.8) > 0.05 {
+		t.Fatalf("did not re-converge after pStar shift: p=%v", pl.p)
+	}
+}
+
+func TestRecoversFromEquilibriumShiftDownward(t *testing.T) {
+	c := NewController(2, Options{})
+	pl := newPlant(0.7, 0.1)
+	runPlant(t, pl, c, 400)
+	pl.pStar = 0.15
+	runPlant(t, pl, c, 600)
+	if math.Abs(pl.p-0.15) > 0.05 {
+		t.Fatalf("did not re-converge downward: p=%v", pl.p)
+	}
+}
+
+func TestRecoversFromWorkloadJumpInP(t *testing.T) {
+	// Figure 4(b): p itself jumps (access pattern change); watermarks
+	// adapt because they are updated from the measured p each quantum.
+	c := NewController(2, Options{})
+	pl := newPlant(0.5, 0.9)
+	runPlant(t, pl, c, 300)
+	pl.p = 0.05 // abrupt workload change
+	runPlant(t, pl, c, 500)
+	if math.Abs(pl.p-0.5) > 0.05 {
+		t.Fatalf("did not re-converge after p jump: p=%v", pl.p)
+	}
+}
+
+func TestDynamicMigrationLimit(t *testing.T) {
+	c := NewController(2, Options{StaticLimitBytesPerSec: 1e9})
+	pl := newPlant(0.2, 0.9)
+	pl.step()
+	c.Observe(pl.step())
+	d, ok := c.Observe(pl.step())
+	if !ok {
+		t.Fatal("controller not primed")
+	}
+	if d.Mode == Hold {
+		t.Fatal("expected migration pressure far from equilibrium")
+	}
+	want := d.DeltaP * (d.RatePerSec[0] + d.RatePerSec[1]) * 64
+	if want > 1e9 {
+		want = 1e9
+	}
+	if math.Abs(d.MigrationLimitBytesPerSec-want)/want > 1e-9 {
+		t.Fatalf("dynamic limit = %v, want %v", d.MigrationLimitBytesPerSec, want)
+	}
+}
+
+func TestDeltaPShrinksNearEquilibrium(t *testing.T) {
+	c := NewController(2, Options{})
+	pl := newPlant(0.5, 0.95)
+	var early, late float64
+	for i := 0; i < 300; i++ {
+		d, ok := c.Observe(pl.step())
+		if !ok {
+			continue
+		}
+		if i == 5 {
+			early = d.DeltaP
+		}
+		if i == 250 {
+			late = d.DeltaP
+		}
+		pl.apply(d)
+	}
+	if late >= early {
+		t.Fatalf("deltaP did not shrink: early=%v late=%v", early, late)
+	}
+}
+
+func TestObserveRequiresPriming(t *testing.T) {
+	c := NewController(2, Options{})
+	counters := cha.NewCounters(2, 0, nil)
+	if _, ok := c.Observe(counters.Read()); ok {
+		t.Fatal("controller reported before priming")
+	}
+	// Second snapshot with zero traffic also yields no decision.
+	counters.Advance(1e6, []float64{0, 0}, []float64{70, 135})
+	if _, ok := c.Observe(counters.Read()); ok {
+		t.Fatal("controller reported with zero traffic")
+	}
+}
+
+func TestIdleAlternateUsesPrior(t *testing.T) {
+	// All traffic in the default tier at high latency; with an unloaded
+	// prior for the alternate, the controller must demote.
+	c := NewController(2, Options{UnloadedLatencyNs: []float64{70, 135}})
+	counters := cha.NewCounters(2, 0, nil)
+	counters.Advance(10e6, []float64{1e9, 0}, []float64{400, 0})
+	c.Observe(counters.Read())
+	counters.Advance(10e6, []float64{1e9, 0}, []float64{400, 0})
+	d, ok := c.Observe(counters.Read())
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.Mode != Demote {
+		t.Fatalf("mode = %v, want demote (400 ns default vs 135 ns idle alternate)", d.Mode)
+	}
+}
+
+// Property: computeShift never returns a negative value and never
+// exceeds the distance to the nearer watermark boundary by more than
+// the reset allows.
+func TestComputeShiftBounds(t *testing.T) {
+	f := func(pSeed, dSeed uint16, faster bool) bool {
+		c := NewController(2, Options{})
+		p := float64(pSeed) / 65535
+		lD := 100.0
+		lA := 100 + float64(dSeed%1000)
+		if !faster {
+			lD, lA = lA, lD
+		}
+		dp := c.computeShift(p, lD, lA)
+		return dp >= 0 && dp <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Hold.String() != "hold" || Promote.String() != "promote" || Demote.String() != "demote" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(42).String() == "" {
+		t.Fatal("unknown mode empty")
+	}
+}

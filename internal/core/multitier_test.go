@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"colloid/internal/cha"
+)
+
+// multiPlant is a three-tier synthetic system: tier latencies are
+// linear in the share each holds, with distinct base latencies and
+// slopes, so the balanced-latency equilibrium is unique.
+type multiPlant struct {
+	counters *cha.Counters
+	shares   []float64
+	base     []float64
+	slope    []float64
+	rate     float64
+}
+
+func newMultiPlant() *multiPlant {
+	return &multiPlant{
+		counters: cha.NewCounters(3, 0, nil),
+		shares:   []float64{0.8, 0.15, 0.05},
+		base:     []float64{70, 135, 200},
+		slope:    []float64{400, 150, 100},
+		rate:     1e9,
+	}
+}
+
+func (m *multiPlant) latencies() []float64 {
+	out := make([]float64, 3)
+	for t := range out {
+		out[t] = m.base[t] + m.slope[t]*m.shares[t]
+	}
+	return out
+}
+
+func (m *multiPlant) step() cha.Snapshot {
+	lat := m.latencies()
+	rates := make([]float64, 3)
+	for t := range rates {
+		rates[t] = m.shares[t] * m.rate
+	}
+	m.counters.Advance(10e6, rates, lat)
+	return m.counters.Read()
+}
+
+func (m *multiPlant) apply(d MultiDecision) {
+	if d.Hold || d.DeltaP <= 0 {
+		return
+	}
+	step := math.Min(d.DeltaP, 0.02)
+	step = math.Min(step, m.shares[d.From])
+	m.shares[d.From] -= step
+	m.shares[d.To] += step
+}
+
+func TestMultiTierBalancesLatencies(t *testing.T) {
+	mc := NewMultiController(3, Options{UnloadedLatencyNs: []float64{70, 135, 200}}, 0)
+	pl := newMultiPlant()
+	for i := 0; i < 2000; i++ {
+		d, ok := mc.Observe(pl.step())
+		if !ok {
+			continue
+		}
+		pl.apply(d)
+	}
+	lat := pl.latencies()
+	lo, hi := lat[0], lat[0]
+	for _, l := range lat {
+		lo = math.Min(lo, l)
+		hi = math.Max(hi, l)
+	}
+	// Latencies should be balanced within ~2x the deadband.
+	if (hi-lo)/hi > 0.12 {
+		t.Fatalf("latencies not balanced: %v", lat)
+	}
+	sum := pl.shares[0] + pl.shares[1] + pl.shares[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares do not sum to 1: %v", pl.shares)
+	}
+}
+
+func TestMultiTierHoldsWhenBalanced(t *testing.T) {
+	mc := NewMultiController(3, Options{}, 0)
+	counters := cha.NewCounters(3, 0, nil)
+	feed := func() (MultiDecision, bool) {
+		counters.Advance(10e6, []float64{1e9, 1e9, 1e9}, []float64{100, 101, 99})
+		return mc.Observe(counters.Read())
+	}
+	feed()
+	var d MultiDecision
+	var ok bool
+	for i := 0; i < 20; i++ {
+		d, ok = feed()
+	}
+	if !ok || !d.Hold {
+		t.Fatalf("decision = %+v, want hold", d)
+	}
+}
+
+func TestMultiTierDirection(t *testing.T) {
+	mc := NewMultiController(3, Options{}, 0)
+	counters := cha.NewCounters(3, 0, nil)
+	feed := func() (MultiDecision, bool) {
+		counters.Advance(10e6, []float64{1e9, 5e8, 2e8}, []float64{300, 150, 90})
+		return mc.Observe(counters.Read())
+	}
+	feed()
+	var d MultiDecision
+	var ok bool
+	for i := 0; i < 20; i++ {
+		d, ok = feed()
+	}
+	if !ok || d.Hold {
+		t.Fatalf("decision = %+v, want a shift", d)
+	}
+	if d.From != 0 || d.To != 2 {
+		t.Fatalf("shift %d->%d, want 0->2 (slowest to fastest)", d.From, d.To)
+	}
+	if d.MigrationLimitBytesPerSec <= 0 {
+		t.Fatal("no migration limit computed")
+	}
+}
+
+func TestMultiTierIdleTierUsesPrior(t *testing.T) {
+	mc := NewMultiController(2, Options{UnloadedLatencyNs: []float64{70, 135}}, 0)
+	counters := cha.NewCounters(2, 0, nil)
+	feed := func() (MultiDecision, bool) {
+		counters.Advance(10e6, []float64{1e9, 0}, []float64{400, 0})
+		return mc.Observe(counters.Read())
+	}
+	feed()
+	var d MultiDecision
+	var ok bool
+	for i := 0; i < 10; i++ {
+		d, ok = feed()
+	}
+	if !ok || d.Hold || d.From != 0 || d.To != 1 {
+		t.Fatalf("decision = %+v, want demote 0->1 against idle prior", d)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"colloid/internal/pages"
+)
+
+// Candidate is a page eligible for migration, with the access
+// probability the underlying system attributes to it.
+type Candidate struct {
+	ID pages.PageID
+	// Probability is the page's estimated access probability.
+	Probability float64
+	// Bytes is the page size.
+	Bytes int64
+}
+
+// PickPages implements the page-finding contract of Section 3.2: choose
+// a set of candidates whose summed access probability does not exceed
+// deltaP and whose summed size does not exceed limitBytes. Candidates
+// are consumed in the order given (systems order them hottest-first so
+// the set is small); a candidate that would overshoot either bound is
+// skipped, and scanning stops once the remaining probability budget is
+// negligible or maxScan candidates have been examined.
+func PickPages(candidates []Candidate, deltaP float64, limitBytes int64, maxScan int) []Candidate {
+	if deltaP <= 0 || limitBytes <= 0 {
+		return nil
+	}
+	var picked []Candidate
+	probLeft := deltaP
+	bytesLeft := limitBytes
+	scanned := 0
+	for _, c := range candidates {
+		if maxScan > 0 && scanned >= maxScan {
+			break
+		}
+		scanned++
+		if probLeft <= deltaP*1e-3 || bytesLeft <= 0 {
+			break
+		}
+		if c.Probability > probLeft || c.Bytes > bytesLeft {
+			continue
+		}
+		picked = append(picked, c)
+		probLeft -= c.Probability
+		bytesLeft -= c.Bytes
+	}
+	return picked
+}

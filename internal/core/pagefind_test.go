@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"colloid/internal/pages"
+)
+
+func TestPickPagesRespectsBothBounds(t *testing.T) {
+	cands := []Candidate{
+		{ID: 1, Probability: 0.05, Bytes: 2 << 20},
+		{ID: 2, Probability: 0.04, Bytes: 2 << 20},
+		{ID: 3, Probability: 0.03, Bytes: 2 << 20},
+		{ID: 4, Probability: 0.001, Bytes: 2 << 20},
+	}
+	picked := PickPages(cands, 0.08, 3*(2<<20), 0)
+	var prob float64
+	var bytes int64
+	for _, c := range picked {
+		prob += c.Probability
+		bytes += c.Bytes
+	}
+	if prob > 0.08 {
+		t.Fatalf("probability bound violated: %v", prob)
+	}
+	if bytes > 3*(2<<20) {
+		t.Fatalf("byte bound violated: %v", bytes)
+	}
+	if len(picked) == 0 {
+		t.Fatal("nothing picked with ample budget")
+	}
+}
+
+func TestPickPagesSkipsOversized(t *testing.T) {
+	cands := []Candidate{
+		{ID: 1, Probability: 0.5, Bytes: 1 << 20}, // too hot for deltaP
+		{ID: 2, Probability: 0.01, Bytes: 1 << 20},
+	}
+	picked := PickPages(cands, 0.05, 1<<30, 0)
+	if len(picked) != 1 || picked[0].ID != 2 {
+		t.Fatalf("picked = %+v, want only page 2", picked)
+	}
+}
+
+func TestPickPagesZeroBudgets(t *testing.T) {
+	cands := []Candidate{{ID: 1, Probability: 0.01, Bytes: 1}}
+	if got := PickPages(cands, 0, 100, 0); got != nil {
+		t.Fatal("picked with zero deltaP")
+	}
+	if got := PickPages(cands, 0.1, 0, 0); got != nil {
+		t.Fatal("picked with zero byte budget")
+	}
+}
+
+func TestPickPagesMaxScan(t *testing.T) {
+	var cands []Candidate
+	for i := 0; i < 100; i++ {
+		cands = append(cands, Candidate{ID: pages.PageID(i), Probability: 1, Bytes: 1})
+	}
+	cands = append(cands, Candidate{ID: 999, Probability: 0.001, Bytes: 1})
+	// Every scanned candidate overshoots; with maxScan 10 the feasible
+	// one at position 100 is never reached.
+	if got := PickPages(cands, 0.01, 1000, 10); got != nil {
+		t.Fatalf("maxScan not honored: %+v", got)
+	}
+}
+
+// Property: picked sets always respect both budgets, regardless of
+// candidate composition.
+func TestPickPagesProperty(t *testing.T) {
+	f := func(probs []uint16, deltaSeed uint16, limitSeed uint32) bool {
+		var cands []Candidate
+		for i, p := range probs {
+			cands = append(cands, Candidate{
+				ID:          pages.PageID(i),
+				Probability: float64(p) / 65535,
+				Bytes:       int64(p%64+1) << 12,
+			})
+		}
+		deltaP := float64(deltaSeed) / 65535
+		limit := int64(limitSeed % (1 << 24))
+		picked := PickPages(cands, deltaP, limit, 0)
+		var prob float64
+		var bytes int64
+		for _, c := range picked {
+			prob += c.Probability
+			bytes += c.Bytes
+		}
+		return prob <= deltaP+1e-12 && bytes <= limit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

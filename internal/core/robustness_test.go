@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"colloid/internal/cha"
+	"colloid/internal/stats"
+)
+
+// noisyPlant wraps the plant with multiplicative measurement noise on
+// the CHA counters, exercising the EWMA smoothing the way real PMU
+// jitter does.
+type noisyPlant struct {
+	counters *cha.Counters
+	pStar    float64
+	p        float64
+	// maxStep is the per-quantum movement bound (the migration
+	// limit's effect); slower plants make measurement lag negligible
+	// and noise the dominant disturbance.
+	maxStep float64
+}
+
+func newNoisyPlant(pStar, p0, noise float64, rng *stats.RNG) *noisyPlant {
+	return &noisyPlant{
+		counters: cha.NewCounters(2, noise, rng),
+		pStar:    pStar,
+		p:        p0,
+		maxStep:  0.02,
+	}
+}
+
+func (pl *noisyPlant) step() cha.Snapshot {
+	lD := math.Max(100+200*(pl.p-pl.pStar), 10)
+	lA := math.Max(100-50*(pl.p-pl.pStar), 10)
+	pl.counters.Advance(10e6, []float64{pl.p * 1e9, (1 - pl.p) * 1e9}, []float64{lD, lA})
+	return pl.counters.Read()
+}
+
+func (pl *noisyPlant) apply(d Decision) {
+	step := math.Min(d.DeltaP, pl.maxStep)
+	switch d.Mode {
+	case Promote:
+		pl.p += step
+	case Demote:
+		pl.p -= step
+	}
+	pl.p = math.Min(1, math.Max(0, pl.p))
+}
+
+// Under 10% counter noise the smoothed controller still converges and
+// stays near the equilibrium without large oscillations.
+func TestConvergesUnderCounterNoise(t *testing.T) {
+	rng := stats.NewRNG(42)
+	c := NewController(2, Options{})
+	pl := newNoisyPlant(0.45, 0.95, 0.10, rng)
+	for i := 0; i < 600; i++ {
+		if d, ok := c.Observe(pl.step()); ok {
+			pl.apply(d)
+		}
+	}
+	if math.Abs(pl.p-0.45) > 0.08 {
+		t.Fatalf("converged to %v under noise, want ~0.45", pl.p)
+	}
+	// Tail stability: the trajectory must not oscillate wildly.
+	var w stats.Welford
+	for i := 0; i < 300; i++ {
+		if d, ok := c.Observe(pl.step()); ok {
+			pl.apply(d)
+		}
+		w.Observe(pl.p)
+	}
+	if sd := math.Sqrt(w.Variance()); sd > 0.05 {
+		t.Fatalf("steady-state p stddev = %v under noise", sd)
+	}
+}
+
+// EWMA's benefit (Section 3.1's "better stability") shows up as less
+// promote/demote flapping near the equilibrium under counter noise:
+// raw samples jitter the measured latencies across the delta deadband,
+// flipping the migration direction back and forth, each flip being
+// wasted page movement. (The converged value of p itself is protected
+// by the watermark bracket either way, so position variance does not
+// differentiate the arms.)
+func TestEWMAReducesModeFlapping(t *testing.T) {
+	flipsUnderNoise := func(opts Options, seed uint64) int {
+		rng := stats.NewRNG(seed)
+		c := NewController(2, opts)
+		pl := newNoisyPlant(0.45, 0.45, 0.15, rng) // start at equilibrium
+		flips := 0
+		prev := Hold
+		for i := 0; i < 1000; i++ {
+			d, ok := c.Observe(pl.step())
+			if !ok {
+				continue
+			}
+			if d.Mode != Hold {
+				if prev != Hold && d.Mode != prev {
+					flips++
+				}
+				prev = d.Mode
+			}
+			pl.apply(d)
+		}
+		return flips
+	}
+	const trials = 5
+	var rawBetter int
+	for seed := uint64(0); seed < trials; seed++ {
+		smoothed := flipsUnderNoise(Options{}, 100+seed)
+		raw := flipsUnderNoise(Options{AblateEWMA: true}, 100+seed)
+		if raw < 2*smoothed {
+			rawBetter++
+		}
+	}
+	if rawBetter > trials/2 {
+		t.Fatalf("raw sampling flapped less than 2x the smoothed controller in %d/%d trials", rawBetter, trials)
+	}
+}
+
+// Extreme noise must never produce NaN/Inf decisions or invalid
+// watermarks.
+func TestNoDecisionCorruptionUnderExtremeNoise(t *testing.T) {
+	rng := stats.NewRNG(7)
+	c := NewController(2, Options{})
+	pl := newNoisyPlant(0.5, 0.5, 0.5, rng)
+	for i := 0; i < 1000; i++ {
+		d, ok := c.Observe(pl.step())
+		if !ok {
+			continue
+		}
+		if math.IsNaN(d.DeltaP) || math.IsInf(d.DeltaP, 0) || d.DeltaP < 0 {
+			t.Fatalf("corrupt deltaP at quantum %d: %v", i, d.DeltaP)
+		}
+		if d.P < 0 || d.P > 1 {
+			t.Fatalf("corrupt p at quantum %d: %v", i, d.P)
+		}
+		lo, hi := c.Watermarks()
+		if lo < 0 || hi > 1 || math.IsNaN(lo) || math.IsNaN(hi) {
+			t.Fatalf("corrupt watermarks at quantum %d: [%v, %v]", i, lo, hi)
+		}
+		pl.apply(d)
+	}
+}
+
+// A workload that flips its hot set every few hundred quanta: the
+// controller must track every flip (alternating equilibria).
+func TestTracksRepeatedEquilibriumFlips(t *testing.T) {
+	rng := stats.NewRNG(9)
+	c := NewController(2, Options{})
+	pl := newNoisyPlant(0.3, 0.9, 0.02, rng)
+	targets := []float64{0.3, 0.7, 0.25, 0.65}
+	for _, target := range targets {
+		pl.pStar = target
+		for i := 0; i < 700; i++ {
+			if d, ok := c.Observe(pl.step()); ok {
+				pl.apply(d)
+			}
+		}
+		if math.Abs(pl.p-target) > 0.08 {
+			t.Fatalf("failed to track flip to %v: p = %v", target, pl.p)
+		}
+	}
+}

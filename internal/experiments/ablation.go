@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"colloid/internal/core"
+	"colloid/internal/hemem"
+	"colloid/internal/sim"
+	"colloid/internal/stats"
+	"colloid/internal/workloads"
+)
+
+func init() {
+	register("ablation", Ablation)
+}
+
+// ablationArm names one controller variant.
+type ablationArm struct {
+	name string
+	opts core.Options
+}
+
+func ablationArms() []ablationArm {
+	return []ablationArm{
+		{"full-colloid", core.Options{}},
+		{"no-ewma", core.Options{AblateEWMA: true}},
+		{"no-dynamic-limit", core.Options{AblateDynamicLimit: true}},
+		{"no-watermark-reset", core.Options{AblateWatermarkReset: true}},
+		{"proportional", core.Options{ProportionalShift: 0.5}},
+	}
+}
+
+// Ablation quantifies what each Colloid mechanism contributes
+// (DESIGN.md section 4): each arm disables one mechanism and runs
+// (a) steady state at 2x contention — throughput and a placement
+// stability index (std-dev of p) — and (b) a contention shift 2x -> 0x,
+// which moves the equilibrium point and exercises the watermark reset.
+func Ablation(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "ablation",
+		Title:   "Colloid mechanism ablations (HeMem+Colloid, GUPS)",
+		Columns: []string{"variant", "steady Mops @2x", "p stddev", "Mops after 2x->0x", "recovered"},
+		Notes: []string{
+			"no-watermark-reset is expected to fail the 2x->0x recovery (Figure 4(c));",
+			"no-dynamic-limit trades extra migration churn for the same steady state;",
+			"no-ewma exposes the controller to counter noise",
+		},
+	}
+	for _, arm := range ablationArms() {
+		steady, pStd, after, recovered, err := runAblationArm(arm, o)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			arm.name,
+			fmt.Sprintf("%.1f", steady/1e6),
+			fmt.Sprintf("%.4f", pStd),
+			fmt.Sprintf("%.1f", after/1e6),
+			fmt.Sprintf("%v", recovered),
+		})
+	}
+	return t, nil
+}
+
+func runAblationArm(arm ablationArm, o Options) (steadyOps, pStd, afterOps float64, recovered bool, err error) {
+	g := workloads.DefaultGUPS()
+	cfg := gupsConfig(paperTopology(0, 0), g, 2, o.Seed)
+	e, err := sim.New(cfg)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+		return 0, 0, 0, false, err
+	}
+	e.SetSystem(hemem.New(hemem.Config{Colloid: &arm.opts}))
+	phase1 := o.scale(60, 30)
+	if err := e.Run(phase1); err != nil {
+		return 0, 0, 0, false, err
+	}
+	st := e.SteadyState(phase1 / 3)
+	steadyOps = st.OpsPerSec
+	// Placement stability: std-dev of the default share over the tail.
+	var w stats.Welford
+	for _, s := range e.Samples() {
+		if s.TimeSec > phase1*2/3 {
+			w.Observe(s.AppShare[0])
+		}
+	}
+	pStd = math.Sqrt(w.Variance())
+	// Phase 2: drop contention to 0x — the equilibrium point jumps to
+	// p*=1 and the controller must re-bracket.
+	e.SetAntagonist(0)
+	phase2 := o.scale(60, 30)
+	if err := e.Run(phase2); err != nil {
+		return 0, 0, 0, false, err
+	}
+	after := e.SteadyState(phase2 / 3)
+	afterOps = after.OpsPerSec
+	// Recovery criterion: most of the hot set back in the default tier
+	// (packed placement is optimal at 0x).
+	recovered = e.AS().DefaultShare() > 0.7
+	return steadyOps, pStd, afterOps, recovered, nil
+}

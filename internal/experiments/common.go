@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colloid/internal/core"
+	"colloid/internal/hemem"
+	"colloid/internal/memsys"
+	"colloid/internal/memtis"
+	"colloid/internal/oracle"
+	"colloid/internal/sim"
+	"colloid/internal/tpp"
+	"colloid/internal/workloads"
+)
+
+// systemNames is the evaluation order used throughout the paper.
+var systemNames = []string{"hemem", "tpp", "memtis"}
+
+// intensities are the antagonist levels of Section 2.1 (0x-3x).
+var intensities = []int{0, 1, 2, 3}
+
+// newSystem instantiates a tiering system by name, optionally with
+// Colloid (paper defaults epsilon=0.01, delta=0.05).
+func newSystem(name string, withColloid bool) (sim.System, error) {
+	var opts *core.Options
+	if withColloid {
+		opts = &core.Options{Epsilon: 0.01, Delta: 0.05}
+	}
+	switch name {
+	case "hemem":
+		return hemem.New(hemem.Config{Colloid: opts}), nil
+	case "tpp":
+		return tpp.New(tpp.Config{Colloid: opts}), nil
+	case "memtis":
+		return memtis.New(memtis.Config{Colloid: opts}), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown system %q", name)
+	}
+}
+
+// convergeSeconds is how long each system needs to reach steady state
+// on the GUPS workload (TPP's page-table scanning makes it far slower,
+// as the paper observes).
+func convergeSeconds(system string, o Options) float64 {
+	switch system {
+	case "tpp":
+		return o.scale(180, 60)
+	case "memtis":
+		return o.scale(90, 40)
+	default:
+		return o.scale(60, 25)
+	}
+}
+
+// paperTopology builds the Section 2.1 testbed; latencyScale and
+// bandwidthScale modify the alternate tier for the Figure 7 sweep.
+func paperTopology(latencyScale, bandwidthScale float64) *memsys.Topology {
+	remote := memsys.DualSocketXeonRemote()
+	if latencyScale > 0 {
+		remote.UnloadedLatencyNs *= latencyScale
+	}
+	if bandwidthScale > 0 {
+		remote.PeakBandwidth *= bandwidthScale
+	}
+	return memsys.MustTopology(memsys.DualSocketXeonDefault(), remote)
+}
+
+// gupsConfig assembles the standard GUPS simulation at the given
+// contention intensity.
+func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity int, seed uint64) sim.Config {
+	return sim.Config{
+		Topology:        topo,
+		WorkingSetBytes: g.WorkingSetBytes,
+		Profile:         g.Profile(),
+		AntagonistCores: workloads.AntagonistForIntensity(intensity).Cores,
+		Seed:            seed,
+	}
+}
+
+// steadyCache memoizes standard GUPS arms: several figures reuse the
+// same (system, colloid, intensity) runs. Experiments run sequentially
+// in one goroutine, so no locking is needed.
+var steadyCache = map[string]sim.Steady{}
+
+// runSteady runs one (system, workload, intensity) arm to steady state
+// and returns the engine and tail averages. Cached arms return a nil
+// engine; callers needing the engine should use runSteadyOn.
+func runSteady(system string, withColloid bool, intensity int, o Options) (*sim.Engine, sim.Steady, error) {
+	key := fmt.Sprintf("%s/%v/%d/%d/%v", system, withColloid, intensity, o.Seed, o.Quick)
+	if st, ok := steadyCache[key]; ok {
+		return nil, st, nil
+	}
+	e, st, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), system, withColloid, intensity, o, 0)
+	if err == nil {
+		steadyCache[key] = st
+	}
+	return e, st, err
+}
+
+// runSteadyOn is runSteady against an explicit topology/workload; a
+// nonzero objectBytes overrides the GUPS object size (Figure 8).
+func runSteadyOn(topo *memsys.Topology, g *workloads.GUPS, system string, withColloid bool, intensity int, o Options, objectBytes int64) (*sim.Engine, sim.Steady, error) {
+	if objectBytes > 0 {
+		g.ObjectBytes = objectBytes
+	}
+	cfg := gupsConfig(topo, g, intensity, o.Seed)
+	e, err := sim.New(cfg)
+	if err != nil {
+		return nil, sim.Steady{}, err
+	}
+	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+		return nil, sim.Steady{}, err
+	}
+	sys, err := newSystem(system, withColloid)
+	if err != nil {
+		return nil, sim.Steady{}, err
+	}
+	e.SetSystem(sys)
+	secs := convergeSeconds(system, o)
+	if err := e.Run(secs); err != nil {
+		return nil, sim.Steady{}, err
+	}
+	return e, e.SteadyState(secs / 3), nil
+}
+
+// bestCache memoizes oracle sweeps across figures.
+var bestCache = map[string]*oracle.Result{}
+
+// bestCase runs the oracle sweep for GUPS at the given intensity.
+func bestCase(intensity int, o Options) (*oracle.Result, error) {
+	key := fmt.Sprintf("%d/%d", intensity, o.Seed)
+	if r, ok := bestCache[key]; ok {
+		return r, nil
+	}
+	g := workloads.DefaultGUPS()
+	cfg := gupsConfig(paperTopology(0, 0), g, intensity, o.Seed)
+	r, err := oracle.BestCase(oracle.Config{Sim: cfg, Workload: g})
+	if err == nil {
+		bestCache[key] = r
+	}
+	return r, err
+}

@@ -1,0 +1,148 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (Sections 2 and 5). Each runner assembles workloads,
+// systems and the simulator, executes the experiment, and returns a
+// Table whose rows mirror what the paper plots; cmd/colloidsim renders
+// them and EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shortens runs for use in benchmarks and smoke tests; the
+	// shapes survive, exact values get noisier.
+	Quick bool
+	// Seed drives all randomness (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// scale shortens durations in Quick mode.
+func (o Options) scale(full, quick float64) float64 {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is one reproduced artifact.
+type Table struct {
+	// ID is the experiment identifier ("fig1", "fig2a", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Columns are header labels.
+	Columns []string
+	// Rows hold formatted cells.
+	Rows [][]string
+	// Notes carry caveats and pointers (paper values, scaling).
+	Notes []string
+}
+
+// Render formats the table as fixed-width text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Runner produces one artifact.
+type Runner func(Options) (*Table, error)
+
+// registry maps experiment IDs to runners; populated by init functions
+// in the per-figure files.
+var registry = map[string]Runner{}
+
+// register adds a runner; duplicate IDs are a programming error.
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, opts Options) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (use List)", id)
+	}
+	return r(opts)
+}
+
+// List returns all experiment IDs in sorted order.
+func List() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Formatting helpers shared by runners.
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// fOps renders a throughput in M ops/s.
+func fOps(v float64) string { return fmt.Sprintf("%.1fM", v/1e6) }
+
+// fGBps renders bytes/sec as GB/s.
+func fGBps(v float64) string { return fmt.Sprintf("%.1fGB/s", v/1e9) }
+
+// fPct renders a fraction as a percentage, clamping negative zero from
+// floating-point residue.
+func fPct(v float64) string {
+	if v > -1e-9 && v < 0 {
+		v = 0
+	}
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+
+// fX renders a speedup.
+func fX(v float64) string { return fmt.Sprintf("%.2fx", v) }

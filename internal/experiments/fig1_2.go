@@ -1,0 +1,114 @@
+package experiments
+
+import "fmt"
+
+func init() {
+	register("fig1", Fig1)
+	register("fig2a", Fig2a)
+	register("fig2b", Fig2b)
+}
+
+// Fig1 reproduces Figure 1: steady-state GUPS throughput of HeMem, TPP
+// and MEMTIS against the best-case manual placement, across memory
+// interconnect contention intensities 0x-3x.
+func Fig1(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "fig1",
+		Title:   "GUPS throughput vs best-case under memory interconnect contention",
+		Columns: []string{"intensity", "best-case", "hemem", "tpp", "memtis", "worst gap"},
+		Notes: []string{
+			"paper: gaps reach 2.30x (HeMem), 2.36x (TPP), 2.46x (MEMTIS) at 3x intensity",
+		},
+	}
+	for _, intensity := range intensities {
+		best, err := bestCase(intensity, o)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%dx", intensity), fOps(best.Best.OpsPerSec)}
+		worst := 1.0
+		for _, sys := range systemNames {
+			_, st, err := runSteady(sys, false, intensity, o)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fOps(st.OpsPerSec))
+			if gap := best.Best.OpsPerSec / st.OpsPerSec; gap > worst {
+				worst = gap
+			}
+		}
+		row = append(row, fX(worst))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig2a reproduces Figure 2(a): per-tier loaded access latency while
+// the baselines (which pack the hot set) run under contention.
+func Fig2a(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "fig2a",
+		Title:   "per-tier access latency under baseline (packed) placement",
+		Columns: []string{"intensity", "system", "default ns", "alternate ns", "ratio"},
+		Notes: []string{
+			"paper: default tier inflates 2.5x/3.8x/5x over its 70 ns unloaded latency at 1x/2x/3x,",
+			"exceeding the alternate tier by 1.2x/1.8x/2.4x",
+		},
+	}
+	for _, intensity := range intensities {
+		for _, sys := range systemNames {
+			_, st, err := runSteady(sys, false, intensity, o)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%dx", intensity), sys,
+				f1(st.LatencyNs[0]), f1(st.LatencyNs[1]),
+				f2(st.LatencyNs[0] / st.LatencyNs[1]),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig2b reproduces Figure 2(b): the app's default-tier share of its
+// memory bandwidth (the MBM measurement), best-case vs each baseline.
+func Fig2b(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "fig2b",
+		Title:   "default-tier share of app bandwidth: best-case vs baselines",
+		Columns: []string{"intensity", "best-case", "hemem", "tpp", "memtis"},
+		Notes: []string{
+			"paper: best-case default share falls to 25%/4.5%/4% at 1x/2x/3x while baselines stay >75%",
+		},
+	}
+	shareOf := func(app []float64) float64 {
+		total := 0.0
+		for _, b := range app {
+			total += b
+		}
+		if total == 0 {
+			return 0
+		}
+		return app[0] / total
+	}
+	for _, intensity := range intensities {
+		best, err := bestCase(intensity, o)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%dx", intensity), fPct(shareOf(best.Best.AppBytesPerSec))}
+		for _, sys := range systemNames {
+			_, st, err := runSteady(sys, false, intensity, o)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fPct(shareOf(st.AppBytesPerSec)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

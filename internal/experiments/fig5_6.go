@@ -1,0 +1,111 @@
+package experiments
+
+import "fmt"
+
+func init() {
+	register("fig5", Fig5)
+	register("fig6a", Fig6a)
+	register("fig6b", Fig6b)
+}
+
+// Fig5 reproduces Figure 5: steady-state throughput of each system with
+// and without Colloid, against the best-case, at 0x-3x contention.
+func Fig5(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:    "fig5",
+		Title: "GUPS throughput with and without Colloid vs best-case",
+		Columns: []string{"intensity", "best-case",
+			"hemem", "hemem+colloid", "tpp", "tpp+colloid", "memtis", "memtis+colloid"},
+		Notes: []string{
+			"paper: Colloid gains 1.2-2.3x (HeMem), 1.35-2.35x (TPP), 1.29-2.3x (MEMTIS);",
+			"with Colloid each system lands within 3%/8%/13% of best-case",
+		},
+	}
+	for _, intensity := range intensities {
+		best, err := bestCase(intensity, o)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%dx", intensity), fOps(best.Best.OpsPerSec)}
+		for _, sys := range systemNames {
+			for _, withColloid := range []bool{false, true} {
+				_, st, err := runSteady(sys, withColloid, intensity, o)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fOps(st.OpsPerSec))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6a reproduces Figure 6(a): with Colloid, each system's
+// default-tier share of app bandwidth tracks the best-case placement.
+func Fig6a(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "fig6a",
+		Title:   "default-tier share of app bandwidth with Colloid vs best-case",
+		Columns: []string{"intensity", "best-case", "hemem+colloid", "tpp+colloid", "memtis+colloid"},
+		Notes: []string{
+			"compare fig2b: baselines keep >75% in the default tier regardless of contention",
+		},
+	}
+	shareOf := func(app []float64) float64 {
+		total := 0.0
+		for _, b := range app {
+			total += b
+		}
+		if total == 0 {
+			return 0
+		}
+		return app[0] / total
+	}
+	for _, intensity := range intensities {
+		best, err := bestCase(intensity, o)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%dx", intensity), fPct(shareOf(best.Best.AppBytesPerSec))}
+		for _, sys := range systemNames {
+			_, st, err := runSteady(sys, true, intensity, o)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fPct(shareOf(st.AppBytesPerSec)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6b reproduces Figure 6(b): Colloid shrinks the gap between tier
+// latencies relative to Figure 2(a).
+func Fig6b(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "fig6b",
+		Title:   "per-tier access latency with Colloid",
+		Columns: []string{"intensity", "system", "default ns", "alternate ns", "ratio"},
+		Notes: []string{
+			"compare fig2a ratios of 1.2x/1.8x/2.4x at 1x/2x/3x without Colloid",
+		},
+	}
+	for _, intensity := range intensities {
+		for _, sys := range systemNames {
+			_, st, err := runSteady(sys, true, intensity, o)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%dx", intensity), sys + "+colloid",
+				f1(st.LatencyNs[0]), f1(st.LatencyNs[1]),
+				f2(st.LatencyNs[0] / st.LatencyNs[1]),
+			})
+		}
+	}
+	return t, nil
+}

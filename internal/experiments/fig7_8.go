@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colloid/internal/workloads"
+)
+
+func init() {
+	register("fig7", Fig7)
+	register("fig8", Fig8)
+}
+
+// Fig7 reproduces Figure 7: Colloid's speedup over each vanilla system
+// as the alternate tier's unloaded latency grows from 1.9x to 2.7x of
+// the default tier's. The paper raised remote latency by downclocking
+// the remote socket's uncore, which also cut its bandwidth; the
+// simulation reproduces that side effect by scaling alternate-tier
+// bandwidth down with the latency.
+func Fig7(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Colloid speedup heatmap vs alternate-tier unloaded latency",
+		Columns: []string{"system", "alt latency", "0x", "1x", "2x", "3x"},
+		Notes: []string{
+			"cells are colloid/vanilla throughput; paper: gains persist up to 2.7x",
+			"(1.01-1.76x HeMem, 1.03-1.76x TPP, 1.01-1.63x MEMTIS at 2.7x)",
+		},
+	}
+	// Base remote latency is 135 ns = 1.93x of 70 ns; the sweep scales
+	// it to 1.9x, 2.3x, 2.7x with proportional bandwidth loss.
+	baseRatio := 135.0 / 70.0
+	ratios := []float64{1.9, 2.3, 2.7}
+	for _, sys := range systemNames {
+		for _, ratio := range ratios {
+			latScale := ratio / baseRatio
+			bwScale := 1 / latScale
+			topo := paperTopology(latScale, bwScale)
+			row := []string{sys, fmt.Sprintf("%.1fx", ratio)}
+			for _, intensity := range intensities {
+				_, vanilla, err := runSteadyOn(topo, workloads.DefaultGUPS(), sys, false, intensity, o, 0)
+				if err != nil {
+					return nil, err
+				}
+				_, colloid, err := runSteadyOn(topo, workloads.DefaultGUPS(), sys, true, intensity, o, 0)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fX(colloid.OpsPerSec/vanilla.OpsPerSec))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: Colloid's speedup as the GUPS object size
+// grows from 64 B to 4 KB. Larger objects raise per-core effective
+// parallelism (prefetchers) and sequentiality, making the workload more
+// memory-intensive — at 4 KB the default tier saturates even without an
+// antagonist, so Colloid helps at 0x too.
+func Fig8(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Colloid speedup heatmap vs GUPS object size",
+		Columns: []string{"system", "object", "0x", "1x", "2x", "3x"},
+		Notes: []string{
+			"paper: at >=256 B objects Colloid wins even at 0x (1.17-1.35x);",
+			"gains at 3x shrink slightly with size as the alternate tier saturates",
+		},
+	}
+	sizes := []int64{64, 256, 1024, 4096}
+	for _, sys := range systemNames {
+		for _, size := range sizes {
+			row := []string{sys, fmt.Sprintf("%dB", size)}
+			for _, intensity := range intensities {
+				_, vanilla, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), sys, false, intensity, o, size)
+				if err != nil {
+					return nil, err
+				}
+				_, colloid, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), sys, true, intensity, o, size)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fX(colloid.OpsPerSec/vanilla.OpsPerSec))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}

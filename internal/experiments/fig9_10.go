@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colloid/internal/sim"
+	"colloid/internal/workloads"
+)
+
+func init() {
+	register("fig9", Fig9)
+	register("fig10", Fig10)
+	register("fig9-series", Fig9Series)
+}
+
+// dynamicScenario describes one Figure 9 column.
+type dynamicScenario struct {
+	name        string
+	intensity0  int
+	atSec       float64
+	shiftHotSet bool
+	intensity1  int // applied at atSec when != intensity0
+}
+
+func fig9Scenarios(o Options) []dynamicScenario {
+	at := o.scale(100, 40)
+	return []dynamicScenario{
+		{"hotset-shift@0x", 0, at, true, 0},
+		{"hotset-shift@3x", 3, at, true, 3},
+		{"contention-step", 0, at, false, 3},
+	}
+}
+
+// runDynamic executes one (system, scenario) arm and returns the trace.
+func runDynamic(system string, withColloid bool, sc dynamicScenario, o Options) ([]sim.Sample, error) {
+	g := workloads.DefaultGUPS()
+	cfg := gupsConfig(paperTopology(0, 0), g, sc.intensity0, o.Seed)
+	e, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+		return nil, err
+	}
+	sys, err := newSystem(system, withColloid)
+	if err != nil {
+		return nil, err
+	}
+	e.SetSystem(sys)
+	e.ScheduleAt(sc.atSec, func(en *sim.Engine) {
+		if sc.shiftHotSet {
+			g.ShiftHotSet(en.AS(), en.WorkloadRNG())
+		}
+		if sc.intensity1 != sc.intensity0 {
+			en.SetAntagonist(workloads.AntagonistForIntensity(sc.intensity1).Cores)
+		}
+	})
+	total := sc.atSec + convergeSeconds(system, o)
+	if err := e.Run(total); err != nil {
+		return nil, err
+	}
+	return e.Samples(), nil
+}
+
+// convergenceTime returns how long after the disturbance the trace
+// takes to stay within tol of its final level.
+func convergenceTime(samples []sim.Sample, atSec float64, tol float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	final := samples[len(samples)-1].OpsPerSec
+	conv := samples[len(samples)-1].TimeSec
+	for i := len(samples) - 1; i >= 0; i-- {
+		s := samples[i]
+		if s.TimeSec <= atSec {
+			break
+		}
+		if diff := s.OpsPerSec - final; diff > tol*final || diff < -tol*final {
+			break
+		}
+		conv = s.TimeSec
+	}
+	return conv - atSec
+}
+
+// Fig9 reproduces Figure 9: instantaneous throughput over time for each
+// system with and without Colloid under three dynamism scenarios:
+// hot-set shift at 0x, hot-set shift at 3x, and a 0x->3x contention
+// step. The table reports pre/post throughput and convergence time;
+// cmd/colloidsim -series fig9 prints the full time series.
+func Fig9(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "fig9",
+		Title:   "convergence under dynamism (throughput before/after, convergence time)",
+		Columns: []string{"scenario", "system", "pre Mops", "post Mops", "conv sec"},
+		Notes: []string{
+			"paper: Colloid preserves each system's convergence time on access-pattern changes;",
+			"on contention changes vanilla systems never react (conv time reflects staying degraded)",
+		},
+	}
+	for _, sc := range fig9Scenarios(o) {
+		for _, sys := range systemNames {
+			for _, withColloid := range []bool{false, true} {
+				samples, err := runDynamic(sys, withColloid, sc, o)
+				if err != nil {
+					return nil, err
+				}
+				var pre float64
+				for _, s := range samples {
+					if s.TimeSec <= sc.atSec {
+						pre = s.OpsPerSec
+					}
+				}
+				post := samples[len(samples)-1].OpsPerSec
+				conv := convergenceTime(samples, sc.atSec, 0.05)
+				name := sys
+				if withColloid {
+					name += "+colloid"
+				}
+				t.Rows = append(t.Rows, []string{
+					sc.name, name, fmt.Sprintf("%.1f", pre/1e6),
+					fmt.Sprintf("%.1f", post/1e6), f1(conv),
+				})
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig9Series emits the full per-second time series behind Figures 9
+// and 10 (throughput and migration rate for every scenario/system/arm)
+// so the plots can be regenerated point for point.
+func Fig9Series(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "fig9-series",
+		Title:   "instantaneous throughput and migration rate time series",
+		Columns: []string{"scenario", "system", "t sec", "Mops", "mig MB/s"},
+	}
+	for _, sc := range fig9Scenarios(o) {
+		for _, sys := range systemNames {
+			for _, withColloid := range []bool{false, true} {
+				samples, err := runDynamic(sys, withColloid, sc, o)
+				if err != nil {
+					return nil, err
+				}
+				name := sys
+				if withColloid {
+					name += "+colloid"
+				}
+				for _, s := range samples {
+					t.Rows = append(t.Rows, []string{
+						sc.name, name,
+						fmt.Sprintf("%.0f", s.TimeSec),
+						fmt.Sprintf("%.1f", s.OpsPerSec/1e6),
+						fmt.Sprintf("%.1f", s.MigrationBytesPerSec/1e6),
+					})
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: migration rate over time for HeMem and
+// HeMem+Colloid across the Figure 9 scenarios. The table reports the
+// peak and steady migration rates; the paper's observations are that
+// Colloid does not exceed vanilla HeMem's peak rate and decays more
+// gradually near the equilibrium (the dynamic migration limit).
+func Fig10(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "fig10",
+		Title:   "HeMem migration rate under dynamism",
+		Columns: []string{"scenario", "system", "peak GB/s", "steady MB/s"},
+		Notes: []string{
+			"paper: HeMem+Colloid stays under HeMem's peak; steady-state migration <0.7% of app bandwidth",
+		},
+	}
+	for _, sc := range fig9Scenarios(o) {
+		for _, withColloid := range []bool{false, true} {
+			samples, err := runDynamic("hemem", withColloid, sc, o)
+			if err != nil {
+				return nil, err
+			}
+			var peak float64
+			var steadySum float64
+			var steadyN int
+			last := samples[len(samples)-1].TimeSec
+			for _, s := range samples {
+				if s.MigrationBytesPerSec > peak {
+					peak = s.MigrationBytesPerSec
+				}
+				if s.TimeSec > last-10 {
+					steadySum += s.MigrationBytesPerSec
+					steadyN++
+				}
+			}
+			steady := 0.0
+			if steadyN > 0 {
+				steady = steadySum / float64(steadyN)
+			}
+			name := "hemem"
+			if withColloid {
+				name += "+colloid"
+			}
+			t.Rows = append(t.Rows, []string{
+				sc.name, name,
+				fmt.Sprintf("%.2f", peak/1e9),
+				fmt.Sprintf("%.1f", steady/1e6),
+			})
+		}
+	}
+	return t, nil
+}

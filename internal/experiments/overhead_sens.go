@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colloid/internal/core"
+	"colloid/internal/hemem"
+	"colloid/internal/sim"
+	"colloid/internal/workloads"
+)
+
+func init() {
+	register("overhead", Overhead)
+	register("sens", Sensitivity)
+}
+
+// Overhead reproduces the Section 5.1 CPU-overhead discussion. The
+// simulator does not execute instructions, so overheads are computed
+// from the paper's own cost model: HeMem and MEMTIS sample the CHA
+// counters on their existing migration/kmigrated threads (measurement
+// plus Algorithm 1 cost amortizes below 2%); TPP requires a dedicated
+// spin-polling core for microsecond-scale counter sampling, costing one
+// of the application's 16 cores, plus the hint-fault-path additions.
+func Overhead(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "overhead",
+		Title:   "Colloid CPU overhead per system (modeled)",
+		Columns: []string{"system", "measurement vantage", "extra cores", "CPU overhead"},
+		Rows: [][]string{
+			{"hemem+colloid", "migration thread, per 10 ms quantum", "0", "<2%"},
+			{"tpp+colloid", "dedicated spin-polling core (kernel module)", "1/16", "4-6.5%"},
+			{"memtis+colloid", "alternate-tier kmigrated, per 500 ms quantum", "0", "<2%"},
+		},
+		Notes: []string{
+			"paper Section 5.1: <2% for HeMem and MEMTIS; 4-6.5% for TPP (dedicated measurement core)",
+			"values are the paper's cost model; the simulator does not execute instructions",
+		},
+	}
+	// Add measured controller work per quantum: decisions per second
+	// and pages examined, which is the simulated analogue of overhead.
+	_, st, err := runSteady("hemem", true, 2, o)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"hemem+colloid at 2x sustains %.1fM ops/s while running the controller at 100 Hz",
+		st.OpsPerSec/1e6))
+	return t, nil
+}
+
+// Sensitivity reproduces the extended version's epsilon/delta
+// sensitivity analysis: steady-state throughput at 1x contention (the
+// interior-equilibrium regime, where the hot set splits across tiers)
+// for a grid of Colloid parameters. Larger epsilon detects workload
+// changes faster but destabilizes steady state; larger delta stabilizes
+// at the cost of a wider latency deadband (suboptimal steady-state
+// placement). At 2x-3x the equilibrium is a corner (the whole hot set
+// belongs in the alternate tier), where the parameters barely matter.
+func Sensitivity(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "sens",
+		Title:   "Colloid parameter sensitivity (HeMem+Colloid, GUPS at 1x)",
+		Columns: []string{"epsilon", "delta", "Mops", "latency ratio"},
+		Notes: []string{
+			"paper defaults: epsilon=0.01, delta=0.05",
+		},
+	}
+	g := workloads.DefaultGUPS()
+	for _, eps := range []float64{0.005, 0.01, 0.05} {
+		for _, delta := range []float64{0.02, 0.05, 0.15} {
+			cfg := gupsConfig(paperTopology(0, 0), g, 1, o.Seed)
+			e, err := sim.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+				return nil, err
+			}
+			e.SetSystem(hemem.New(hemem.Config{Colloid: &core.Options{Epsilon: eps, Delta: delta}}))
+			secs := o.scale(60, 25)
+			if err := e.Run(secs); err != nil {
+				return nil, err
+			}
+			st := e.SteadyState(secs / 3)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.3f", eps), fmt.Sprintf("%.2f", delta),
+				fmt.Sprintf("%.1f", st.OpsPerSec/1e6),
+				f2(st.LatencyNs[0] / st.LatencyNs[1]),
+			})
+		}
+	}
+	return t, nil
+}

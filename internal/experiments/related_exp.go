@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colloid/internal/related"
+	"colloid/internal/sim"
+	"colloid/internal/workloads"
+)
+
+func init() {
+	register("related", Related)
+}
+
+// Related runs the Section 6 comparison the paper argues in prose:
+// BATMAN (bandwidth-ratio balancing) and Carrefour (rate balancing)
+// against latency-aware packing (HeMem) and Colloid, across contention
+// intensities. Expectations from the paper's critique: the fixed-ratio
+// policies lose at low contention (they park hot pages in the
+// higher-latency tier for no reason) and cannot adapt to contention
+// (their target is static), while Colloid tracks the optimum at both
+// ends.
+func Related(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "related",
+		Title:   "related-work placement policies vs Colloid (GUPS)",
+		Columns: []string{"intensity", "best-case", "batman", "carrefour", "hemem", "hemem+colloid"},
+		Notes: []string{
+			"Section 6: bandwidth- or rate-balancing is suboptimal both without contention",
+			"(unloaded latencies differ) and with it (latency inflates before saturation)",
+		},
+	}
+	runRelated := func(policy related.Policy, intensity int) (float64, error) {
+		g := workloads.DefaultGUPS()
+		cfg := gupsConfig(paperTopology(0, 0), g, intensity, o.Seed)
+		e, err := sim.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+			return 0, err
+		}
+		e.SetSystem(related.New(related.Config{Policy: policy}))
+		secs := o.scale(60, 25)
+		if err := e.Run(secs); err != nil {
+			return 0, err
+		}
+		return e.SteadyState(secs / 3).OpsPerSec, nil
+	}
+	for _, intensity := range intensities {
+		best, err := bestCase(intensity, o)
+		if err != nil {
+			return nil, err
+		}
+		batman, err := runRelated(related.BATMAN, intensity)
+		if err != nil {
+			return nil, err
+		}
+		carrefour, err := runRelated(related.Carrefour, intensity)
+		if err != nil {
+			return nil, err
+		}
+		_, hememSt, err := runSteady("hemem", false, intensity, o)
+		if err != nil {
+			return nil, err
+		}
+		_, colloidSt, err := runSteady("hemem", true, intensity, o)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx", intensity),
+			fOps(best.Best.OpsPerSec), fOps(batman), fOps(carrefour),
+			fOps(hememSt.OpsPerSec), fOps(colloidSt.OpsPerSec),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,123 @@
+package hemem
+
+import (
+	"testing"
+
+	"colloid/internal/core"
+	"colloid/internal/memsys"
+	"colloid/internal/sim"
+	"colloid/internal/workloads"
+)
+
+func runGUPS(t *testing.T, sys sim.System, antagonistCores int, seconds float64, seed uint64) (*sim.Engine, sim.Steady) {
+	t.Helper()
+	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+	g := workloads.DefaultGUPS()
+	e, err := sim.New(sim.Config{
+		Topology:        topo,
+		WorkingSetBytes: g.WorkingSetBytes,
+		Profile:         g.Profile(),
+		AntagonistCores: antagonistCores,
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+		t.Fatal(err)
+	}
+	e.SetSystem(sys)
+	if err := e.Run(seconds); err != nil {
+		t.Fatal(err)
+	}
+	return e, e.SteadyState(seconds / 3)
+}
+
+func TestVanillaPacksHotSetAtZeroContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	sys := New(Config{})
+	e, st := runGUPS(t, sys, 0, 60, 1)
+	// First-fit starts with ~44% of the hot set in the default tier;
+	// HeMem should pack nearly all of it: p -> ~0.92.
+	if p := e.AS().DefaultShare(); p < 0.85 {
+		t.Fatalf("default share after convergence = %v, want > 0.85", p)
+	}
+	if st.LatencyNs[0] >= st.LatencyNs[1] {
+		t.Fatalf("at 0x, default tier should stay faster: %v", st.LatencyNs)
+	}
+	stats := sys.Stats()
+	if stats.HotPages == 0 || stats.Cools == 0 {
+		t.Fatalf("tracker inactive: %+v", stats)
+	}
+}
+
+func TestVanillaStaysPackedUnderContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	e, st := runGUPS(t, New(Config{}), 15, 60, 2)
+	// Contention-agnostic: still packs hot pages in the default tier
+	// even though its latency now far exceeds the alternate's
+	// (Figure 2(b)).
+	if p := e.AS().DefaultShare(); p < 0.85 {
+		t.Fatalf("vanilla HeMem unpacked under contention: p = %v", p)
+	}
+	if st.LatencyNs[0] < 1.5*st.LatencyNs[1] {
+		t.Fatalf("expected default tier much slower at 3x: %v", st.LatencyNs)
+	}
+}
+
+func TestColloidBalancesLatenciesUnderContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	e, st := runGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 120, 3)
+	// Colloid moves the hot set out: p drops far below the packed
+	// ~0.92 (Figure 6(a): best-case default share is ~4% of app
+	// traffic at 3x).
+	if p := e.AS().DefaultShare(); p > 0.5 {
+		t.Fatalf("colloid did not demote under contention: p = %v", p)
+	}
+	// Latency gap must be far smaller than vanilla's (Figure 6(b)).
+	ratio := st.LatencyNs[0] / st.LatencyNs[1]
+	if ratio > 2.0 {
+		t.Fatalf("latency ratio %v, want < 2 with colloid", ratio)
+	}
+}
+
+func TestColloidBeatsVanillaUnderContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	_, vanilla := runGUPS(t, New(Config{}), 15, 90, 4)
+	_, colloid := runGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 90, 4)
+	gain := colloid.OpsPerSec / vanilla.OpsPerSec
+	// Figure 5: 2.3x at 3x intensity.
+	if gain < 1.6 {
+		t.Fatalf("colloid gain at 3x = %.2fx, want > 1.6x", gain)
+	}
+}
+
+func TestColloidMatchesVanillaWithoutContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	_, vanilla := runGUPS(t, New(Config{}), 0, 60, 5)
+	_, colloid := runGUPS(t, New(Config{Colloid: &core.Options{}}), 0, 60, 5)
+	gain := colloid.OpsPerSec / vanilla.OpsPerSec
+	// Figure 5 at 0x: Colloid matches the underlying system.
+	if gain < 0.93 || gain > 1.1 {
+		t.Fatalf("colloid/vanilla at 0x = %.3f, want ~1", gain)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if New(Config{}).Name() != "hemem" {
+		t.Fatal("vanilla name")
+	}
+	if New(Config{Colloid: &core.Options{}}).Name() != "hemem+colloid" {
+		t.Fatal("colloid name")
+	}
+}

@@ -1,0 +1,202 @@
+package hemem
+
+import (
+	"testing"
+
+	"colloid/internal/access"
+
+	"colloid/internal/memsys"
+	"colloid/internal/migrate"
+	"colloid/internal/pages"
+	"colloid/internal/sim"
+	"colloid/internal/stats"
+	"colloid/internal/workloads"
+)
+
+// unitContext builds a minimal sim.Context over a small address space
+// without running the engine, for whitebox tests of list maintenance.
+func unitContext(t *testing.T) *sim.Context {
+	t.Helper()
+	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+	as, err := pages.NewAddressSpace(topo, 8*memsys.GiB, pages.HugePageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sim.Context{
+		QuantumSec: 0.01,
+		AS:         as,
+		Topo:       topo,
+		Migrator:   migrate.NewEngine(as, 2, 0),
+		RNG:        stats.NewRNG(1),
+	}
+}
+
+func TestBinIndexBoundaries(t *testing.T) {
+	s := New(Config{CoolThreshold: 16, NumBins: 5})
+	cases := map[uint32]int{1: 0, 3: 0, 4: 1, 7: 2, 12: 3, 15: 4, 16: 4, 100: 4}
+	for count, want := range cases {
+		if got := s.binIndex(count); got != want {
+			t.Errorf("binIndex(%d) = %d, want %d", count, got, want)
+		}
+	}
+}
+
+func TestClassifyMaintainsBinsAndHotSets(t *testing.T) {
+	ctx := unitContext(t)
+	s := New(Config{HotThreshold: 4, CoolThreshold: 16})
+	id := ctx.AS.LiveIDs()[0]
+
+	// Below the hot threshold: binned but not hot.
+	for i := 0; i < 3; i++ {
+		s.tracker.Touch(id)
+	}
+	s.classify(ctx, id)
+	if s.hot.Contains(id) {
+		t.Fatal("count 3 classified hot")
+	}
+	if s.binOf[id] != 0 {
+		t.Fatalf("bin = %d, want 0", s.binOf[id])
+	}
+
+	// Crossing the threshold in the default tier: hot, not in hotAlt.
+	s.tracker.Touch(id)
+	s.classify(ctx, id)
+	if !s.hot.Contains(id) {
+		t.Fatal("count 4 not hot")
+	}
+	if s.hotAlt.Contains(id) {
+		t.Fatal("default-tier page in hotAlt")
+	}
+
+	// Same count for an alternate-tier page: joins the promotion list.
+	// (The small test space fits in the default tier, so move one.)
+	altID := ctx.AS.LiveIDs()[1]
+	if err := ctx.AS.Move(altID, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.tracker.Touch(altID)
+	}
+	s.classify(ctx, altID)
+	if !s.hotAlt.Contains(altID) {
+		t.Fatal("hot alternate-tier page missing from hotAlt")
+	}
+}
+
+func TestRebuildAfterCooling(t *testing.T) {
+	ctx := unitContext(t)
+	s := New(Config{HotThreshold: 4, CoolThreshold: 16})
+	id := ctx.AS.LiveIDs()[0]
+	for i := 0; i < 7; i++ {
+		s.tracker.Touch(id)
+	}
+	s.classify(ctx, id)
+	if s.binOf[id] != 2 {
+		t.Fatalf("bin before cool = %d", s.binOf[id])
+	}
+	s.tracker.Cool() // 7 -> 3: below hot threshold
+	s.rebuildLists(ctx)
+	if s.hot.Contains(id) {
+		t.Fatal("cooled page still hot")
+	}
+	if s.binOf[id] != 0 {
+		t.Fatalf("bin after cool = %d, want 0", s.binOf[id])
+	}
+	if s.cools != 1 {
+		t.Fatalf("cools = %d", s.cools)
+	}
+}
+
+func TestCandidatesOrderedHottestFirst(t *testing.T) {
+	ctx := unitContext(t)
+	s := New(Config{HotThreshold: 2, CoolThreshold: 16})
+	ids := ctx.AS.LiveIDs()
+	// Three pages at counts 12, 6, 2, all in the default tier.
+	for i, n := range []int{12, 6, 2} {
+		for j := 0; j < n; j++ {
+			s.tracker.Touch(ids[i])
+		}
+		s.classify(ctx, ids[i])
+	}
+	cands := s.candidates(ctx, memsys.DefaultTier)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	// Bins iterate high to low, so the count-12 page comes first.
+	if cands[0].ID != ids[0] {
+		t.Fatalf("first candidate = %d, want hottest %d", cands[0].ID, ids[0])
+	}
+	if cands[0].Probability <= cands[2].Probability {
+		t.Fatal("probabilities not descending across bins")
+	}
+}
+
+func TestEnsureDefaultFreeDemotesCold(t *testing.T) {
+	ctx := unitContext(t)
+	s := New(Config{})
+	// The 8 GiB working set fits entirely in the 32 GiB default tier
+	// under first-fit, so it has free space already.
+	if !s.ensureDefaultFree(ctx, pages.HugePageBytes) {
+		t.Fatal("ensureDefaultFree failed with free capacity")
+	}
+	// Fill the default tier with a bigger space to force demotion.
+	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+	as, err := pages.NewAddressSpace(topo, 72*memsys.GiB, pages.HugePageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := &sim.Context{
+		QuantumSec: 0.01, AS: as, Topo: topo,
+		Migrator: migrate.NewEngine(as, 2, 0), RNG: stats.NewRNG(2),
+	}
+	ctx2.Migrator.BeginQuantum(0.01)
+	if as.FreeBytes(memsys.DefaultTier) != 0 {
+		t.Fatal("default tier not full under first-fit")
+	}
+	if !s.ensureDefaultFree(ctx2, pages.HugePageBytes) {
+		t.Fatal("could not free one page")
+	}
+	if as.FreeBytes(memsys.DefaultTier) < pages.HugePageBytes {
+		t.Fatal("no space freed")
+	}
+}
+
+func TestHotSetShiftReclassifies(t *testing.T) {
+	// End-to-end smoke for list maintenance across a workload change:
+	// after ShiftHotSet the tracker must converge to the new hot set.
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+	g := workloads.DefaultGUPS()
+	e, err := sim.New(sim.Config{
+		Topology: topo, WorkingSetBytes: g.WorkingSetBytes,
+		Profile: g.Profile(), Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Config{})
+	e.SetSystem(sys)
+	if err := e.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	g.ShiftHotSet(e.AS(), e.WorkloadRNG())
+	if err := e.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	// Most classified-hot pages should now be truly hot.
+	trueHot := 0
+	sys.hot.ForEach(func(id pages.PageID) access.Action {
+		if g.IsHot(id) {
+			trueHot++
+		}
+		return access.Keep
+	})
+	if sys.hot.Len() == 0 || float64(trueHot)/float64(sys.hot.Len()) < 0.8 {
+		t.Fatalf("hot set stale after shift: %d/%d truly hot", trueHot, sys.hot.Len())
+	}
+}

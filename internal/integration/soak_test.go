@@ -1,0 +1,234 @@
+// Package integration runs cross-package soak tests: every tiering
+// system against randomized scenarios, checking the invariants that
+// must hold regardless of policy decisions — capacity bounds, byte and
+// weight conservation, trace sanity.
+package integration
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"colloid/internal/core"
+	"colloid/internal/hemem"
+	"colloid/internal/memsys"
+	"colloid/internal/memtis"
+	"colloid/internal/pages"
+	"colloid/internal/related"
+	"colloid/internal/sim"
+	"colloid/internal/tpp"
+	"colloid/internal/workloads"
+)
+
+// allSystems enumerates every policy under test.
+func allSystems() map[string]func() sim.System {
+	colloid := func() *core.Options { return &core.Options{} }
+	return map[string]func() sim.System{
+		"hemem":          func() sim.System { return hemem.New(hemem.Config{}) },
+		"hemem+colloid":  func() sim.System { return hemem.New(hemem.Config{Colloid: colloid()}) },
+		"tpp":            func() sim.System { return tpp.New(tpp.Config{}) },
+		"tpp+colloid":    func() sim.System { return tpp.New(tpp.Config{Colloid: colloid()}) },
+		"memtis":         func() sim.System { return memtis.New(memtis.Config{}) },
+		"memtis+colloid": func() sim.System { return memtis.New(memtis.Config{Colloid: colloid()}) },
+		"batman":         func() sim.System { return related.New(related.Config{Policy: related.BATMAN}) },
+		"carrefour":      func() sim.System { return related.New(related.Config{Policy: related.Carrefour}) },
+	}
+}
+
+type scenario struct {
+	name       string
+	intensity  int
+	wsGiB      int64
+	hotGiB     int64
+	object     int64
+	disturbSec float64 // contention flip time (0 = none)
+}
+
+func soakScenarios() []scenario {
+	return []scenario{
+		{"packed-fits", 0, 24, 8, 64, 0},
+		{"standard", 2, 72, 24, 64, 0},
+		{"oversubscribed-hot", 3, 96, 48, 64, 0},
+		{"large-objects", 1, 72, 24, 4096, 0},
+		{"contention-flip", 0, 72, 24, 64, 5},
+	}
+}
+
+func checkInvariants(t *testing.T, label string, e *sim.Engine, wsBytes int64) {
+	t.Helper()
+	as := e.AS()
+	topo := e.Topology()
+	var totalBytes int64
+	var totalWeight float64
+	for tier := 0; tier < topo.NumTiers(); tier++ {
+		tb := as.TierBytes(memsys.TierID(tier))
+		if tb < 0 {
+			t.Fatalf("%s: negative tier bytes on tier %d", label, tier)
+		}
+		if tb > topo.Capacity(memsys.TierID(tier)) {
+			t.Fatalf("%s: tier %d over capacity: %d > %d", label, tier, tb, topo.Capacity(memsys.TierID(tier)))
+		}
+		totalBytes += tb
+	}
+	if totalBytes != wsBytes {
+		t.Fatalf("%s: working set changed size: %d != %d", label, totalBytes, wsBytes)
+	}
+	as.ForEachLive(func(p pages.Page) { totalWeight += p.Weight })
+	if math.Abs(totalWeight-1) > 1e-6 {
+		t.Fatalf("%s: weights sum to %v", label, totalWeight)
+	}
+	share := as.TierShare()
+	var shareSum float64
+	for _, s := range share {
+		if s < -1e-9 {
+			t.Fatalf("%s: negative tier share %v", label, s)
+		}
+		shareSum += s
+	}
+	if math.Abs(shareSum-1) > 1e-6 {
+		t.Fatalf("%s: tier shares sum to %v", label, shareSum)
+	}
+	for _, s := range e.Samples() {
+		if s.OpsPerSec <= 0 || math.IsNaN(s.OpsPerSec) {
+			t.Fatalf("%s: bad throughput sample %v at t=%v", label, s.OpsPerSec, s.TimeSec)
+		}
+		for tier, l := range s.LatencyNs {
+			unloaded := topo.Tier(memsys.TierID(tier)).Config().UnloadedLatencyNs
+			if l < unloaded-1e-9 || math.IsNaN(l) {
+				t.Fatalf("%s: latency %v below unloaded %v at t=%v", label, l, unloaded, s.TimeSec)
+			}
+		}
+		if s.MigrationBytesPerSec < 0 {
+			t.Fatalf("%s: negative migration rate at t=%v", label, s.TimeSec)
+		}
+	}
+}
+
+func TestSoakAllSystemsAllScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	for _, sc := range soakScenarios() {
+		for name, mk := range allSystems() {
+			label := fmt.Sprintf("%s/%s", sc.name, name)
+			t.Run(label, func(t *testing.T) {
+				topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+				g := &workloads.GUPS{
+					WorkingSetBytes: sc.wsGiB * memsys.GiB,
+					HotSetBytes:     sc.hotGiB * memsys.GiB,
+					HotProb:         0.9,
+					ObjectBytes:     sc.object,
+					Cores:           15,
+				}
+				e, err := sim.New(sim.Config{
+					Topology:        topo,
+					WorkingSetBytes: g.WorkingSetBytes,
+					Profile:         g.Profile(),
+					AntagonistCores: workloads.AntagonistForIntensity(sc.intensity).Cores,
+					Seed:            7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+					t.Fatal(err)
+				}
+				e.SetSystem(mk())
+				if sc.disturbSec > 0 {
+					e.ScheduleAt(sc.disturbSec, func(en *sim.Engine) {
+						en.SetAntagonist(workloads.AntagonistForIntensity(3).Cores)
+					})
+				}
+				if err := e.Run(12); err != nil {
+					t.Fatal(err)
+				}
+				checkInvariants(t, label, e, g.WorkingSetBytes)
+			})
+		}
+	}
+}
+
+// Three-tier topologies must work with every Colloid-enabled system
+// (the two-tier Controller aggregates alternates).
+func TestSoakThreeTiers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	topo := memsys.MustTopology(
+		memsys.DualSocketXeonDefault(),
+		memsys.DualSocketXeonRemote(),
+		memsys.CXLTier(128*memsys.GiB),
+	)
+	for name, mk := range allSystems() {
+		t.Run(name, func(t *testing.T) {
+			g := &workloads.GUPS{
+				WorkingSetBytes: 160 * memsys.GiB,
+				HotSetBytes:     48 * memsys.GiB,
+				HotProb:         0.9,
+				ObjectBytes:     64,
+				Cores:           15,
+			}
+			e, err := sim.New(sim.Config{
+				Topology:        topo,
+				WorkingSetBytes: g.WorkingSetBytes,
+				Profile:         g.Profile(),
+				AntagonistCores: 10,
+				Seed:            11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+				t.Fatal(err)
+			}
+			e.SetSystem(mk())
+			if err := e.Run(10); err != nil {
+				t.Fatal(err)
+			}
+			checkInvariants(t, name, e, g.WorkingSetBytes)
+		})
+	}
+}
+
+// Determinism across the whole stack: identical seeds give identical
+// traces for every system.
+func TestSoakDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	for name, mk := range allSystems() {
+		t.Run(name, func(t *testing.T) {
+			run := func() []sim.Sample {
+				topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+				g := workloads.DefaultGUPS()
+				e, err := sim.New(sim.Config{
+					Topology:        topo,
+					WorkingSetBytes: g.WorkingSetBytes,
+					Profile:         g.Profile(),
+					AntagonistCores: 10,
+					Seed:            99,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+					t.Fatal(err)
+				}
+				e.SetSystem(mk())
+				if err := e.Run(8); err != nil {
+					t.Fatal(err)
+				}
+				return e.Samples()
+			}
+			a, b := run(), run()
+			if len(a) != len(b) {
+				t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i].OpsPerSec != b[i].OpsPerSec || a[i].MigrationBytesPerSec != b[i].MigrationBytesPerSec {
+					t.Fatalf("sample %d differs", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,168 @@
+package memsys
+
+// Calibration tests: pin the latency model to the paper's measured
+// anchors (Section 2). If these fail after a model change, every
+// downstream experiment's absolute numbers move; fix the model, not the
+// experiments.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Canonical source parameters shared with internal/workloads; duplicated
+// here as literals so the calibration is self-contained.
+const (
+	gupsCores    = 15
+	gupsInflight = 2.8 // effective MLP for random 64 B accesses
+	antInflight  = 23  // streaming with prefetchers engaged
+)
+
+func gupsSource(pDefault float64) Source {
+	return Source{
+		Name:            "gups",
+		Cores:           gupsCores,
+		Inflight:        gupsInflight,
+		TierShare:       []float64{pDefault, 1 - pDefault},
+		SeqFraction:     0,
+		WriteFraction:   1, // 1:1 read/write -> one writeback per read
+		BytesPerRequest: CachelineBytes,
+	}
+}
+
+func antagonistSource(cores int) Source {
+	return Source{
+		Name:            "antagonist",
+		Cores:           cores,
+		Inflight:        antInflight,
+		TierShare:       []float64{1, 0},
+		SeqFraction:     1,
+		WriteFraction:   1,
+		BytesPerRequest: CachelineBytes,
+	}
+}
+
+func paperTopology(t *testing.T) *Topology {
+	t.Helper()
+	tp, err := NewTopology(DualSocketXeonDefault(), DualSocketXeonRemote())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want)/want > relTol {
+		t.Errorf("%s = %.4g, want %.4g (±%.0f%%)", name, got, want, relTol*100)
+	}
+}
+
+// The antagonist alone consumes ~51% / 65% / 70% of the default tier's
+// 205 GB/s theoretical peak at 1x / 2x / 3x intensity (5/10/15 cores).
+func TestCalibrationAntagonistIsolation(t *testing.T) {
+	tp := paperTopology(t)
+	wantFrac := map[int]float64{5: 0.51, 10: 0.65, 15: 0.70}
+	for cores, want := range wantFrac {
+		eq, err := tp.Solve([]Source{antagonistSource(cores)}, nil, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := eq.TierLoad[0].Total() / tp.Tier(0).Config().PeakBandwidth
+		within(t, fmt.Sprintf("antagonist %d-core bandwidth fraction", cores), frac, want, 0.08)
+	}
+}
+
+// With the hot set packed in the default tier (the baselines' placement,
+// p ~= 0.917) the default tier's loaded latency inflates to roughly
+// 2.5x / 3.8x / 5x its 70 ns unloaded latency at 1x / 2x / 3x intensity
+// (Figure 2(a)), i.e. ~175 / 266 / 350 ns; and ~100 ns with no
+// antagonist (the paper reports a ~3.5x rise from 0x to 3x).
+func TestCalibrationDefaultTierInflation(t *testing.T) {
+	tp := paperTopology(t)
+	// 90% hot (all in default) + 10% cold spread over 48 GB of which
+	// 8 GB fits in the default tier: p = 0.9 + 0.1*(8/48).
+	const p = 0.9 + 0.1*(8.0/48.0)
+	cases := []struct {
+		antCores int
+		wantNs   float64
+	}{
+		{0, 100},
+		{5, 175},
+		{10, 266},
+		{15, 350},
+	}
+	for _, c := range cases {
+		eq, err := tp.Solve([]Source{gupsSource(p), antagonistSource(c.antCores)}, nil, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, fmt.Sprintf("default tier latency at %d antagonist cores", c.antCores),
+			eq.LatencyNs[0], c.wantNs, 0.12)
+	}
+}
+
+// Under contention the default tier latency exceeds the alternate tier's
+// by ~1.2x / 1.8x / 2.4x (Figure 2(a)) when baselines keep the hot set
+// in the default tier.
+func TestCalibrationLatencyRatio(t *testing.T) {
+	tp := paperTopology(t)
+	const p = 0.9 + 0.1*(8.0/48.0)
+	cases := []struct {
+		antCores  int
+		wantRatio float64
+	}{
+		{5, 1.2},
+		{10, 1.8},
+		{15, 2.4},
+	}
+	for _, c := range cases {
+		eq, err := tp.Solve([]Source{gupsSource(p), antagonistSource(c.antCores)}, nil, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := eq.LatencyNs[0] / eq.LatencyNs[1]
+		within(t, fmt.Sprintf("latency ratio at %d antagonist cores", c.antCores),
+			ratio, c.wantRatio, 0.18)
+	}
+}
+
+// Moving the hot set to the alternate tier under 3x contention must
+// deliver a large throughput win (the paper reports baselines 2.3x worse
+// than best-case at 3x).
+func TestCalibrationAlternatePlacementWinsUnderContention(t *testing.T) {
+	tp := paperTopology(t)
+	const pPacked = 0.9 + 0.1*(8.0/48.0)
+	const pMoved = 0.05 // nearly all hot traffic to alternate
+	solve := func(p float64) float64 {
+		eq, err := tp.Solve([]Source{gupsSource(p), antagonistSource(15)}, nil, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eq.Sources[0].RequestRate
+	}
+	packed := solve(pPacked)
+	moved := solve(pMoved)
+	gain := moved / packed
+	if gain < 1.7 || gain > 3.2 {
+		t.Errorf("hot-set-to-alternate gain at 3x = %.2fx, want roughly 2-2.5x", gain)
+	}
+}
+
+// At 0x contention the default tier must remain the better home for the
+// hot set (existing systems are near-optimal there, Figure 1).
+func TestCalibrationDefaultWinsWithoutContention(t *testing.T) {
+	tp := paperTopology(t)
+	const pPacked = 0.9 + 0.1*(8.0/48.0)
+	solve := func(p float64) float64 {
+		eq, err := tp.Solve([]Source{gupsSource(p)}, nil, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eq.Sources[0].RequestRate
+	}
+	if packed, moved := solve(pPacked), solve(0.05); packed <= moved {
+		t.Errorf("at 0x, packed placement (%.3g req/s) should beat alternate placement (%.3g req/s)", packed, moved)
+	}
+}

@@ -1,0 +1,177 @@
+package memsys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveNoSources(t *testing.T) {
+	tp := paperTopology(t)
+	eq, err := tp.Solve(nil, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.LatencyNs[0] != 70 || eq.LatencyNs[1] != 135 {
+		t.Fatalf("idle latencies = %v", eq.LatencyNs)
+	}
+}
+
+func TestSolveSingleSourceLittlesLaw(t *testing.T) {
+	tp := paperTopology(t)
+	src := gupsSource(1.0)
+	eq, err := tp.Solve([]Source{src}, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed loop: rate * latency = cores * inflight (Little's law over
+	// the source's in-flight budget).
+	got := eq.Sources[0].RequestRate * eq.Sources[0].AvgLatencyNs * 1e-9
+	want := float64(src.Cores) * src.Inflight
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("rate*latency = %v, want %v", got, want)
+	}
+}
+
+func TestSolveValidatesShares(t *testing.T) {
+	tp := paperTopology(t)
+	bad := gupsSource(0.5)
+	bad.TierShare = []float64{0.5, 0.2} // sums to 0.7
+	if _, err := tp.Solve([]Source{bad}, nil, SolveOptions{}); err == nil {
+		t.Fatal("bad tier shares accepted")
+	}
+	short := gupsSource(0.5)
+	short.TierShare = []float64{1}
+	if _, err := tp.Solve([]Source{short}, nil, SolveOptions{}); err == nil {
+		t.Fatal("short tier share slice accepted")
+	}
+}
+
+func TestSolveValidatesExtraLoad(t *testing.T) {
+	tp := paperTopology(t)
+	if _, err := tp.Solve(nil, []Load{{}}, SolveOptions{}); err == nil {
+		t.Fatal("short extraLoad accepted")
+	}
+}
+
+func TestSolveExtraLoadRaisesLatency(t *testing.T) {
+	tp := paperTopology(t)
+	src := gupsSource(0.9)
+	base, err := tp.Solve([]Source{src}, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := tp.Solve([]Source{src}, []Load{{SeqBytes: 50e9}, {}}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.LatencyNs[0] <= base.LatencyNs[0] {
+		t.Fatalf("extra load did not raise default tier latency: %v vs %v",
+			loaded.LatencyNs[0], base.LatencyNs[0])
+	}
+	if loaded.Sources[0].RequestRate >= base.Sources[0].RequestRate {
+		t.Fatal("extra load did not reduce closed-loop throughput")
+	}
+}
+
+// Property: for any feasible placement p and antagonist intensity, the
+// solver converges, latencies are at least unloaded, and the source's
+// throughput matches its in-flight budget.
+func TestSolveProperties(t *testing.T) {
+	tp := paperTopology(t)
+	f := func(pSeed uint16, antSeed uint8) bool {
+		p := float64(pSeed) / math.MaxUint16
+		ant := int(antSeed % 16)
+		eq, err := tp.Solve([]Source{gupsSource(p), antagonistSource(ant)}, nil, SolveOptions{})
+		if err != nil {
+			return false
+		}
+		if eq.LatencyNs[0] < 70-1e-9 || eq.LatencyNs[1] < 135-1e-9 {
+			return false
+		}
+		g := eq.Sources[0]
+		budget := g.RequestRate * g.AvgLatencyNs * 1e-9
+		return math.Abs(budget-gupsCores*gupsInflight) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: moving traffic toward the less-loaded tier reduces the
+// loaded latency of the tier losing traffic.
+func TestSolveShiftReducesSourceTierLatency(t *testing.T) {
+	tp := paperTopology(t)
+	solve := func(p float64) *Equilibrium {
+		eq, err := tp.Solve([]Source{gupsSource(p), antagonistSource(10)}, nil, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eq
+	}
+	high := solve(0.9)
+	low := solve(0.3)
+	if low.LatencyNs[0] >= high.LatencyNs[0] {
+		t.Fatalf("reducing p did not reduce default tier latency: %v vs %v",
+			low.LatencyNs[0], high.LatencyNs[0])
+	}
+	if low.LatencyNs[1] <= high.LatencyNs[1] {
+		t.Fatalf("reducing p did not raise alternate tier latency: %v vs %v",
+			low.LatencyNs[1], high.LatencyNs[1])
+	}
+}
+
+func TestSolveThreeTiers(t *testing.T) {
+	tp := MustTopology(DualSocketXeonDefault(), DualSocketXeonRemote(), CXLTier(256*GiB))
+	src := Source{
+		Name: "app", Cores: 8, Inflight: 4,
+		TierShare:       []float64{0.5, 0.3, 0.2},
+		WriteFraction:   0.5,
+		BytesPerRequest: CachelineBytes,
+	}
+	eq, err := tp.Solve([]Source{src}, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eq.LatencyNs) != 3 {
+		t.Fatalf("latency slice len = %d", len(eq.LatencyNs))
+	}
+	for i, l := range eq.LatencyNs {
+		if l < tp.Tier(TierID(i)).Config().UnloadedLatencyNs {
+			t.Fatalf("tier %d latency %v below unloaded", i, l)
+		}
+	}
+}
+
+func TestSolveZeroCoreSourceIgnored(t *testing.T) {
+	tp := paperTopology(t)
+	eq, err := tp.Solve([]Source{antagonistSource(0)}, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Sources[0].RequestRate != 0 {
+		t.Fatalf("zero-core source has rate %v", eq.Sources[0].RequestRate)
+	}
+	if eq.LatencyNs[0] != 70 {
+		t.Fatalf("idle latency = %v", eq.LatencyNs[0])
+	}
+}
+
+func TestSolveTierReadRateConsistency(t *testing.T) {
+	tp := paperTopology(t)
+	eq, err := tp.Solve([]Source{gupsSource(0.7), antagonistSource(5)}, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tier := 0; tier < 2; tier++ {
+		var sum float64
+		for _, s := range eq.Sources {
+			sum += s.TierRate[tier]
+		}
+		// TierReadRate is computed from the last iteration's latencies,
+		// which match the reported equilibrium to solver tolerance.
+		if math.Abs(sum-eq.TierReadRate[tier])/math.Max(sum, 1) > 1e-3 {
+			t.Fatalf("tier %d: per-source rates sum %v != tier rate %v", tier, sum, eq.TierReadRate[tier])
+		}
+	}
+}

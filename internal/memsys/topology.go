@@ -1,0 +1,67 @@
+package memsys
+
+import (
+	"fmt"
+)
+
+// Topology is an ordered set of memory tiers. Tier 0 must be the
+// default tier (lowest unloaded latency); the constructor enforces this
+// so that TierID 0 always means "default" throughout the codebase, as in
+// the paper's two-tier discussion.
+type Topology struct {
+	tiers []*Tier
+}
+
+// NewTopology builds a topology from tier configs. The first config
+// must have the smallest unloaded latency of the set.
+func NewTopology(cfgs ...TierConfig) (*Topology, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("memsys: topology needs at least one tier")
+	}
+	tiers := make([]*Tier, 0, len(cfgs))
+	for i, c := range cfgs {
+		t, err := NewTier(c)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && c.UnloadedLatencyNs < cfgs[0].UnloadedLatencyNs {
+			return nil, fmt.Errorf(
+				"memsys: tier %q (%.0f ns) is faster than the default tier %q (%.0f ns); tier 0 must be the default tier",
+				c.Name, c.UnloadedLatencyNs, cfgs[0].Name, cfgs[0].UnloadedLatencyNs)
+		}
+		tiers = append(tiers, t)
+	}
+	return &Topology{tiers: tiers}, nil
+}
+
+// MustTopology is NewTopology that panics on error; for tests and
+// examples with known-good configs.
+func MustTopology(cfgs ...TierConfig) *Topology {
+	tp, err := NewTopology(cfgs...)
+	if err != nil {
+		panic(err)
+	}
+	return tp
+}
+
+// NumTiers returns the number of tiers.
+func (tp *Topology) NumTiers() int { return len(tp.tiers) }
+
+// Tier returns the tier with the given ID.
+func (tp *Topology) Tier(id TierID) *Tier {
+	return tp.tiers[id]
+}
+
+// Capacity returns the capacity in bytes of the given tier.
+func (tp *Topology) Capacity(id TierID) int64 {
+	return tp.tiers[id].cfg.CapacityBytes
+}
+
+// TotalCapacity returns the summed capacity of all tiers.
+func (tp *Topology) TotalCapacity() int64 {
+	var sum int64
+	for _, t := range tp.tiers {
+		sum += t.cfg.CapacityBytes
+	}
+	return sum
+}

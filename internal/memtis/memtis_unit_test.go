@@ -1,0 +1,166 @@
+package memtis
+
+import (
+	"testing"
+
+	"colloid/internal/memsys"
+	"colloid/internal/migrate"
+	"colloid/internal/pages"
+	"colloid/internal/sim"
+	"colloid/internal/stats"
+)
+
+func unitContext(t *testing.T, wsGiB int64) *sim.Context {
+	t.Helper()
+	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+	as, err := pages.NewAddressSpace(topo, wsGiB*memsys.GiB, pages.HugePageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := migrate.NewEngine(as, 2, 0)
+	m.BeginQuantum(0.01)
+	return &sim.Context{
+		QuantumSec: 0.01,
+		AS:         as,
+		Topo:       topo,
+		Migrator:   m,
+		RNG:        stats.NewRNG(1),
+	}
+}
+
+func TestHotThresholdSizesToDefaultTier(t *testing.T) {
+	// 72 GiB working set over a 32 GiB default tier: if every page had
+	// the same count the threshold must exclude some; with a clear
+	// bimodal histogram the threshold lands between the modes.
+	ctx := unitContext(t, 72)
+	s := New(Config{})
+	ids := ctx.AS.LiveIDs()
+	// 12288 pages (24 GiB) at count 10; the rest at count 1.
+	for i, id := range ids {
+		n := 1
+		if i < 12288 {
+			n = 10
+		}
+		for j := 0; j < n; j++ {
+			s.tracker.Touch(id)
+		}
+	}
+	got := s.computeHotThreshold(ctx)
+	if got < 2 || got > 10 {
+		t.Fatalf("threshold = %d, want in (1, 10]", got)
+	}
+	// 24 GiB of hot pages fit in 32 GiB, so count-10 pages are hot.
+	if got > 10 {
+		t.Fatal("threshold excludes the hot mode")
+	}
+}
+
+func TestHotThresholdAllFitReturnsOne(t *testing.T) {
+	// 8 GiB working set fits wholly in the default tier: everything
+	// sampled can be hot.
+	ctx := unitContext(t, 8)
+	s := New(Config{})
+	for _, id := range ctx.AS.LiveIDs()[:100] {
+		s.tracker.Touch(id)
+	}
+	if got := s.computeHotThreshold(ctx); got != 1 {
+		t.Fatalf("threshold = %d, want 1", got)
+	}
+}
+
+func TestSplitMarksHottestAndCapsByWeight(t *testing.T) {
+	ctx := unitContext(t, 8)
+	s := New(Config{SplitsPerQuantum: 2, SplitWeightCap: 0.5})
+	ids := ctx.AS.LiveIDs()
+	// Three candidates above threshold with distinct counts and
+	// weights.
+	ctx.AS.SetWeight(ids[0], 0.4)
+	ctx.AS.SetWeight(ids[1], 0.3)
+	ctx.AS.SetWeight(ids[2], 0.3)
+	for i, n := range []int{20, 10, 5} {
+		for j := 0; j < n; j++ {
+			s.tracker.Touch(ids[i])
+		}
+	}
+	s.hotThreshold = 2
+	s.splitHotHugePages(ctx)
+	if s.SplitParents() != 2 {
+		t.Fatalf("split %d parents, want 2", s.SplitParents())
+	}
+	if !s.split.Contains(ids[0]) {
+		t.Fatal("hottest page not split")
+	}
+	if !s.split.Contains(ids[1]) {
+		t.Fatal("second-hottest page not split")
+	}
+	// Split weight now 0.7 >= cap 0.5: the next pass must stop and
+	// latch splitting off.
+	s.splitHotHugePages(ctx)
+	if s.SplitParents() != 2 {
+		t.Fatalf("cap not honored: %d parents", s.SplitParents())
+	}
+	if s.splitting {
+		t.Fatal("splitting not latched off at cap")
+	}
+}
+
+func TestCoalesceRemovesOneParentPerInterval(t *testing.T) {
+	ctx := unitContext(t, 8)
+	s := New(Config{CoalesceIntervalSec: 10})
+	s.lastCoalesce = 0
+	s.split.Add(1)
+	s.split.Add(2)
+	ctx.TimeSec = 5
+	s.coalesceSlowly(ctx)
+	if s.SplitParents() != 2 {
+		t.Fatal("coalesced before the interval elapsed")
+	}
+	ctx.TimeSec = 11
+	s.coalesceSlowly(ctx)
+	if s.SplitParents() != 1 {
+		t.Fatalf("parents = %d after one interval, want 1", s.SplitParents())
+	}
+	ctx.TimeSec = 15
+	s.coalesceSlowly(ctx)
+	if s.SplitParents() != 1 {
+		t.Fatal("coalesced again before the next interval")
+	}
+}
+
+func TestSplitPenaltyScalesWithWeight(t *testing.T) {
+	ctx := unitContext(t, 8)
+	s := New(Config{SplitPenalty: 0.2})
+	ids := ctx.AS.LiveIDs()
+	ctx.AS.SetWeight(ids[0], 0.5)
+	ctx.AS.SetWeight(ids[1], 0.5)
+	s.split.Add(ids[0])
+	var applied float64
+	ctx.SetInflightScale = func(scale float64) { applied = scale }
+	s.applySplitPenalty(ctx)
+	// Half the weight split at penalty 0.2 -> scale 0.9.
+	if applied < 0.89 || applied > 0.91 {
+		t.Fatalf("scale = %v, want 0.9", applied)
+	}
+}
+
+func TestDemoteColdFromDefaultPicksBelowThreshold(t *testing.T) {
+	ctx := unitContext(t, 72) // default tier full under first-fit
+	s := New(Config{})
+	s.hotThreshold = 5
+	ids := ctx.AS.LiveIDs()
+	// Make a slice of pages hot so the prober must avoid them.
+	for _, id := range ids[:64] {
+		for j := 0; j < 6; j++ {
+			s.tracker.Touch(id)
+		}
+	}
+	if !s.demoteColdFromDefault(ctx, pages.HugePageBytes) {
+		t.Fatal("could not demote a cold page")
+	}
+	// The demoted page must be cold (no hot page moved).
+	for _, id := range ids[:64] {
+		if ctx.AS.Tier(id) != memsys.DefaultTier {
+			t.Fatal("hot page was demoted")
+		}
+	}
+}

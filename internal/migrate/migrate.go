@@ -1,0 +1,182 @@
+// Package migrate executes page migrations on behalf of tiering
+// systems, enforcing per-quantum rate limits and destination capacity,
+// and accounting the migration traffic so the simulator can charge it
+// against tier bandwidth (a migration reads the page from the source
+// tier and writes it to the destination tier).
+package migrate
+
+import (
+	"errors"
+	"fmt"
+
+	"colloid/internal/memsys"
+	"colloid/internal/pages"
+)
+
+// ErrLimit is returned when the current quantum's migration budget is
+// exhausted.
+var ErrLimit = errors.New("migrate: per-quantum migration limit reached")
+
+// ErrCapacity is returned when the destination tier lacks free space;
+// the caller must demote something first (kswapd-style) or skip.
+var ErrCapacity = errors.New("migrate: destination tier full")
+
+// Engine applies migrations against one address space.
+type Engine struct {
+	as *pages.AddressSpace
+	// staticLimitBytesPerSec is the system's configured maximum
+	// migration rate (both directions combined), as in HeMem's and
+	// MEMTIS's migration rate limits.
+	staticLimitBytesPerSec float64
+	// quantumBudget is the remaining byte budget for this quantum.
+	quantumBudget int64
+	// extraBudget allows capacity-pressure demotions (kswapd) to
+	// proceed even when the budget is spent; tracked separately.
+	quantumSec float64
+
+	// Per-quantum accounting, reset by BeginQuantum.
+	movedFrom []int64 // bytes read out of each tier this quantum
+	movedTo   []int64 // bytes written into each tier this quantum
+
+	// Cumulative accounting.
+	totalBytes    int64
+	totalMoves    int64
+	totalPromoted int64 // bytes moved into the default tier
+	totalDemoted  int64 // bytes moved out of the default tier
+}
+
+// NewEngine returns an engine over as with the given migration rate
+// limit in bytes/sec (0 means unlimited).
+func NewEngine(as *pages.AddressSpace, numTiers int, staticLimitBytesPerSec float64) *Engine {
+	if staticLimitBytesPerSec < 0 {
+		panic("migrate: negative limit")
+	}
+	return &Engine{
+		as:                     as,
+		staticLimitBytesPerSec: staticLimitBytesPerSec,
+		movedFrom:              make([]int64, numTiers),
+		movedTo:                make([]int64, numTiers),
+	}
+}
+
+// budgetCapSeconds bounds how much unused migration budget can accrue:
+// systems whose own quantum is longer than the engine quantum (MEMTIS's
+// 500 ms kmigrated) spend several engine quanta's worth of budget in
+// one burst, so the budget is a token bucket rather than a hard
+// per-engine-quantum slice.
+const budgetCapSeconds = 2.0
+
+// BeginQuantum accrues the migration budget (token bucket) and resets
+// per-quantum traffic accounting.
+func (e *Engine) BeginQuantum(quantumSec float64) {
+	if quantumSec <= 0 {
+		panic("migrate: non-positive quantum")
+	}
+	e.quantumSec = quantumSec
+	if e.staticLimitBytesPerSec == 0 {
+		e.quantumBudget = 1 << 62
+	} else {
+		e.quantumBudget += int64(e.staticLimitBytesPerSec * quantumSec)
+		if cap := int64(e.staticLimitBytesPerSec * budgetCapSeconds); e.quantumBudget > cap {
+			e.quantumBudget = cap
+		}
+	}
+	for i := range e.movedFrom {
+		e.movedFrom[i] = 0
+		e.movedTo[i] = 0
+	}
+}
+
+// Budget returns the remaining migration byte budget for this quantum.
+func (e *Engine) Budget() int64 { return e.quantumBudget }
+
+// StaticLimitBytesPerSec returns the configured rate limit (0 =
+// unlimited).
+func (e *Engine) StaticLimitBytesPerSec() float64 { return e.staticLimitBytesPerSec }
+
+// Move migrates page id to tier to, consuming budget. It returns
+// ErrLimit when the budget cannot cover the page, ErrCapacity when the
+// destination is full, or a pages error for invalid moves. A move to
+// the page's current tier is a no-op costing nothing.
+func (e *Engine) Move(id pages.PageID, to memsys.TierID) error {
+	p := e.as.Get(id)
+	if p.Dead {
+		return fmt.Errorf("migrate: page %d is dead", id)
+	}
+	if p.Tier == to {
+		return nil
+	}
+	if e.quantumBudget < p.Bytes {
+		return ErrLimit
+	}
+	if err := e.as.Move(id, to); err != nil {
+		return fmt.Errorf("%w (%v)", ErrCapacity, err)
+	}
+	e.account(p.Tier, to, p.Bytes)
+	return nil
+}
+
+// MoveForced migrates without consuming the rate-limit budget; used for
+// capacity-pressure demotions (TPP's kswapd demotes under watermark
+// pressure regardless of proactive migration limits). Traffic is still
+// accounted.
+func (e *Engine) MoveForced(id pages.PageID, to memsys.TierID) error {
+	p := e.as.Get(id)
+	if p.Dead {
+		return fmt.Errorf("migrate: page %d is dead", id)
+	}
+	if p.Tier == to {
+		return nil
+	}
+	if err := e.as.Move(id, to); err != nil {
+		return fmt.Errorf("%w (%v)", ErrCapacity, err)
+	}
+	e.account(p.Tier, to, p.Bytes)
+	return nil
+}
+
+func (e *Engine) account(from, to memsys.TierID, bytes int64) {
+	if e.quantumBudget > bytes {
+		e.quantumBudget -= bytes
+	} else {
+		e.quantumBudget = 0
+	}
+	e.movedFrom[from] += bytes
+	e.movedTo[to] += bytes
+	e.totalBytes += bytes
+	e.totalMoves++
+	if to == memsys.DefaultTier {
+		e.totalPromoted += bytes
+	}
+	if from == memsys.DefaultTier {
+		e.totalDemoted += bytes
+	}
+}
+
+// TrafficLoad returns the per-tier bandwidth consumed by this quantum's
+// migrations: reads from the source plus writes into the destination,
+// both sequential (migration copies whole pages).
+func (e *Engine) TrafficLoad() []memsys.Load {
+	out := make([]memsys.Load, len(e.movedFrom))
+	if e.quantumSec <= 0 {
+		return out
+	}
+	for t := range out {
+		out[t].SeqBytes = float64(e.movedFrom[t]+e.movedTo[t]) / e.quantumSec
+	}
+	return out
+}
+
+// QuantumBytes returns the bytes migrated this quantum.
+func (e *Engine) QuantumBytes() int64 {
+	var sum int64
+	for _, b := range e.movedFrom {
+		sum += b
+	}
+	return sum
+}
+
+// Totals returns cumulative migration statistics.
+func (e *Engine) Totals() (bytes, moves, promotedBytes, demotedBytes int64) {
+	return e.totalBytes, e.totalMoves, e.totalPromoted, e.totalDemoted
+}

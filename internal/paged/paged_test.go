@@ -1,0 +1,148 @@
+package paged
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocWithinPage(t *testing.T) {
+	a := NewArena(4096)
+	r1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Page != 0 || r2.Page != 0 {
+		t.Fatalf("small allocs spilled pages: %+v %+v", r1, r2)
+	}
+	if r2.Off != 100 {
+		t.Fatalf("bump offset = %d", r2.Off)
+	}
+	if a.AllocatedBytes() != 200 {
+		t.Fatalf("allocated = %d", a.AllocatedBytes())
+	}
+}
+
+func TestAllocBumpsToNextPage(t *testing.T) {
+	a := NewArena(4096)
+	a.Alloc(4000)
+	r, err := a.Alloc(200) // does not fit in the 96 bytes left
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Page != 1 || r.Off != 0 {
+		t.Fatalf("alloc did not bump to next page: %+v", r)
+	}
+}
+
+func TestAllocLargeObjectSpansPages(t *testing.T) {
+	a := NewArena(4096)
+	a.Alloc(10)
+	r, err := a.Alloc(10000) // needs 3 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Page != 1 || r.Off != 0 {
+		t.Fatalf("large alloc not page aligned: %+v", r)
+	}
+	if a.Pages() < 4 {
+		t.Fatalf("pages = %d, want >= 4", a.Pages())
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	a := NewArena(4096)
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("zero alloc accepted")
+	}
+	if _, err := a.Alloc(-5); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+func TestTouchCounts(t *testing.T) {
+	a := NewArena(4096)
+	r, _ := a.Alloc(64)
+	for i := 0; i < 5; i++ {
+		a.Touch(r)
+	}
+	prof := a.Profile()
+	if prof[0] != 5 {
+		t.Fatalf("profile[0] = %v", prof[0])
+	}
+	if a.TotalTouches() != 5 {
+		t.Fatalf("total = %d", a.TotalTouches())
+	}
+}
+
+func TestTouchRangeSpansPages(t *testing.T) {
+	a := NewArena(4096)
+	r, _ := a.Alloc(10000)
+	a.TouchRange(r, 10000)
+	prof := a.Profile()
+	touched := 0
+	for _, c := range prof {
+		if c > 0 {
+			touched++
+		}
+	}
+	if touched != 3 {
+		t.Fatalf("touched %d pages, want 3", touched)
+	}
+}
+
+func TestResetCounts(t *testing.T) {
+	a := NewArena(4096)
+	r, _ := a.Alloc(64)
+	a.Touch(r)
+	a.ResetCounts()
+	if a.TotalTouches() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestTouchInvalidRefIgnored(t *testing.T) {
+	a := NewArena(4096)
+	a.Touch(Ref{})          // zero ref
+	a.TouchRange(Ref{}, 10) // zero ref
+	if a.TotalTouches() != 0 {
+		t.Fatal("invalid touches counted")
+	}
+}
+
+// Property: allocations never overlap and never exceed page bounds for
+// sub-page sizes.
+func TestAllocProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := NewArena(4096)
+		type span struct{ page, off, size int64 }
+		var spans []span
+		for _, s16 := range sizes {
+			size := int64(s16%4000) + 1
+			r, err := a.Alloc(size)
+			if err != nil {
+				return false
+			}
+			if int64(r.Off)+size > 4096 {
+				return false // straddles page boundary
+			}
+			for _, sp := range spans {
+				if sp.page == int64(r.Page) {
+					aStart, aEnd := int64(r.Off), int64(r.Off)+size
+					bStart, bEnd := sp.off, sp.off+sp.size
+					if aStart < bEnd && bStart < aEnd {
+						return false // overlap
+					}
+				}
+			}
+			spans = append(spans, span{int64(r.Page), int64(r.Off), size})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+// Package pages models the application address space at page
+// granularity: every page has a size, a current tier, and an access
+// weight (its share of the workload's memory requests). The sum of
+// weights of pages resident in the default tier is exactly the quantity
+// p that Colloid's placement algorithm steers (Section 3.1).
+//
+// Pages default to 2 MB (the granularity HeMem and THP-mode TPP manage);
+// MEMTIS's dynamic page-size determination is modeled with Split and
+// Coalesce, which exchange a huge page for base pages and back.
+package pages
+
+import (
+	"fmt"
+
+	"colloid/internal/memsys"
+)
+
+// PageID identifies a page within an AddressSpace. IDs are stable for
+// the life of the space; Split allocates fresh IDs for children.
+type PageID int32
+
+// NoPage is the zero PageID sentinel for "no such page".
+const NoPage PageID = -1
+
+// BasePageBytes and HugePageBytes are the two page sizes the systems
+// manage (4 KB and 2 MB).
+const (
+	BasePageBytes = 4 << 10
+	HugePageBytes = 2 << 20
+)
+
+// Page is one unit of placement.
+type Page struct {
+	// ID is the page's identity within its AddressSpace.
+	ID PageID
+	// Bytes is the page size.
+	Bytes int64
+	// Tier is the page's current home.
+	Tier memsys.TierID
+	// Weight is the page's true access probability mass: the fraction
+	// of the workload's memory requests that touch this page. Weights
+	// across live pages sum to ~1 (workloads maintain this).
+	Weight float64
+	// Parent is the huge page this base page was split from, or NoPage.
+	Parent PageID
+	// Dead marks pages that were split into children and no longer
+	// exist as placement units.
+	Dead bool
+}
+
+// AddressSpace tracks all pages, their placement, and per-tier
+// aggregates. It is not safe for concurrent use; the simulator steps
+// systems sequentially within a quantum.
+type AddressSpace struct {
+	topo       *memsys.Topology
+	pages      []Page
+	tierBytes  []int64
+	tierWeight []float64
+	liveWeight float64
+	liveCount  int
+	version    uint64
+}
+
+// Version increments whenever the weight distribution or the set of
+// live pages changes (SetWeight, Split, Coalesce). Samplers use it to
+// cache derived structures across quanta; placement moves do not bump
+// it because they do not change what the PMU would sample.
+func (as *AddressSpace) Version() uint64 { return as.version }
+
+// NewAddressSpace allocates an address space over topo with
+// totalBytes/pageBytes pages of size pageBytes, all initially weight 0
+// and unplaced (tier -1 is not representable, so pages must be placed
+// via PlaceInitial or Move before use).
+func NewAddressSpace(topo *memsys.Topology, totalBytes, pageBytes int64) (*AddressSpace, error) {
+	if pageBytes <= 0 || totalBytes <= 0 {
+		return nil, fmt.Errorf("pages: sizes must be positive")
+	}
+	if totalBytes%pageBytes != 0 {
+		return nil, fmt.Errorf("pages: total %d not a multiple of page size %d", totalBytes, pageBytes)
+	}
+	n := totalBytes / pageBytes
+	if n > 1<<28 {
+		return nil, fmt.Errorf("pages: %d pages is unreasonably many; raise the page size", n)
+	}
+	if totalBytes > topo.TotalCapacity() {
+		return nil, fmt.Errorf("pages: working set %d exceeds total capacity %d", totalBytes, topo.TotalCapacity())
+	}
+	as := &AddressSpace{
+		topo:       topo,
+		pages:      make([]Page, n),
+		tierBytes:  make([]int64, topo.NumTiers()),
+		tierWeight: make([]float64, topo.NumTiers()),
+	}
+	for i := range as.pages {
+		as.pages[i] = Page{ID: PageID(i), Bytes: pageBytes, Parent: NoPage}
+	}
+	as.liveCount = int(n)
+	// Place first-fit: fill the default tier, then spill to alternates,
+	// mimicking first-touch allocation under Linux.
+	idx := 0
+	for t := 0; t < topo.NumTiers() && idx < len(as.pages); t++ {
+		free := topo.Capacity(memsys.TierID(t))
+		for idx < len(as.pages) && free >= pageBytes {
+			as.pages[idx].Tier = memsys.TierID(t)
+			as.tierBytes[t] += pageBytes
+			free -= pageBytes
+			idx++
+		}
+	}
+	if idx < len(as.pages) {
+		return nil, fmt.Errorf("pages: could not place all pages (placed %d of %d)", idx, len(as.pages))
+	}
+	return as, nil
+}
+
+// NumPages returns the number of page slots ever allocated, including
+// dead (split) pages; iterate with Get and check Dead.
+func (as *AddressSpace) NumPages() int { return len(as.pages) }
+
+// LivePages returns the number of live placement units.
+func (as *AddressSpace) LivePages() int { return as.liveCount }
+
+// Get returns a copy of the page with the given ID.
+func (as *AddressSpace) Get(id PageID) Page {
+	return as.pages[id]
+}
+
+// SetWeight updates the page's access probability mass.
+func (as *AddressSpace) SetWeight(id PageID, w float64) {
+	p := &as.pages[id]
+	if p.Dead {
+		panic(fmt.Sprintf("pages: SetWeight on dead page %d", id))
+	}
+	if w < 0 {
+		panic("pages: negative weight")
+	}
+	delta := w - p.Weight
+	as.tierWeight[p.Tier] += delta
+	as.liveWeight += delta
+	p.Weight = w
+	as.version++
+}
+
+// Weight returns the page's current weight.
+func (as *AddressSpace) Weight(id PageID) float64 { return as.pages[id].Weight }
+
+// Tier returns the page's current tier.
+func (as *AddressSpace) Tier(id PageID) memsys.TierID { return as.pages[id].Tier }
+
+// NumTiers returns the number of tiers the space spans.
+func (as *AddressSpace) NumTiers() int { return len(as.tierBytes) }
+
+// TierBytes returns the bytes resident in tier t.
+func (as *AddressSpace) TierBytes(t memsys.TierID) int64 { return as.tierBytes[t] }
+
+// FreeBytes returns the unused capacity of tier t.
+func (as *AddressSpace) FreeBytes(t memsys.TierID) int64 {
+	return as.topo.Capacity(t) - as.tierBytes[t]
+}
+
+// TierShare returns, for each tier, the fraction of workload requests
+// served by pages resident there (the p vector). Returns zeros if no
+// page has weight.
+func (as *AddressSpace) TierShare() []float64 {
+	out := make([]float64, len(as.tierWeight))
+	if as.liveWeight <= 0 {
+		return out
+	}
+	for i, w := range as.tierWeight {
+		out[i] = w / as.liveWeight
+	}
+	return out
+}
+
+// DefaultShare returns the p scalar for two-tier discussions: the share
+// of requests served by the default tier.
+func (as *AddressSpace) DefaultShare() float64 {
+	if as.liveWeight <= 0 {
+		return 0
+	}
+	return as.tierWeight[memsys.DefaultTier] / as.liveWeight
+}
+
+// Move relocates a page to tier to, enforcing destination capacity.
+func (as *AddressSpace) Move(id PageID, to memsys.TierID) error {
+	p := &as.pages[id]
+	if p.Dead {
+		return fmt.Errorf("pages: move of dead page %d", id)
+	}
+	if int(to) < 0 || int(to) >= len(as.tierBytes) {
+		return fmt.Errorf("pages: move to invalid tier %d", to)
+	}
+	if p.Tier == to {
+		return nil
+	}
+	if as.FreeBytes(to) < p.Bytes {
+		return fmt.Errorf("pages: tier %d full (%d free, need %d)", to, as.FreeBytes(to), p.Bytes)
+	}
+	as.tierBytes[p.Tier] -= p.Bytes
+	as.tierWeight[p.Tier] -= p.Weight
+	p.Tier = to
+	as.tierBytes[to] += p.Bytes
+	as.tierWeight[to] += p.Weight
+	return nil
+}
+
+// Split replaces a huge page with parts equal base-sized children in
+// the same tier, dividing its weight evenly (the splitter has no
+// sub-page access information at split time; subsequent sampling
+// refines the children's weights). Returns the child IDs.
+func (as *AddressSpace) Split(id PageID, parts int) ([]PageID, error) {
+	p := &as.pages[id]
+	if p.Dead {
+		return nil, fmt.Errorf("pages: split of dead page %d", id)
+	}
+	if parts <= 1 {
+		return nil, fmt.Errorf("pages: split into %d parts", parts)
+	}
+	if p.Bytes%int64(parts) != 0 {
+		return nil, fmt.Errorf("pages: %d bytes not divisible into %d parts", p.Bytes, parts)
+	}
+	childBytes := p.Bytes / int64(parts)
+	childWeight := p.Weight / float64(parts)
+	tier := p.Tier
+	// Retire the parent.
+	as.tierBytes[tier] -= p.Bytes
+	as.tierWeight[tier] -= p.Weight
+	as.liveWeight -= p.Weight
+	parentID := p.ID
+	p.Dead = true
+	p.Weight = 0
+	as.liveCount--
+	children := make([]PageID, parts)
+	for i := 0; i < parts; i++ {
+		cid := PageID(len(as.pages))
+		as.pages = append(as.pages, Page{
+			ID:     cid,
+			Bytes:  childBytes,
+			Tier:   tier,
+			Weight: childWeight,
+			Parent: parentID,
+		})
+		as.tierBytes[tier] += childBytes
+		as.tierWeight[tier] += childWeight
+		as.liveWeight += childWeight
+		as.liveCount++
+		children[i] = cid
+	}
+	as.version++
+	return children, nil
+}
+
+// Coalesce merges live sibling base pages back into their dead parent.
+// All children must be live, share the parent, and sit in the same
+// tier. The parent is revived with the summed weight; children die.
+func (as *AddressSpace) Coalesce(parent PageID, children []PageID) error {
+	pp := &as.pages[parent]
+	if !pp.Dead {
+		return fmt.Errorf("pages: coalesce target %d is not a split parent", parent)
+	}
+	if len(children) == 0 {
+		return fmt.Errorf("pages: coalesce with no children")
+	}
+	var bytes int64
+	var weight float64
+	tier := as.pages[children[0]].Tier
+	for _, cid := range children {
+		c := &as.pages[cid]
+		if c.Dead || c.Parent != parent {
+			return fmt.Errorf("pages: page %d is not a live child of %d", cid, parent)
+		}
+		if c.Tier != tier {
+			return fmt.Errorf("pages: children of %d span tiers; migrate before coalescing", parent)
+		}
+		bytes += c.Bytes
+		weight += c.Weight
+	}
+	if bytes != pp.Bytes {
+		return fmt.Errorf("pages: children cover %d bytes of parent's %d", bytes, pp.Bytes)
+	}
+	for _, cid := range children {
+		c := &as.pages[cid]
+		as.tierBytes[tier] -= c.Bytes
+		as.tierWeight[tier] -= c.Weight
+		as.liveWeight -= c.Weight
+		c.Dead = true
+		c.Weight = 0
+		as.liveCount--
+	}
+	pp.Dead = false
+	pp.Tier = tier
+	pp.Weight = weight
+	as.tierBytes[tier] += pp.Bytes
+	as.tierWeight[tier] += weight
+	as.liveWeight += weight
+	as.liveCount++
+	as.version++
+	return nil
+}
+
+// ForEachLive calls fn for every live page. fn must not mutate the
+// address space.
+func (as *AddressSpace) ForEachLive(fn func(p Page)) {
+	for i := range as.pages {
+		if !as.pages[i].Dead {
+			fn(as.pages[i])
+		}
+	}
+}
+
+// LiveIDs returns the IDs of all live pages, in ID order.
+func (as *AddressSpace) LiveIDs() []PageID {
+	out := make([]PageID, 0, as.liveCount)
+	for i := range as.pages {
+		if !as.pages[i].Dead {
+			out = append(out, as.pages[i].ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package pages
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"colloid/internal/memsys"
+)
+
+func testTopology(t *testing.T) *memsys.Topology {
+	t.Helper()
+	return memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+}
+
+func testSpace(t *testing.T, totalGiB int64) *AddressSpace {
+	t.Helper()
+	as, err := NewAddressSpace(testTopology(t), totalGiB*memsys.GiB, HugePageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func TestFirstFitPlacement(t *testing.T) {
+	as := testSpace(t, 72)
+	// 32 GiB fits in default, remaining 40 GiB spills to the remote tier.
+	if got := as.TierBytes(0); got != 32*memsys.GiB {
+		t.Fatalf("default tier bytes = %d", got)
+	}
+	if got := as.TierBytes(1); got != 40*memsys.GiB {
+		t.Fatalf("alternate tier bytes = %d", got)
+	}
+	if as.LivePages() != int(72*memsys.GiB/HugePageBytes) {
+		t.Fatalf("live pages = %d", as.LivePages())
+	}
+}
+
+func TestWorkingSetTooLarge(t *testing.T) {
+	if _, err := NewAddressSpace(testTopology(t), 1024*memsys.GiB, HugePageBytes); err == nil {
+		t.Fatal("oversized working set accepted")
+	}
+}
+
+func TestInvalidSizes(t *testing.T) {
+	topo := testTopology(t)
+	if _, err := NewAddressSpace(topo, 0, HugePageBytes); err == nil {
+		t.Fatal("zero total accepted")
+	}
+	if _, err := NewAddressSpace(topo, HugePageBytes+1, HugePageBytes); err == nil {
+		t.Fatal("non-multiple total accepted")
+	}
+}
+
+func TestSetWeightUpdatesShares(t *testing.T) {
+	as := testSpace(t, 4)
+	ids := as.LiveIDs()
+	as.SetWeight(ids[0], 0.75)
+	as.SetWeight(ids[1], 0.25)
+	share := as.TierShare()
+	if math.Abs(share[0]-1) > 1e-12 {
+		t.Fatalf("default share = %v, want 1 (all weight in default)", share[0])
+	}
+	if math.Abs(as.DefaultShare()-1) > 1e-12 {
+		t.Fatalf("DefaultShare = %v", as.DefaultShare())
+	}
+}
+
+func TestMoveUpdatesAggregates(t *testing.T) {
+	as := testSpace(t, 4)
+	ids := as.LiveIDs()
+	as.SetWeight(ids[0], 0.6)
+	as.SetWeight(ids[1], 0.4)
+	if err := as.Move(ids[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(as.DefaultShare()-0.4) > 1e-12 {
+		t.Fatalf("p after move = %v, want 0.4", as.DefaultShare())
+	}
+	if as.Tier(ids[0]) != 1 {
+		t.Fatal("page tier not updated")
+	}
+	// Move back.
+	if err := as.Move(ids[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(as.DefaultShare()-1) > 1e-12 {
+		t.Fatalf("p after move back = %v", as.DefaultShare())
+	}
+}
+
+func TestMoveRespectsCapacity(t *testing.T) {
+	// Working set equal to total capacity: the default tier is full, so
+	// promoting a page must fail until something is demoted.
+	as, err := NewAddressSpace(testTopology(t), 128*memsys.GiB, HugePageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inAlt PageID = NoPage
+	as.ForEachLive(func(p Page) {
+		if p.Tier == 1 && inAlt == NoPage {
+			inAlt = p.ID
+		}
+	})
+	if err := as.Move(inAlt, 0); err == nil {
+		t.Fatal("move into full tier accepted")
+	}
+}
+
+func TestMoveNoopSameTier(t *testing.T) {
+	as := testSpace(t, 4)
+	id := as.LiveIDs()[0]
+	before := as.TierBytes(0)
+	if err := as.Move(id, as.Tier(id)); err != nil {
+		t.Fatal(err)
+	}
+	if as.TierBytes(0) != before {
+		t.Fatal("no-op move changed aggregates")
+	}
+}
+
+func TestSplitAndCoalesce(t *testing.T) {
+	as := testSpace(t, 4)
+	id := as.LiveIDs()[0]
+	as.SetWeight(id, 0.5)
+	liveBefore := as.LivePages()
+	weightBefore := as.DefaultShare()
+	children, err := as.Split(id, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(children) != 512 {
+		t.Fatalf("children = %d", len(children))
+	}
+	if as.LivePages() != liveBefore-1+512 {
+		t.Fatalf("live pages after split = %d", as.LivePages())
+	}
+	if !as.Get(id).Dead {
+		t.Fatal("parent not dead after split")
+	}
+	if math.Abs(as.DefaultShare()-weightBefore) > 1e-9 {
+		t.Fatalf("split changed tier share: %v -> %v", weightBefore, as.DefaultShare())
+	}
+	for _, c := range children {
+		if as.Get(c).Bytes != BasePageBytes {
+			t.Fatalf("child size = %d", as.Get(c).Bytes)
+		}
+		if math.Abs(as.Weight(c)-0.5/512) > 1e-12 {
+			t.Fatalf("child weight = %v", as.Weight(c))
+		}
+	}
+	if err := as.Coalesce(id, children); err != nil {
+		t.Fatal(err)
+	}
+	if as.Get(id).Dead {
+		t.Fatal("parent still dead after coalesce")
+	}
+	if math.Abs(as.Weight(id)-0.5) > 1e-9 {
+		t.Fatalf("parent weight after coalesce = %v", as.Weight(id))
+	}
+	if as.LivePages() != liveBefore {
+		t.Fatalf("live pages after coalesce = %d", as.LivePages())
+	}
+}
+
+func TestCoalesceRejectsSpanningTiers(t *testing.T) {
+	as := testSpace(t, 4)
+	id := as.LiveIDs()[0]
+	children, err := as.Split(id, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Move(children[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Coalesce(id, children); err == nil {
+		t.Fatal("coalesce across tiers accepted")
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	as := testSpace(t, 4)
+	id := as.LiveIDs()[0]
+	if _, err := as.Split(id, 1); err == nil {
+		t.Fatal("split into 1 part accepted")
+	}
+	if _, err := as.Split(id, 3); err == nil {
+		t.Fatal("non-divisible split accepted")
+	}
+	children, _ := as.Split(id, 2)
+	if _, err := as.Split(id, 2); err == nil {
+		t.Fatal("split of dead page accepted")
+	}
+	_ = children
+}
+
+// Property: for any sequence of weight updates and legal moves, the sum
+// of per-tier weights equals the sum of live page weights, and
+// TierShare sums to 1 when weights exist.
+func TestAggregateInvariant(t *testing.T) {
+	as := testSpace(t, 8)
+	ids := as.LiveIDs()
+	f := func(ops []struct {
+		Idx  uint16
+		W    uint16
+		Tier bool
+	}) bool {
+		for _, op := range ops {
+			id := ids[int(op.Idx)%len(ids)]
+			as.SetWeight(id, float64(op.W)/65535.0)
+			to := memsys.TierID(0)
+			if op.Tier {
+				to = 1
+			}
+			_ = as.Move(id, to) // capacity failures are fine
+		}
+		var want float64
+		as.ForEachLive(func(p Page) { want += p.Weight })
+		share := as.TierShare()
+		sum := 0.0
+		for _, s := range share {
+			sum += s
+		}
+		if want == 0 {
+			return sum == 0
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

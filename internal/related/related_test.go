@@ -1,0 +1,129 @@
+package related
+
+import (
+	"math"
+	"testing"
+
+	"colloid/internal/hemem"
+	"colloid/internal/memsys"
+	"colloid/internal/sim"
+	"colloid/internal/workloads"
+)
+
+func runGUPS(t *testing.T, sys sim.System, antagonistCores int, seconds float64, seed uint64) (*sim.Engine, sim.Steady) {
+	t.Helper()
+	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+	g := workloads.DefaultGUPS()
+	e, err := sim.New(sim.Config{
+		Topology:        topo,
+		WorkingSetBytes: g.WorkingSetBytes,
+		Profile:         g.Profile(),
+		AntagonistCores: antagonistCores,
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+		t.Fatal(err)
+	}
+	e.SetSystem(sys)
+	if err := e.Run(seconds); err != nil {
+		t.Fatal(err)
+	}
+	return e, e.SteadyState(seconds / 3)
+}
+
+func TestNames(t *testing.T) {
+	if New(Config{Policy: BATMAN}).Name() != "batman" {
+		t.Fatal("batman name")
+	}
+	if New(Config{Policy: Carrefour}).Name() != "carrefour" {
+		t.Fatal("carrefour name")
+	}
+}
+
+func TestBATMANTargetsBandwidthRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	// Default tier 205 GB/s, alternate 75 GB/s: BATMAN wants ~73% of
+	// accesses in the default tier, regardless of contention.
+	e, _ := runGUPS(t, New(Config{Policy: BATMAN}), 0, 60, 1)
+	want := 205.0 / 280.0
+	if got := e.AS().DefaultShare(); math.Abs(got-want) > 0.08 {
+		t.Fatalf("BATMAN default share = %v, want ~%v", got, want)
+	}
+}
+
+func TestCarrefourTargetsEqualRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	e, _ := runGUPS(t, New(Config{Policy: Carrefour}), 0, 60, 2)
+	if got := e.AS().DefaultShare(); math.Abs(got-0.5) > 0.08 {
+		t.Fatalf("Carrefour default share = %v, want ~0.5", got)
+	}
+}
+
+// The paper's Section 6 critique, run: with a large unloaded-latency
+// gap (CXL-class alternate tier at ~2x) and no contention, both
+// policies unnecessarily park hot pages in the slower tier and lose to
+// a latency-aware (packed) placement.
+func TestRelatedPoliciesLoseAtZeroContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	remote := memsys.DualSocketXeonRemote()
+	remote.UnloadedLatencyNs = 270 // a far tier; parking hot pages hurts
+	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), remote)
+	run := func(sys sim.System, seed uint64) sim.Steady {
+		g := workloads.DefaultGUPS()
+		e, err := sim.New(sim.Config{
+			Topology:        topo,
+			WorkingSetBytes: g.WorkingSetBytes,
+			Profile:         g.Profile(),
+			Seed:            seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+			t.Fatal(err)
+		}
+		e.SetSystem(sys)
+		if err := e.Run(60); err != nil {
+			t.Fatal(err)
+		}
+		return e.SteadyState(20)
+	}
+	batman := run(New(Config{Policy: BATMAN}), 3)
+	carrefour := run(New(Config{Policy: Carrefour}), 3)
+	packed := run(hemem.New(hemem.Config{}), 3)
+	if batman.OpsPerSec > 0.9*packed.OpsPerSec {
+		t.Fatalf("BATMAN at 0x too close to packed: %v vs %v", batman.OpsPerSec, packed.OpsPerSec)
+	}
+	if carrefour.OpsPerSec > 0.9*packed.OpsPerSec {
+		t.Fatalf("Carrefour at 0x too close to packed: %v vs %v", carrefour.OpsPerSec, packed.OpsPerSec)
+	}
+	// Carrefour parks more traffic remotely (50% vs BATMAN's 27%), so
+	// it should fare no better.
+	if carrefour.OpsPerSec > batman.OpsPerSec*1.05 {
+		t.Fatalf("Carrefour (%v) beat BATMAN (%v) despite the larger remote share",
+			carrefour.OpsPerSec, batman.OpsPerSec)
+	}
+}
+
+// Under contention the fixed targets cannot adapt: both policies keep
+// their share while the optimal share collapses to ~0.
+func TestRelatedPoliciesContentionAgnostic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	e0, _ := runGUPS(t, New(Config{Policy: BATMAN}), 0, 60, 4)
+	e3, _ := runGUPS(t, New(Config{Policy: BATMAN}), 15, 60, 4)
+	s0, s3 := e0.AS().DefaultShare(), e3.AS().DefaultShare()
+	if math.Abs(s0-s3) > 0.1 {
+		t.Fatalf("BATMAN share moved with contention: %v -> %v", s0, s3)
+	}
+}

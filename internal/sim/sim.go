@@ -1,0 +1,388 @@
+// Package sim is the quantum-stepped simulation engine. Each quantum it
+// (1) reads the current page placement as per-tier request shares,
+// (2) solves the closed-loop equilibrium of application, antagonist and
+// migration traffic against the tier latency models, (3) feeds the CHA
+// counters, and (4) invokes the tiering system under test, which may
+// sample accesses and request page migrations that take effect in
+// subsequent quanta.
+//
+// The tiering systems observe the machine only through the sanctioned
+// interfaces — CHA counter snapshots and access-tracking samples — never
+// the solver's ground truth, mirroring what kernel/userspace tiering
+// code can see on real hardware.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"colloid/internal/access"
+	"colloid/internal/cha"
+	"colloid/internal/memsys"
+	"colloid/internal/migrate"
+	"colloid/internal/pages"
+	"colloid/internal/stats"
+	"colloid/internal/workloads"
+)
+
+// Context is the per-quantum view handed to a tiering system.
+type Context struct {
+	// QuantumIndex counts quanta from 0.
+	QuantumIndex int
+	// TimeSec is the simulation time at the end of this quantum.
+	TimeSec float64
+	// QuantumSec is the quantum duration.
+	QuantumSec float64
+	// AS is the application address space (placement + page sizes).
+	// Systems read placement and weights only via their trackers; the
+	// true Weight field is the PMU's sampling ground truth.
+	AS *pages.AddressSpace
+	// Topo describes the tiers.
+	Topo *memsys.Topology
+	// CHA is a cumulative counter snapshot taken after this quantum.
+	CHA cha.Snapshot
+	// Migrator executes migrations under rate limits.
+	Migrator *migrate.Engine
+	// Sampler draws access samples (the PEBS interface).
+	Sampler *access.Sampler
+	// AppRequestRate is the application's demand-read rate this
+	// quantum (what a PEBS-derived rate estimate would integrate to).
+	AppRequestRate float64
+	// SetInflightScale adjusts the effective per-core memory-level
+	// parallelism of the application (1 = unimpaired). MEMTIS uses it
+	// to model the TLB/walk overhead of running parts of the working
+	// set on split 4 KB pages.
+	SetInflightScale func(scale float64)
+	// RNG is the system's private randomness stream.
+	RNG *stats.RNG
+}
+
+// System is a tiering system under test: HeMem, TPP, MEMTIS, each with
+// or without Colloid, or a static-placement oracle arm.
+type System interface {
+	// Name identifies the system in results.
+	Name() string
+	// Step runs one engine quantum's worth of the system's logic. The
+	// system decides internally whether its own (longer) quantum has
+	// elapsed.
+	Step(ctx *Context)
+}
+
+// Config assembles a simulation.
+type Config struct {
+	// Topology is the tier set (required).
+	Topology *memsys.Topology
+	// WorkingSetBytes sizes the application address space (required).
+	WorkingSetBytes int64
+	// PageBytes is the placement granularity (default 2 MB).
+	PageBytes int64
+	// Profile is the application traffic profile (required).
+	Profile workloads.Profile
+	// AntagonistCores seeds the contention generator (0 = none);
+	// mutable mid-run via SetAntagonist.
+	AntagonistCores int
+	// QuantumSec is the engine step (default 10 ms, HeMem's migration
+	// quantum; systems with longer quanta skip engine steps).
+	QuantumSec float64
+	// Seed makes runs reproducible.
+	Seed uint64
+	// CHANoiseStdDev perturbs counter increments (default 0.01).
+	CHANoiseStdDev float64
+	// MigrationLimitBytesPerSec caps proactive migration traffic
+	// (default 2.5 GB/s; 0 keeps the default, use NoMigrationLimit for
+	// unlimited).
+	MigrationLimitBytesPerSec float64
+	// SampleEverySec is the trace recording interval (default 1 s).
+	SampleEverySec float64
+}
+
+// NoMigrationLimit disables the migration rate limit.
+const NoMigrationLimit = -1
+
+// DefaultMigrationLimit is the static migration rate limit
+// (bytes/sec) used when Config leaves it zero: 2.5 GB/s, sized like the
+// systems' defaults so a 24 GB hot set converges in ~10 s.
+const DefaultMigrationLimit = 2.5e9
+
+func (c Config) withDefaults() Config {
+	if c.PageBytes == 0 {
+		c.PageBytes = pages.HugePageBytes
+	}
+	if c.QuantumSec == 0 {
+		c.QuantumSec = 0.01
+	}
+	if c.CHANoiseStdDev == 0 {
+		c.CHANoiseStdDev = 0.01
+	}
+	if c.MigrationLimitBytesPerSec == 0 {
+		c.MigrationLimitBytesPerSec = DefaultMigrationLimit
+	} else if c.MigrationLimitBytesPerSec == NoMigrationLimit {
+		c.MigrationLimitBytesPerSec = 0
+	}
+	if c.SampleEverySec == 0 {
+		c.SampleEverySec = 1
+	}
+	return c
+}
+
+// Sample is one trace point.
+type Sample struct {
+	// TimeSec is the simulation time.
+	TimeSec float64
+	// OpsPerSec is application throughput in operations.
+	OpsPerSec float64
+	// LatencyNs[t] is the loaded latency of tier t.
+	LatencyNs []float64
+	// AppShare[t] is the fraction of app requests served by tier t.
+	AppShare []float64
+	// AppBytesPerSec[t] is the app's bandwidth on tier t (the MBM view
+	// of Figure 2(b)/6(a)).
+	AppBytesPerSec []float64
+	// TotalBytesPerSec[t] is all traffic on tier t.
+	TotalBytesPerSec []float64
+	// MigrationBytesPerSec is the migration rate over the last quantum.
+	MigrationBytesPerSec float64
+}
+
+type event struct {
+	at float64
+	fn func(*Engine)
+}
+
+// Engine drives one simulation.
+type Engine struct {
+	cfg      Config
+	topo     *memsys.Topology
+	as       *pages.AddressSpace
+	migrator *migrate.Engine
+	counters *cha.Counters
+	sampler  *access.Sampler
+	system   System
+
+	antagonist workloads.Antagonist
+	profile    workloads.Profile
+
+	rngWorkload *stats.RNG
+	rngSystem   *stats.RNG
+
+	inflightScale float64
+
+	timeSec     float64
+	quantum     int
+	events      []event
+	samples     []Sample
+	lastSampled float64
+	lastEq      *memsys.Equilibrium
+}
+
+// New builds an engine. The working set is placed first-fit (default
+// tier fills first); install a workload's weights before running.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("sim: topology required")
+	}
+	if cfg.WorkingSetBytes <= 0 {
+		return nil, fmt.Errorf("sim: working set required")
+	}
+	as, err := pages.NewAddressSpace(cfg.Topology, cfg.WorkingSetBytes, cfg.PageBytes)
+	if err != nil {
+		return nil, err
+	}
+	root := stats.NewRNG(cfg.Seed)
+	chaRNG := root.Split(1)
+	e := &Engine{
+		cfg:           cfg,
+		topo:          cfg.Topology,
+		as:            as,
+		migrator:      migrate.NewEngine(as, cfg.Topology.NumTiers(), cfg.MigrationLimitBytesPerSec),
+		counters:      cha.NewCounters(cfg.Topology.NumTiers(), cfg.CHANoiseStdDev, chaRNG),
+		antagonist:    workloads.Antagonist{Cores: cfg.AntagonistCores},
+		profile:       cfg.Profile,
+		rngWorkload:   root.Split(2),
+		rngSystem:     root.Split(3),
+		inflightScale: 1,
+	}
+	e.sampler = access.NewSampler(as, root.Split(4))
+	return e, nil
+}
+
+// AS exposes the address space for workload installation and inspection.
+func (e *Engine) AS() *pages.AddressSpace { return e.as }
+
+// Topology returns the tier set.
+func (e *Engine) Topology() *memsys.Topology { return e.topo }
+
+// Migrator returns the migration engine (for direct manipulation in
+// oracle sweeps).
+func (e *Engine) Migrator() *migrate.Engine { return e.migrator }
+
+// WorkloadRNG returns the stream used for workload randomness so
+// installs and shifts are reproducible per seed.
+func (e *Engine) WorkloadRNG() *stats.RNG { return e.rngWorkload }
+
+// TimeSec returns current simulation time.
+func (e *Engine) TimeSec() float64 { return e.timeSec }
+
+// SetSystem installs the tiering system under test (may be nil for a
+// static-placement run).
+func (e *Engine) SetSystem(s System) { e.system = s }
+
+// SetAntagonist changes the contention intensity immediately.
+func (e *Engine) SetAntagonist(cores int) { e.antagonist.Cores = cores }
+
+// SetProfile swaps the application traffic profile (for object-size or
+// phase-change sweeps).
+func (e *Engine) SetProfile(p workloads.Profile) { e.profile = p }
+
+// ScheduleAt registers fn to run at simulation time atSec, before the
+// quantum covering that time executes.
+func (e *Engine) ScheduleAt(atSec float64, fn func(*Engine)) {
+	e.events = append(e.events, event{at: atSec, fn: fn})
+	sort.SliceStable(e.events, func(i, j int) bool { return e.events[i].at < e.events[j].at })
+}
+
+// Step advances one quantum.
+func (e *Engine) Step() error {
+	for len(e.events) > 0 && e.events[0].at <= e.timeSec {
+		ev := e.events[0]
+		e.events = e.events[1:]
+		ev.fn(e)
+	}
+
+	// Migration traffic decided in the previous quantum is charged now.
+	migLoad := e.migrator.TrafficLoad()
+	migBytes := e.migrator.QuantumBytes()
+
+	share := e.as.TierShare()
+	appSrc := e.profile.Source(share)
+	appSrc.Inflight *= e.inflightScale
+	srcs := []memsys.Source{
+		appSrc,
+		e.antagonist.Source(e.topo.NumTiers()),
+	}
+	eq, err := e.topo.Solve(srcs, migLoad, memsys.SolveOptions{})
+	if err != nil {
+		return fmt.Errorf("sim: quantum %d: %w", e.quantum, err)
+	}
+	e.lastEq = eq
+
+	quantumNs := e.cfg.QuantumSec * 1e9
+	e.counters.Advance(quantumNs, eq.TierReadRate, eq.LatencyNs)
+
+	e.timeSec += e.cfg.QuantumSec
+	e.quantum++
+
+	// Record a trace sample at the configured cadence.
+	if e.timeSec-e.lastSampled >= e.cfg.SampleEverySec-1e-12 || len(e.samples) == 0 {
+		e.samples = append(e.samples, e.makeSample(eq, share, migBytes))
+		e.lastSampled = e.timeSec
+	}
+
+	// Let the system observe and react; its migrations apply to the
+	// next quantum's placement and traffic.
+	e.migrator.BeginQuantum(e.cfg.QuantumSec)
+	if e.system != nil {
+		ctx := &Context{
+			QuantumIndex:   e.quantum,
+			TimeSec:        e.timeSec,
+			QuantumSec:     e.cfg.QuantumSec,
+			AS:             e.as,
+			Topo:           e.topo,
+			CHA:            e.counters.Read(),
+			Migrator:       e.migrator,
+			Sampler:        e.sampler,
+			AppRequestRate: eq.Sources[0].RequestRate,
+			SetInflightScale: func(scale float64) {
+				if scale <= 0 || scale > 1 {
+					return
+				}
+				e.inflightScale = scale
+			},
+			RNG: e.rngSystem,
+		}
+		e.system.Step(ctx)
+	}
+	return nil
+}
+
+func (e *Engine) makeSample(eq *memsys.Equilibrium, share []float64, migBytes int64) Sample {
+	n := e.topo.NumTiers()
+	s := Sample{
+		TimeSec:              e.timeSec,
+		OpsPerSec:            e.profile.OpsPerSec(eq.Sources[0].RequestRate),
+		LatencyNs:            append([]float64(nil), eq.LatencyNs...),
+		AppShare:             append([]float64(nil), share...),
+		AppBytesPerSec:       make([]float64, n),
+		TotalBytesPerSec:     make([]float64, n),
+		MigrationBytesPerSec: float64(migBytes) / e.cfg.QuantumSec,
+	}
+	bytesPerReq := memsys.CachelineBytes * (1 + e.profile.WriteFraction)
+	for t := 0; t < n; t++ {
+		s.AppBytesPerSec[t] = eq.Sources[0].TierRate[t] * bytesPerReq
+		s.TotalBytesPerSec[t] = eq.TierLoad[t].Total()
+	}
+	return s
+}
+
+// Run advances the simulation by the given duration.
+func (e *Engine) Run(seconds float64) error {
+	steps := int(seconds/e.cfg.QuantumSec + 0.5)
+	for i := 0; i < steps; i++ {
+		if err := e.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Samples returns the recorded trace.
+func (e *Engine) Samples() []Sample { return e.samples }
+
+// LastEquilibrium returns the most recent solved quantum (nil before
+// the first step).
+func (e *Engine) LastEquilibrium() *memsys.Equilibrium { return e.lastEq }
+
+// Steady summarizes the trace tail covering the last lastSeconds of
+// simulation: mean ops/sec, mean per-tier latency, and mean per-tier
+// app bandwidth.
+type Steady struct {
+	OpsPerSec      float64
+	LatencyNs      []float64
+	AppShare       []float64
+	AppBytesPerSec []float64
+}
+
+// SteadyState averages the trace over the final lastSeconds.
+func (e *Engine) SteadyState(lastSeconds float64) Steady {
+	n := e.topo.NumTiers()
+	out := Steady{
+		LatencyNs:      make([]float64, n),
+		AppShare:       make([]float64, n),
+		AppBytesPerSec: make([]float64, n),
+	}
+	cutoff := e.timeSec - lastSeconds
+	count := 0
+	for _, s := range e.samples {
+		if s.TimeSec < cutoff {
+			continue
+		}
+		count++
+		out.OpsPerSec += s.OpsPerSec
+		for t := 0; t < n; t++ {
+			out.LatencyNs[t] += s.LatencyNs[t]
+			out.AppShare[t] += s.AppShare[t]
+			out.AppBytesPerSec[t] += s.AppBytesPerSec[t]
+		}
+	}
+	if count == 0 {
+		return out
+	}
+	out.OpsPerSec /= float64(count)
+	for t := 0; t < n; t++ {
+		out.LatencyNs[t] /= float64(count)
+		out.AppShare[t] /= float64(count)
+		out.AppBytesPerSec[t] /= float64(count)
+	}
+	return out
+}

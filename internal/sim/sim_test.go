@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"colloid/internal/memsys"
+	"colloid/internal/pages"
+	"colloid/internal/workloads"
+)
+
+func gupsEngine(t *testing.T, antagonistCores int, seed uint64) (*Engine, *workloads.GUPS) {
+	t.Helper()
+	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+	g := workloads.DefaultGUPS()
+	e, err := New(Config{
+		Topology:        topo,
+		WorkingSetBytes: g.WorkingSetBytes,
+		Profile:         g.Profile(),
+		AntagonistCores: antagonistCores,
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+		t.Fatal(err)
+	}
+	return e, g
+}
+
+func TestEngineRunsWithoutSystem(t *testing.T) {
+	e, _ := gupsEngine(t, 0, 1)
+	if err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	st := e.SteadyState(3)
+	if st.OpsPerSec <= 0 {
+		t.Fatal("no throughput")
+	}
+	if st.LatencyNs[0] < 70 || st.LatencyNs[1] < 135 {
+		t.Fatalf("latencies below unloaded: %v", st.LatencyNs)
+	}
+	if len(e.Samples()) == 0 {
+		t.Fatal("no samples recorded")
+	}
+}
+
+// packHotSet emulates the baselines' steady state: every hot page in
+// the default tier, cold pages filling the rest.
+func packHotSet(t *testing.T, e *Engine, g *workloads.GUPS) {
+	t.Helper()
+	as := e.AS()
+	var coldInDefault []pages.PageID
+	as.ForEachLive(func(p pages.Page) {
+		if p.Tier == memsys.DefaultTier && !g.IsHot(p.ID) {
+			coldInDefault = append(coldInDefault, p.ID)
+		}
+	})
+	as.ForEachLive(func(p pages.Page) {
+		if p.Tier != memsys.DefaultTier && g.IsHot(p.ID) {
+			if len(coldInDefault) == 0 {
+				t.Fatal("ran out of cold victims while packing")
+			}
+			victim := coldInDefault[len(coldInDefault)-1]
+			coldInDefault = coldInDefault[:len(coldInDefault)-1]
+			if err := as.Move(victim, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := as.Move(p.ID, memsys.DefaultTier); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestContentionReducesThroughput(t *testing.T) {
+	run := func(cores int) float64 {
+		e, g := gupsEngine(t, cores, 2)
+		packHotSet(t, e, g)
+		if err := e.Run(5); err != nil {
+			t.Fatal(err)
+		}
+		return e.SteadyState(3).OpsPerSec
+	}
+	t0 := run(0)
+	t3 := run(15)
+	// Packed placement under 3x contention: the paper reports ~3.4x
+	// throughput loss for contention-agnostic systems.
+	ratio := t0 / t3
+	if ratio < 2.5 || ratio > 4.5 {
+		t.Fatalf("0x/3x throughput ratio = %.2f, want ~3.4", ratio)
+	}
+}
+
+func TestScheduleAtFires(t *testing.T) {
+	e, _ := gupsEngine(t, 0, 3)
+	fired := false
+	e.ScheduleAt(1.0, func(en *Engine) {
+		fired = true
+		en.SetAntagonist(15)
+	})
+	if err := e.Run(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event fired early")
+	}
+	if err := e.Run(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+}
+
+func TestAntagonistChangeShowsInLatency(t *testing.T) {
+	e, _ := gupsEngine(t, 0, 4)
+	e.ScheduleAt(2, func(en *Engine) { en.SetAntagonist(15) })
+	if err := e.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	samples := e.Samples()
+	var before, after float64
+	for _, s := range samples {
+		if s.TimeSec <= 2 {
+			before = s.LatencyNs[0]
+		} else {
+			after = s.LatencyNs[0]
+		}
+	}
+	if after < before*1.5 {
+		t.Fatalf("contention step did not raise default latency: %.0f -> %.0f", before, after)
+	}
+}
+
+// A trivial system that demotes the hottest pages it samples; checks
+// the Context plumbing end to end.
+type demoter struct{ moved int }
+
+func (d *demoter) Name() string { return "demoter" }
+func (d *demoter) Step(ctx *Context) {
+	for i := 0; i < 4; i++ {
+		id := ctx.Sampler.Sample()
+		if id == pages.NoPage {
+			continue
+		}
+		if ctx.AS.Tier(id) == memsys.DefaultTier {
+			if err := ctx.Migrator.Move(id, 1); err == nil {
+				d.moved++
+			}
+		}
+	}
+}
+
+func TestSystemReceivesContextAndMigrates(t *testing.T) {
+	e, _ := gupsEngine(t, 0, 5)
+	d := &demoter{}
+	e.SetSystem(d)
+	pBefore := e.AS().DefaultShare()
+	if err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if d.moved == 0 {
+		t.Fatal("system never migrated")
+	}
+	if e.AS().DefaultShare() >= pBefore {
+		t.Fatal("demotions did not reduce default share")
+	}
+}
+
+func TestMigrationTrafficAppearsInLoad(t *testing.T) {
+	e, _ := gupsEngine(t, 0, 6)
+	e.SetSystem(&demoter{})
+	if err := e.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	var sawMigration bool
+	for _, s := range e.Samples() {
+		if s.MigrationBytesPerSec > 0 {
+			sawMigration = true
+		}
+	}
+	if !sawMigration {
+		t.Fatal("migration rate never recorded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e, _ := gupsEngine(t, 5, 42)
+		e.SetSystem(&demoter{})
+		if err := e.Run(3); err != nil {
+			t.Fatal(err)
+		}
+		var ops []float64
+		for _, s := range e.Samples() {
+			ops = append(ops, s.OpsPerSec)
+		}
+		return ops
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	topo := memsys.MustTopology(memsys.DualSocketXeonDefault())
+	if _, err := New(Config{Topology: topo}); err == nil {
+		t.Fatal("missing working set accepted")
+	}
+}
+
+func TestSteadyStateAveraging(t *testing.T) {
+	e, _ := gupsEngine(t, 0, 7)
+	if err := e.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	st := e.SteadyState(3)
+	// Steady throughput should match individual tail samples closely.
+	for _, s := range e.Samples() {
+		if s.TimeSec > 3 {
+			if math.Abs(s.OpsPerSec-st.OpsPerSec)/st.OpsPerSec > 0.05 {
+				t.Fatalf("tail sample %v deviates from steady mean %v", s.OpsPerSec, st.OpsPerSec)
+			}
+		}
+	}
+	if empty := e.SteadyState(0); empty.OpsPerSec != 0 {
+		// A zero window has no samples in range; must not NaN.
+		t.Logf("zero-window steady = %+v", empty)
+	}
+}

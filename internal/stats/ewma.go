@@ -1,0 +1,95 @@
+package stats
+
+// EWMA is an exponentially weighted moving average.
+//
+// Colloid applies EWMA smoothing to the raw CHA occupancy and rate
+// counter deltas before computing Little's-law latencies (Section 3.1):
+// it trades slightly higher reaction time on workload changes for
+// stability of the placement controller.
+//
+// The zero value is not ready for use; construct with NewEWMA.
+type EWMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1].
+// Larger alpha weights recent samples more heavily. The first Observe
+// primes the average to the sample itself so warm-up bias is avoided.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha must be in (0, 1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds sample into the average and returns the new value.
+func (e *EWMA) Observe(sample float64) float64 {
+	if !e.primed {
+		e.value = sample
+		e.primed = true
+		return e.value
+	}
+	e.value = e.alpha*sample + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Primed reports whether at least one sample has been observed.
+func (e *EWMA) Primed() bool { return e.primed }
+
+// Reset discards all history.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.primed = false
+}
+
+// Welford accumulates running mean and variance without storing samples.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe folds x into the accumulator.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples observed.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (0 with fewer than 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Min returns the smallest observed sample (0 with no samples).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observed sample (0 with no samples).
+func (w *Welford) Max() float64 { return w.max }

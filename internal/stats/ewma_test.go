@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMAPrimesToFirstSample(t *testing.T) {
+	e := NewEWMA(0.1)
+	if e.Primed() {
+		t.Fatal("fresh EWMA reports primed")
+	}
+	if got := e.Observe(42); got != 42 {
+		t.Fatalf("first observation = %v, want 42", got)
+	}
+	if !e.Primed() {
+		t.Fatal("EWMA not primed after first sample")
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.2)
+	e.Observe(0)
+	for i := 0; i < 200; i++ {
+		e.Observe(10)
+	}
+	if math.Abs(e.Value()-10) > 1e-6 {
+		t.Fatalf("EWMA did not converge: %v", e.Value())
+	}
+}
+
+func TestEWMAAlphaOneTracksExactly(t *testing.T) {
+	e := NewEWMA(1)
+	for _, v := range []float64{3, -1, 7.5} {
+		if got := e.Observe(v); got != v {
+			t.Fatalf("alpha=1 Observe(%v) = %v", v, got)
+		}
+	}
+}
+
+// Property: the EWMA value is always within the range of observed samples.
+func TestEWMABoundedBySamples(t *testing.T) {
+	f := func(raw []float64, alphaSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		alpha := 0.01 + float64(alphaSeed%99)/100.0
+		e := NewEWMA(alpha)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			got := e.Observe(v)
+			if got < lo-1e-9 || got > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(100)
+	e.Reset()
+	if e.Primed() || e.Value() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if got := e.Observe(7); got != 7 {
+		t.Fatalf("post-reset first sample = %v, want 7", got)
+	}
+}
+
+func TestEWMAInvalidAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Observe(v)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Fatal("empty Welford not zero")
+	}
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over [lo, hi) with uniform
+// bucket widths plus overflow/underflow buckets. MEMTIS uses an access
+// frequency histogram to pick its dynamic hot threshold; the simulator
+// uses histograms for latency and rate distributions in traces.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int64
+	under   int64
+	over    int64
+	count   int64
+	sum     float64
+}
+
+// NewHistogram returns a histogram with n uniform buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if !(hi > lo) || n <= 0 {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, n)}
+}
+
+// Observe adds x with weight 1.
+func (h *Histogram) Observe(x float64) { h.ObserveN(x, 1) }
+
+// ObserveN adds x with integer weight w.
+func (h *Histogram) ObserveN(x float64, w int64) {
+	h.count += w
+	h.sum += x * float64(w)
+	switch {
+	case x < h.lo:
+		h.under += w
+	case x >= h.hi:
+		h.over += w
+	default:
+		i := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i] += w
+	}
+}
+
+// Count returns the total observation weight.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the weighted mean of observations (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns an estimate of quantile q in [0, 1] assuming
+// uniform mass within buckets. Underflow mass maps to lo, overflow to hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	target := q * float64(h.count)
+	acc := float64(h.under)
+	if target <= acc {
+		return h.lo
+	}
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, b := range h.buckets {
+		if target <= acc+float64(b) && b > 0 {
+			frac := (target - acc) / float64(b)
+			return h.lo + width*(float64(i)+frac)
+		}
+		acc += float64(b)
+	}
+	return h.hi
+}
+
+// String renders a compact textual summary.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hist[n=%d mean=%.3g p50=%.3g p99=%.3g]",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+	return sb.String()
+}
+
+// Percentile computes the p-th percentile (0-100) of a sample slice by
+// sorting a copy; exact, for tests and small traces.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

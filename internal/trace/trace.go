@@ -1,0 +1,87 @@
+// Package trace exports experiment tables and simulation time series
+// in machine-readable form (CSV) so the paper's plots can be
+// regenerated with any plotting tool from colloidsim output.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"colloid/internal/sim"
+)
+
+// WriteTableCSV writes header+rows as CSV. Unit suffixes in cells are
+// preserved; use NumericizeCell to strip them downstream if needed.
+func WriteTableCSV(w io.Writer, columns []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(columns); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// NumericizeCell strips the unit suffixes colloidsim tables use so a
+// cell parses as a float ("12.3M" -> "12.3", "1.53x" -> "1.53",
+// "4.4%" -> "4.4").
+func NumericizeCell(cell string) string {
+	s := strings.TrimSpace(cell)
+	for _, suf := range []string{"Mops", "GB/s", "MB/s", "ns", "M", "x", "%"} {
+		s = strings.TrimSuffix(s, suf)
+	}
+	return s
+}
+
+// WriteSamplesCSV writes a simulation trace: one row per sample with
+// time, throughput, per-tier latency/share/bandwidth, and migration
+// rate. numTiers controls how many per-tier columns are emitted.
+func WriteSamplesCSV(w io.Writer, samples []sim.Sample, numTiers int) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t_sec", "ops_per_sec", "migration_bytes_per_sec"}
+	for t := 0; t < numTiers; t++ {
+		header = append(header,
+			fmt.Sprintf("latency_ns_t%d", t),
+			fmt.Sprintf("app_share_t%d", t),
+			fmt.Sprintf("app_bytes_per_sec_t%d", t),
+		)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		row := []string{
+			fmt.Sprintf("%.3f", s.TimeSec),
+			fmt.Sprintf("%.0f", s.OpsPerSec),
+			fmt.Sprintf("%.0f", s.MigrationBytesPerSec),
+		}
+		for t := 0; t < numTiers; t++ {
+			var lat, share, bw float64
+			if t < len(s.LatencyNs) {
+				lat = s.LatencyNs[t]
+			}
+			if t < len(s.AppShare) {
+				share = s.AppShare[t]
+			}
+			if t < len(s.AppBytesPerSec) {
+				bw = s.AppBytesPerSec[t]
+			}
+			row = append(row,
+				fmt.Sprintf("%.1f", lat),
+				fmt.Sprintf("%.4f", share),
+				fmt.Sprintf("%.0f", bw),
+			)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

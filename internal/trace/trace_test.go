@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"colloid/internal/sim"
+)
+
+func TestWriteTableCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTableCSV(&sb,
+		[]string{"a", "b"},
+		[][]string{{"1", "x,y"}, {"2", "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `1,"x,y"` {
+		t.Fatalf("comma not quoted: %q", lines[1])
+	}
+}
+
+func TestNumericizeCell(t *testing.T) {
+	cases := map[string]string{
+		"12.3M":   "12.3",
+		"1.53x":   "1.53",
+		"4.4%":    "4.4",
+		"350.1ns": "350.1",
+		"2.5GB/s": "2.5",
+		"7":       "7",
+	}
+	for in, want := range cases {
+		if got := NumericizeCell(in); got != want {
+			t.Errorf("NumericizeCell(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteSamplesCSV(t *testing.T) {
+	samples := []sim.Sample{
+		{
+			TimeSec:              1,
+			OpsPerSec:            1e6,
+			LatencyNs:            []float64{100, 200},
+			AppShare:             []float64{0.7, 0.3},
+			AppBytesPerSec:       []float64{5e9, 2e9},
+			MigrationBytesPerSec: 1e8,
+		},
+	}
+	var sb strings.Builder
+	if err := WriteSamplesCSV(&sb, samples, 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "latency_ns_t1") {
+		t.Fatalf("header missing tier columns: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "0.7000") {
+		t.Fatalf("row missing share: %q", lines[1])
+	}
+}
+
+func TestWriteSamplesCSVShortSlices(t *testing.T) {
+	// Samples with fewer tiers than requested must not panic.
+	samples := []sim.Sample{{TimeSec: 1, LatencyNs: []float64{100}}}
+	var sb strings.Builder
+	if err := WriteSamplesCSV(&sb, samples, 3); err != nil {
+		t.Fatal(err)
+	}
+}
