@@ -1,0 +1,30 @@
+# Tier-1 verification plus the extra checks CI runs. Go only; no
+# external tools required.
+
+GO ?= go
+
+.PHONY: ci verify vet race bench clean
+
+# Everything CI gates on.
+ci: verify vet race
+
+# Tier-1: the whole tree must build and every test must pass.
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the parallel experiment runner and the
+# engine. -short skips the long shape tests but not the runner's
+# parallel-vs-serial determinism tests.
+race:
+	$(GO) test -race -short ./internal/experiments/ ./internal/sim/
+
+# Headline figure metrics as benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem
+
+clean:
+	rm -f BENCH_*.json

@@ -5,11 +5,18 @@
 //	colloidsim -list
 //	colloidsim -exp fig1
 //	colloidsim -exp fig5,fig6a -quick
-//	colloidsim -exp all -quick -seed 7
+//	colloidsim -experiments all -quick -seed 7 -parallel 8
 //
 // Each experiment prints the table corresponding to a figure or table
 // in "Tiered Memory Management: Access Latency is the Key!" (SOSP'24);
 // see EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// Experiments decompose into independent arms that run on a worker
+// pool (-parallel, default GOMAXPROCS). Each arm draws a seed derived
+// only from the experiment name, arm index and -seed, so results are
+// bit-identical regardless of worker count or scheduling. Per-arm
+// wall-clock timings stream to BENCH_<id>.json (-bench selects the
+// directory; -bench "" disables).
 package main
 
 import (
@@ -26,12 +33,15 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		exp    = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
-		quick  = flag.Bool("quick", false, "shorter runs (noisier numbers, same shapes)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		csvDir = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+		list     = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		quick    = flag.Bool("quick", false, "shorter runs (noisier numbers, same shapes)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csvDir   = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+		parallel = flag.Int("parallel", 0, "arm workers per experiment (0 = GOMAXPROCS, 1 = serial)")
+		benchDir = flag.String("bench", ".", "directory for BENCH_<id>.json timing reports (empty = off)")
 	)
+	flag.Var(aliasValue{exp}, "experiments", "alias for -exp")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -57,7 +67,12 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{
+		Quick:       *quick,
+		Seed:        *seed,
+		Parallelism: *parallel,
+		BenchDir:    *benchDir,
+	}
 	failed := 0
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -81,6 +96,17 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// aliasValue forwards a flag to another flag's backing string.
+type aliasValue struct{ s *string }
+
+func (a aliasValue) String() string {
+	if a.s == nil {
+		return ""
+	}
+	return *a.s
+}
+func (a aliasValue) Set(v string) error { *a.s = v; return nil }
 
 // writeCSV saves the table under dir as <id>.csv.
 func writeCSV(dir string, tab *experiments.Table) error {

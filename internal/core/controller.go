@@ -259,7 +259,12 @@ func (c *Controller) Observe(snap cha.Snapshot) (d Decision, ok bool) {
 // computeShift is Algorithm 2: binary-search watermarks with the
 // epsilon reset for shifted equilibria.
 func (c *Controller) computeShift(p, lD, lA float64) float64 {
-	if abs(lD-lA) < c.opts.Delta*lD {
+	// Deadband relative to the larger of the two latencies, so the hold
+	// region is symmetric in (lD, lA). Scaling by lD alone makes the
+	// band collapse as lD shrinks (an idle default tier with no
+	// unloaded-latency prior measures near zero), promoting on latency
+	// gaps a demotion of the same magnitude would hold through.
+	if abs(lD-lA) < c.opts.Delta*max(lD, lA) {
 		return 0
 	}
 	if g := c.opts.ProportionalShift; g > 0 {

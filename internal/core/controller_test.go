@@ -247,6 +247,106 @@ func TestIdleAlternateUsesPrior(t *testing.T) {
 	}
 }
 
+func TestIdleAlternateWithoutPriorHolds(t *testing.T) {
+	// Same traffic pattern as TestIdleAlternateUsesPrior but with no
+	// unloaded-latency prior: the idle alternate's latency is unknown, so
+	// the controller treats it as balanced and must hold rather than
+	// manufacture demotion pressure from a zero signal.
+	c := NewController(2, Options{})
+	counters := cha.NewCounters(2, 0, nil)
+	counters.Advance(10e6, []float64{1e9, 0}, []float64{400, 0})
+	c.Observe(counters.Read())
+	counters.Advance(10e6, []float64{1e9, 0}, []float64{400, 0})
+	d, ok := c.Observe(counters.Read())
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.Mode != Hold {
+		t.Fatalf("mode = %v, want hold (idle alternate with no prior)", d.Mode)
+	}
+}
+
+func TestIdleDefaultUsesPrior(t *testing.T) {
+	// All traffic on the alternate tier; the idle default's latency must
+	// come from the unloaded prior, making it the faster tier: promote.
+	c := NewController(2, Options{UnloadedLatencyNs: []float64{70, 135}})
+	counters := cha.NewCounters(2, 0, nil)
+	counters.Advance(10e6, []float64{0, 1e9}, []float64{0, 135})
+	c.Observe(counters.Read())
+	counters.Advance(10e6, []float64{0, 1e9}, []float64{0, 135})
+	d, ok := c.Observe(counters.Read())
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.Mode != Promote {
+		t.Fatalf("mode = %v, want promote (70 ns idle default vs 135 ns alternate)", d.Mode)
+	}
+	if d.LatencyNs[0] != 70 {
+		t.Fatalf("idle default latency = %v, want the 70 ns prior", d.LatencyNs[0])
+	}
+}
+
+func TestIdleDefaultWithoutPriorPromotes(t *testing.T) {
+	// Without a prior an idle tier's latency is taken as 0, deliberately
+	// biasing toward sending traffic back so the tier becomes measurable.
+	c := NewController(2, Options{})
+	counters := cha.NewCounters(2, 0, nil)
+	counters.Advance(10e6, []float64{0, 1e9}, []float64{0, 135})
+	c.Observe(counters.Read())
+	counters.Advance(10e6, []float64{0, 1e9}, []float64{0, 135})
+	d, ok := c.Observe(counters.Read())
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.Mode != Promote {
+		t.Fatalf("mode = %v, want promote (remeasurement bias)", d.Mode)
+	}
+}
+
+func TestDeadbandSymmetric(t *testing.T) {
+	// Regression: the deadband threshold used to be Delta*lD, so with
+	// Delta=0.05 the gap |95.1-100| = 4.9 held when the default tier was
+	// the slower one (threshold 5.0) but shifted when it was the faster
+	// one (threshold 4.755). Relative to max(lD, lA) the band is
+	// symmetric: both orientations must hold, and a hold must leave the
+	// watermarks untouched.
+	for _, tc := range []struct{ lD, lA float64 }{{95.1, 100}, {100, 95.1}} {
+		c := NewController(2, Options{Delta: 0.05})
+		if dp := c.computeShift(0.9, tc.lD, tc.lA); dp != 0 {
+			t.Errorf("computeShift(0.9, %v, %v) = %v, want 0 (inside deadband)", tc.lD, tc.lA, dp)
+		}
+		if lo, hi := c.Watermarks(); lo != 0 || hi != 1 {
+			t.Errorf("lD=%v lA=%v: hold moved watermarks to (%v, %v)", tc.lD, tc.lA, lo, hi)
+		}
+	}
+	// Clearly unbalanced latencies must still shift in both directions.
+	if dp := NewController(2, Options{}).computeShift(0.9, 70, 400); dp <= 0 {
+		t.Error("large gap (default faster) did not shift")
+	}
+	if dp := NewController(2, Options{}).computeShift(0.9, 400, 70); dp <= 0 {
+		t.Error("large gap (default slower) did not shift")
+	}
+}
+
+// Property: whether the deadband holds depends only on the latency gap,
+// not on which tier is the faster one.
+func TestDeadbandOrientationSymmetry(t *testing.T) {
+	f := func(pSeed, gapSeed uint16) bool {
+		// p away from the exact corners: at p=1 (resp. p=0) the promote
+		// (resp. demote) branch coincidentally returns 0 with fresh
+		// watermarks, which would read as a spurious asymmetry.
+		p := 0.05 + 0.9*float64(pSeed)/65535
+		lo := 100.0
+		hi := lo + 30*float64(gapSeed)/65535 // gaps 0-30 ns straddle the band edge
+		heldFaster := NewController(2, Options{}).computeShift(p, lo, hi) == 0
+		heldSlower := NewController(2, Options{}).computeShift(p, hi, lo) == 0
+		return heldFaster == heldSlower
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: computeShift never returns a negative value and never
 // exceeds the distance to the nearer watermark boundary by more than
 // the reset allows.

@@ -12,7 +12,11 @@ import (
 )
 
 func init() {
-	register("ablation", Ablation)
+	register("ablation", &Experiment{
+		Title:    "Colloid mechanism ablations (HeMem+Colloid, GUPS)",
+		Arms:     ablationExpArms,
+		Assemble: ablationAssemble,
+	})
 }
 
 // ablationArm names one controller variant.
@@ -31,13 +35,33 @@ func ablationArms() []ablationArm {
 	}
 }
 
+// ablationResult is one variant's measurements.
+type ablationResult struct {
+	steadyOps float64
+	pStd      float64
+	afterOps  float64
+	recovered bool
+}
+
 // Ablation quantifies what each Colloid mechanism contributes
 // (DESIGN.md section 4): each arm disables one mechanism and runs
 // (a) steady state at 2x contention — throughput and a placement
 // stability index (std-dev of p) — and (b) a contention shift 2x -> 0x,
 // which moves the equilibrium point and exercises the watermark reset.
-func Ablation(o Options) (*Table, error) {
-	o = o.withDefaults()
+//
+// Arm layout: one arm per variant, in ablationArms order.
+func ablationExpArms(Options) ([]Arm, error) {
+	var arms []Arm
+	for _, arm := range ablationArms() {
+		arm := arm
+		arms = append(arms, Arm{Name: arm.name, Run: func(ctx ArmContext) (any, error) {
+			return runAblationArm(arm, ctx.Options, ctx.Seed)
+		}})
+	}
+	return arms, nil
+}
+
+func ablationAssemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "ablation",
 		Title:   "Colloid mechanism ablations (HeMem+Colloid, GUPS)",
@@ -48,39 +72,37 @@ func Ablation(o Options) (*Table, error) {
 			"no-ewma exposes the controller to counter noise",
 		},
 	}
-	for _, arm := range ablationArms() {
-		steady, pStd, after, recovered, err := runAblationArm(arm, o)
-		if err != nil {
-			return nil, err
-		}
+	for i, arm := range ablationArms() {
+		res := results[i].(ablationResult)
 		t.Rows = append(t.Rows, []string{
 			arm.name,
-			fmt.Sprintf("%.1f", steady/1e6),
-			fmt.Sprintf("%.4f", pStd),
-			fmt.Sprintf("%.1f", after/1e6),
-			fmt.Sprintf("%v", recovered),
+			fmt.Sprintf("%.1f", res.steadyOps/1e6),
+			fmt.Sprintf("%.4f", res.pStd),
+			fmt.Sprintf("%.1f", res.afterOps/1e6),
+			fmt.Sprintf("%v", res.recovered),
 		})
 	}
 	return t, nil
 }
 
-func runAblationArm(arm ablationArm, o Options) (steadyOps, pStd, afterOps float64, recovered bool, err error) {
+func runAblationArm(arm ablationArm, o Options, seed uint64) (ablationResult, error) {
+	var res ablationResult
 	g := workloads.DefaultGUPS()
-	cfg := gupsConfig(paperTopology(0, 0), g, 2, o.Seed)
+	cfg := gupsConfig(paperTopology(0, 0), g, 2, seed)
 	e, err := sim.New(cfg)
 	if err != nil {
-		return 0, 0, 0, false, err
+		return res, err
 	}
 	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
-		return 0, 0, 0, false, err
+		return res, err
 	}
 	e.SetSystem(hemem.New(hemem.Config{Colloid: &arm.opts}))
 	phase1 := o.scale(60, 30)
 	if err := e.Run(phase1); err != nil {
-		return 0, 0, 0, false, err
+		return res, err
 	}
 	st := e.SteadyState(phase1 / 3)
-	steadyOps = st.OpsPerSec
+	res.steadyOps = st.OpsPerSec
 	// Placement stability: std-dev of the default share over the tail.
 	var w stats.Welford
 	for _, s := range e.Samples() {
@@ -88,18 +110,18 @@ func runAblationArm(arm ablationArm, o Options) (steadyOps, pStd, afterOps float
 			w.Observe(s.AppShare[0])
 		}
 	}
-	pStd = math.Sqrt(w.Variance())
+	res.pStd = math.Sqrt(w.Variance())
 	// Phase 2: drop contention to 0x — the equilibrium point jumps to
 	// p*=1 and the controller must re-bracket.
 	e.SetAntagonist(0)
 	phase2 := o.scale(60, 30)
 	if err := e.Run(phase2); err != nil {
-		return 0, 0, 0, false, err
+		return res, err
 	}
 	after := e.SteadyState(phase2 / 3)
-	afterOps = after.OpsPerSec
+	res.afterOps = after.OpsPerSec
 	// Recovery criterion: most of the hot set back in the default tier
 	// (packed placement is optimal at 0x).
-	recovered = e.AS().DefaultShare() > 0.7
-	return steadyOps, pStd, afterOps, recovered, nil
+	res.recovered = e.AS().DefaultShare() > 0.7
+	return res, nil
 }

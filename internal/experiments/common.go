@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"colloid/internal/core"
 	"colloid/internal/hemem"
@@ -78,32 +79,49 @@ func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity int, seed ui
 }
 
 // steadyCache memoizes standard GUPS arms: several figures reuse the
-// same (system, colloid, intensity) runs. Experiments run sequentially
-// in one goroutine, so no locking is needed.
-var steadyCache = map[string]sim.Steady{}
+// same (system, colloid, intensity) runs. Arms of one experiment run
+// concurrently and any experiment may be re-run, so the cache is
+// mutex-guarded; a concurrent double-compute of the same key stores the
+// same deterministic value twice, which is harmless.
+var (
+	steadyMu    sync.Mutex
+	steadyCache = map[string]sim.Steady{}
+)
 
 // runSteady runs one (system, workload, intensity) arm to steady state
 // and returns the engine and tail averages. Cached arms return a nil
 // engine; callers needing the engine should use runSteadyOn.
+//
+// The simulation is seeded with the base o.Seed — not a per-arm derived
+// seed — deliberately: fig1/fig2/fig5/fig6/related all reference the
+// same logical (system, colloid, intensity) runs, and keying them to
+// the base seed keeps every figure reporting one consistent dataset
+// (and keeps the cache shareable across figures).
 func runSteady(system string, withColloid bool, intensity int, o Options) (*sim.Engine, sim.Steady, error) {
 	key := fmt.Sprintf("%s/%v/%d/%d/%v", system, withColloid, intensity, o.Seed, o.Quick)
-	if st, ok := steadyCache[key]; ok {
+	steadyMu.Lock()
+	st, ok := steadyCache[key]
+	steadyMu.Unlock()
+	if ok {
 		return nil, st, nil
 	}
-	e, st, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), system, withColloid, intensity, o, 0)
+	e, st, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), system, withColloid, intensity, o, o.Seed, 0)
 	if err == nil {
+		steadyMu.Lock()
 		steadyCache[key] = st
+		steadyMu.Unlock()
 	}
 	return e, st, err
 }
 
-// runSteadyOn is runSteady against an explicit topology/workload; a
-// nonzero objectBytes overrides the GUPS object size (Figure 8).
-func runSteadyOn(topo *memsys.Topology, g *workloads.GUPS, system string, withColloid bool, intensity int, o Options, objectBytes int64) (*sim.Engine, sim.Steady, error) {
+// runSteadyOn is runSteady against an explicit topology/workload and
+// simulation seed; a nonzero objectBytes overrides the GUPS object size
+// (Figure 8).
+func runSteadyOn(topo *memsys.Topology, g *workloads.GUPS, system string, withColloid bool, intensity int, o Options, seed uint64, objectBytes int64) (*sim.Engine, sim.Steady, error) {
 	if objectBytes > 0 {
 		g.ObjectBytes = objectBytes
 	}
-	cfg := gupsConfig(topo, g, intensity, o.Seed)
+	cfg := gupsConfig(topo, g, intensity, seed)
 	e, err := sim.New(cfg)
 	if err != nil {
 		return nil, sim.Steady{}, err
@@ -123,20 +141,73 @@ func runSteadyOn(topo *memsys.Topology, g *workloads.GUPS, system string, withCo
 	return e, e.SteadyState(secs / 3), nil
 }
 
-// bestCache memoizes oracle sweeps across figures.
-var bestCache = map[string]*oracle.Result{}
+// bestCache memoizes oracle sweeps across figures (mutex-guarded like
+// steadyCache).
+var (
+	bestMu    sync.Mutex
+	bestCache = map[string]*oracle.Result{}
+)
 
-// bestCase runs the oracle sweep for GUPS at the given intensity.
+// bestCase runs the oracle sweep for GUPS at the given intensity. Like
+// runSteady it is keyed to the base seed so every figure compares
+// against the same best-case dataset.
 func bestCase(intensity int, o Options) (*oracle.Result, error) {
 	key := fmt.Sprintf("%d/%d", intensity, o.Seed)
-	if r, ok := bestCache[key]; ok {
+	bestMu.Lock()
+	r, ok := bestCache[key]
+	bestMu.Unlock()
+	if ok {
 		return r, nil
 	}
 	g := workloads.DefaultGUPS()
 	cfg := gupsConfig(paperTopology(0, 0), g, intensity, o.Seed)
 	r, err := oracle.BestCase(oracle.Config{Sim: cfg, Workload: g})
 	if err == nil {
+		bestMu.Lock()
 		bestCache[key] = r
+		bestMu.Unlock()
 	}
 	return r, err
+}
+
+// Shared arm constructors and typed result accessors. Assemble
+// functions index results positionally, so each figure documents its
+// arm layout next to its Arms function.
+
+// steadyArm wraps the shared memoized GUPS steady run as an arm.
+func steadyArm(system string, withColloid bool, intensity int) Arm {
+	name := fmt.Sprintf("steady/%s/%dx", system, intensity)
+	if withColloid {
+		name = fmt.Sprintf("steady/%s+colloid/%dx", system, intensity)
+	}
+	return Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
+		_, st, err := runSteady(system, withColloid, intensity, ctx.Options)
+		return st, err
+	}}
+}
+
+// bestArm wraps the shared memoized oracle sweep as an arm.
+func bestArm(intensity int) Arm {
+	return Arm{Name: fmt.Sprintf("best/%dx", intensity), Run: func(ctx ArmContext) (any, error) {
+		return bestCase(intensity, ctx.Options)
+	}}
+}
+
+// steadyAt asserts results[i] back to the Steady a steadyArm produced.
+func steadyAt(results []any, i int) sim.Steady { return results[i].(sim.Steady) }
+
+// bestAt asserts results[i] back to the oracle sweep a bestArm produced.
+func bestAt(results []any, i int) *oracle.Result { return results[i].(*oracle.Result) }
+
+// shareOf returns the default tier's fraction of the app bandwidth
+// vector (the MBM view used by fig2b and fig6a).
+func shareOf(app []float64) float64 {
+	total := 0.0
+	for _, b := range app {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	return app[0] / total
 }

@@ -18,6 +18,14 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Parallelism is the worker count for independent experiment arms:
+	// 0 uses GOMAXPROCS, 1 forces serial execution. Per-arm results are
+	// bit-identical at any worker count (seeds are derived per arm, not
+	// per worker).
+	Parallelism int
+	// BenchDir, when non-empty, streams per-arm wall-clock timings to
+	// <BenchDir>/BENCH_<id>.json as each experiment runs.
+	BenchDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -90,28 +98,40 @@ func (t *Table) Render() string {
 	return sb.String()
 }
 
-// Runner produces one artifact.
-type Runner func(Options) (*Table, error)
+// Experiment is one registered artifact, decomposed into independent
+// arms so the Runner can execute them on a worker pool. Arms enumerates
+// the units of work (each an independent seeded simulation); Assemble
+// folds the index-aligned arm results back into the Table.
+type Experiment struct {
+	// Title is a short human-readable description.
+	Title string
+	// Arms enumerates the experiment's independent arms. It runs once
+	// per Run, serially, and may do deterministic setup (profile
+	// extraction, topology construction) whose products arms share
+	// read-only.
+	Arms func(o Options) ([]Arm, error)
+	// Assemble builds the table from arm results, index-aligned with
+	// the slice Arms returned. It runs after every arm has finished, so
+	// table layout is independent of arm scheduling.
+	Assemble func(o Options, results []any) (*Table, error)
+}
 
-// registry maps experiment IDs to runners; populated by init functions
-// in the per-figure files.
-var registry = map[string]Runner{}
+// registry maps experiment IDs to experiments; populated by init
+// functions in the per-figure files.
+var registry = map[string]*Experiment{}
 
-// register adds a runner; duplicate IDs are a programming error.
-func register(id string, r Runner) {
+// register adds an experiment; duplicate IDs are a programming error.
+func register(id string, e *Experiment) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
-	registry[id] = r
+	registry[id] = e
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID, parallelizing its arms
+// according to opts.Parallelism.
 func Run(id string, opts Options) (*Table, error) {
-	r, ok := registry[id]
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (use List)", id)
-	}
-	return r(opts)
+	return (&Runner{Workers: opts.Parallelism, BenchDir: opts.BenchDir}).Run(id, opts)
 }
 
 // List returns all experiment IDs in sorted order.

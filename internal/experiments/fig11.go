@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"colloid/internal/apps/cachelib"
 	"colloid/internal/apps/gapbs"
@@ -14,9 +15,15 @@ import (
 )
 
 func init() {
-	register("fig11a", func(o Options) (*Table, error) { return fig11(o, "gapbs") })
-	register("fig11b", func(o Options) (*Table, error) { return fig11(o, "silo") })
-	register("fig11c", func(o Options) (*Table, error) { return fig11(o, "cachelib") })
+	for _, app := range []string{"gapbs", "silo", "cachelib"} {
+		id := map[string]string{"gapbs": "fig11a", "silo": "fig11b", "cachelib": "fig11c"}[app]
+		app := app
+		register(id, &Experiment{
+			Title:    fmt.Sprintf("%s end-to-end performance; default tier = WS/3", app),
+			Arms:     func(o Options) ([]Arm, error) { return fig11Arms(o, app) },
+			Assemble: func(o Options, results []any) (*Table, error) { return fig11Assemble(o, app, results) },
+		})
+	}
 }
 
 // appSetup is one real application prepared for simulation: the access
@@ -34,8 +41,13 @@ type appSetup struct {
 }
 
 // appCache memoizes profile extraction (building a graph or loading a
-// store takes a second or two).
-var appCache = map[string]*appSetup{}
+// store takes a second or two). Guarded by appMu; buildApp is called
+// from Arms() (serial per experiment) but experiments themselves may
+// run concurrently.
+var (
+	appMu    sync.Mutex
+	appCache = map[string]*appSetup{}
+)
 
 // buildApp runs the scaled application and records its profile. The
 // applications run at memory-scaled size; their access *distribution*
@@ -44,7 +56,10 @@ var appCache = map[string]*appSetup{}
 // page count matches the simulated page count).
 func buildApp(name string, seed uint64) (*appSetup, error) {
 	key := fmt.Sprintf("%s/%d", name, seed)
-	if s, ok := appCache[key]; ok {
+	appMu.Lock()
+	s, ok := appCache[key]
+	appMu.Unlock()
+	if ok {
 		return s, nil
 	}
 	rng := stats.NewRNG(seed ^ 0xa99)
@@ -145,7 +160,9 @@ func buildApp(name string, seed uint64) (*appSetup, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown app %q", name)
 	}
+	appMu.Lock()
 	appCache[key] = setup
+	appMu.Unlock()
 	return setup, nil
 }
 
@@ -159,12 +176,66 @@ func pageSizeFor(appBytes, simPages int64) int64 {
 	return ps
 }
 
-// fig11 reproduces Figure 11 for one application: throughput (or
-// execution time) of each system with and without Colloid across
-// contention intensities, on a topology whose default tier is one
-// third of the working set.
-func fig11(o Options, app string) (*Table, error) {
-	o = o.withDefaults()
+// Figure 11: throughput (or execution time) of each system with and
+// without Colloid across contention intensities, on a topology whose
+// default tier is one third of the working set.
+//
+// Arm layout: [intensity][sys][vanilla, colloid] (stride 6 per
+// intensity). The app profile is extracted once in Arms (serial) so
+// arms only run the simulation; the setup and topology are read-only
+// and safely shared across concurrent arms.
+func fig11Arms(o Options, app string) ([]Arm, error) {
+	setup, err := buildApp(app, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defaultTier := memsys.DualSocketXeonDefault()
+	defaultTier.CapacityBytes = setup.wsBytes / 3
+	remote := memsys.DualSocketXeonRemote()
+	remote.CapacityBytes = setup.wsBytes // everything fits in the alternate
+	topo := memsys.MustTopology(defaultTier, remote)
+	// Round the working set to the placement granularity.
+	ws := setup.wsBytes / (2 * memsys.MiB) * (2 * memsys.MiB)
+
+	var arms []Arm
+	for _, intensity := range intensities {
+		for _, sys := range systemNames {
+			for _, withColloid := range []bool{false, true} {
+				sys, intensity, withColloid := sys, intensity, withColloid
+				name := fmt.Sprintf("%s/%s/%dx/colloid=%v", app, sys, intensity, withColloid)
+				arms = append(arms, Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
+					e, err := sim.New(sim.Config{
+						Topology:        topo,
+						WorkingSetBytes: ws,
+						Profile:         setup.traffic,
+						AntagonistCores: workloads.AntagonistForIntensity(intensity).Cores,
+						Seed:            ctx.Seed,
+					})
+					if err != nil {
+						return nil, err
+					}
+					fw := &workloads.FromWeights{Name: setup.name, Weights: setup.weights, Traffic: setup.traffic}
+					if err := fw.Install(e.AS(), e.WorkloadRNG()); err != nil {
+						return nil, err
+					}
+					system, err := newSystem(sys, withColloid)
+					if err != nil {
+						return nil, err
+					}
+					e.SetSystem(system)
+					secs := convergeSeconds(sys, ctx.Options)
+					if err := e.Run(secs); err != nil {
+						return nil, err
+					}
+					return e.SteadyState(secs / 3), nil
+				}})
+			}
+		}
+	}
+	return arms, nil
+}
+
+func fig11Assemble(o Options, app string, results []any) (*Table, error) {
 	setup, err := buildApp(app, o.Seed)
 	if err != nil {
 		return nil, err
@@ -178,52 +249,17 @@ func fig11(o Options, app string) (*Table, error) {
 			"Silo up to 1.25x/1.17x/1.17x, CacheLib up to 1.74x/1.79x/1.93x (HeMem/TPP/MEMTIS)",
 		},
 	}
-	defaultTier := memsys.DualSocketXeonDefault()
-	defaultTier.CapacityBytes = setup.wsBytes / 3
-	remote := memsys.DualSocketXeonRemote()
-	remote.CapacityBytes = setup.wsBytes // everything fits in the alternate
-	topo := memsys.MustTopology(defaultTier, remote)
-	// Round the working set to the placement granularity.
-	ws := setup.wsBytes / (2 * memsys.MiB) * (2 * memsys.MiB)
-
+	i := 0
 	for _, intensity := range intensities {
 		row := []string{fmt.Sprintf("%dx", intensity)}
 		bestGain := 0.0
-		for _, sys := range systemNames {
-			var vanillaOps float64
-			for _, withColloid := range []bool{false, true} {
-				e, err := sim.New(sim.Config{
-					Topology:        topo,
-					WorkingSetBytes: ws,
-					Profile:         setup.traffic,
-					AntagonistCores: workloads.AntagonistForIntensity(intensity).Cores,
-					Seed:            o.Seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				fw := &workloads.FromWeights{Name: setup.name, Weights: setup.weights, Traffic: setup.traffic}
-				if err := fw.Install(e.AS(), e.WorkloadRNG()); err != nil {
-					return nil, err
-				}
-				system, err := newSystem(sys, withColloid)
-				if err != nil {
-					return nil, err
-				}
-				e.SetSystem(system)
-				secs := convergeSeconds(sys, o)
-				if err := e.Run(secs); err != nil {
-					return nil, err
-				}
-				st := e.SteadyState(secs / 3)
-				row = append(row, fOps(st.OpsPerSec))
-				if withColloid {
-					if g := st.OpsPerSec / vanillaOps; g > bestGain {
-						bestGain = g
-					}
-				} else {
-					vanillaOps = st.OpsPerSec
-				}
+		for range systemNames {
+			vanilla := steadyAt(results, i)
+			colloid := steadyAt(results, i+1)
+			i += 2
+			row = append(row, fOps(vanilla.OpsPerSec), fOps(colloid.OpsPerSec))
+			if g := colloid.OpsPerSec / vanilla.OpsPerSec; g > bestGain {
+				bestGain = g
 			}
 		}
 		row = append(row, fX(bestGain))

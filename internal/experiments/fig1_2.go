@@ -3,16 +3,40 @@ package experiments
 import "fmt"
 
 func init() {
-	register("fig1", Fig1)
-	register("fig2a", Fig2a)
-	register("fig2b", Fig2b)
+	register("fig1", &Experiment{
+		Title:    "GUPS throughput vs best-case under memory interconnect contention",
+		Arms:     fig1Arms,
+		Assemble: fig1Assemble,
+	})
+	register("fig2a", &Experiment{
+		Title:    "per-tier access latency under baseline (packed) placement",
+		Arms:     fig2aArms,
+		Assemble: fig2aAssemble,
+	})
+	register("fig2b", &Experiment{
+		Title:    "default-tier share of app bandwidth: best-case vs baselines",
+		Arms:     fig2bArms,
+		Assemble: fig2bAssemble,
+	})
 }
 
-// Fig1 reproduces Figure 1: steady-state GUPS throughput of HeMem, TPP
-// and MEMTIS against the best-case manual placement, across memory
-// interconnect contention intensities 0x-3x.
-func Fig1(o Options) (*Table, error) {
-	o = o.withDefaults()
+// Figure 1: steady-state GUPS throughput of HeMem, TPP and MEMTIS
+// against the best-case manual placement, across memory interconnect
+// contention intensities 0x-3x.
+//
+// Arm layout: per intensity, [best, hemem, tpp, memtis] (stride 4).
+func fig1Arms(Options) ([]Arm, error) {
+	var arms []Arm
+	for _, intensity := range intensities {
+		arms = append(arms, bestArm(intensity))
+		for _, sys := range systemNames {
+			arms = append(arms, steadyArm(sys, false, intensity))
+		}
+	}
+	return arms, nil
+}
+
+func fig1Assemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "fig1",
 		Title:   "GUPS throughput vs best-case under memory interconnect contention",
@@ -21,18 +45,13 @@ func Fig1(o Options) (*Table, error) {
 			"paper: gaps reach 2.30x (HeMem), 2.36x (TPP), 2.46x (MEMTIS) at 3x intensity",
 		},
 	}
-	for _, intensity := range intensities {
-		best, err := bestCase(intensity, o)
-		if err != nil {
-			return nil, err
-		}
+	stride := 1 + len(systemNames)
+	for k, intensity := range intensities {
+		best := bestAt(results, k*stride)
 		row := []string{fmt.Sprintf("%dx", intensity), fOps(best.Best.OpsPerSec)}
 		worst := 1.0
-		for _, sys := range systemNames {
-			_, st, err := runSteady(sys, false, intensity, o)
-			if err != nil {
-				return nil, err
-			}
+		for s := range systemNames {
+			st := steadyAt(results, k*stride+1+s)
 			row = append(row, fOps(st.OpsPerSec))
 			if gap := best.Best.OpsPerSec / st.OpsPerSec; gap > worst {
 				worst = gap
@@ -44,10 +63,21 @@ func Fig1(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Fig2a reproduces Figure 2(a): per-tier loaded access latency while
-// the baselines (which pack the hot set) run under contention.
-func Fig2a(o Options) (*Table, error) {
-	o = o.withDefaults()
+// Figure 2(a): per-tier loaded access latency while the baselines
+// (which pack the hot set) run under contention.
+//
+// Arm layout: per intensity, one steady arm per system (stride 3).
+func fig2aArms(Options) ([]Arm, error) {
+	var arms []Arm
+	for _, intensity := range intensities {
+		for _, sys := range systemNames {
+			arms = append(arms, steadyArm(sys, false, intensity))
+		}
+	}
+	return arms, nil
+}
+
+func fig2aAssemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "fig2a",
 		Title:   "per-tier access latency under baseline (packed) placement",
@@ -57,12 +87,11 @@ func Fig2a(o Options) (*Table, error) {
 			"exceeding the alternate tier by 1.2x/1.8x/2.4x",
 		},
 	}
+	i := 0
 	for _, intensity := range intensities {
 		for _, sys := range systemNames {
-			_, st, err := runSteady(sys, false, intensity, o)
-			if err != nil {
-				return nil, err
-			}
+			st := steadyAt(results, i)
+			i++
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("%dx", intensity), sys,
 				f1(st.LatencyNs[0]), f1(st.LatencyNs[1]),
@@ -73,10 +102,15 @@ func Fig2a(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Fig2b reproduces Figure 2(b): the app's default-tier share of its
-// memory bandwidth (the MBM measurement), best-case vs each baseline.
-func Fig2b(o Options) (*Table, error) {
-	o = o.withDefaults()
+// Figure 2(b): the app's default-tier share of its memory bandwidth
+// (the MBM measurement), best-case vs each baseline.
+//
+// Arm layout: per intensity, [best, hemem, tpp, memtis] (stride 4).
+func fig2bArms(Options) ([]Arm, error) {
+	return fig1Arms(Options{})
+}
+
+func fig2bAssemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "fig2b",
 		Title:   "default-tier share of app bandwidth: best-case vs baselines",
@@ -85,27 +119,12 @@ func Fig2b(o Options) (*Table, error) {
 			"paper: best-case default share falls to 25%/4.5%/4% at 1x/2x/3x while baselines stay >75%",
 		},
 	}
-	shareOf := func(app []float64) float64 {
-		total := 0.0
-		for _, b := range app {
-			total += b
-		}
-		if total == 0 {
-			return 0
-		}
-		return app[0] / total
-	}
-	for _, intensity := range intensities {
-		best, err := bestCase(intensity, o)
-		if err != nil {
-			return nil, err
-		}
+	stride := 1 + len(systemNames)
+	for k, intensity := range intensities {
+		best := bestAt(results, k*stride)
 		row := []string{fmt.Sprintf("%dx", intensity), fPct(shareOf(best.Best.AppBytesPerSec))}
-		for _, sys := range systemNames {
-			_, st, err := runSteady(sys, false, intensity, o)
-			if err != nil {
-				return nil, err
-			}
+		for s := range systemNames {
+			st := steadyAt(results, k*stride+1+s)
 			row = append(row, fPct(shareOf(st.AppBytesPerSec)))
 		}
 		t.Rows = append(t.Rows, row)

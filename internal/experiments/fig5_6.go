@@ -3,15 +3,42 @@ package experiments
 import "fmt"
 
 func init() {
-	register("fig5", Fig5)
-	register("fig6a", Fig6a)
-	register("fig6b", Fig6b)
+	register("fig5", &Experiment{
+		Title:    "GUPS throughput with and without Colloid vs best-case",
+		Arms:     fig5Arms,
+		Assemble: fig5Assemble,
+	})
+	register("fig6a", &Experiment{
+		Title:    "default-tier share of app bandwidth with Colloid vs best-case",
+		Arms:     fig6aArms,
+		Assemble: fig6aAssemble,
+	})
+	register("fig6b", &Experiment{
+		Title:    "per-tier access latency with Colloid",
+		Arms:     fig6bArms,
+		Assemble: fig6bAssemble,
+	})
 }
 
-// Fig5 reproduces Figure 5: steady-state throughput of each system with
-// and without Colloid, against the best-case, at 0x-3x contention.
-func Fig5(o Options) (*Table, error) {
-	o = o.withDefaults()
+// Figure 5: steady-state throughput of each system with and without
+// Colloid, against the best-case, at 0x-3x contention.
+//
+// Arm layout: per intensity, [best, hemem, hemem+colloid, tpp,
+// tpp+colloid, memtis, memtis+colloid] (stride 7).
+func fig5Arms(Options) ([]Arm, error) {
+	var arms []Arm
+	for _, intensity := range intensities {
+		arms = append(arms, bestArm(intensity))
+		for _, sys := range systemNames {
+			for _, withColloid := range []bool{false, true} {
+				arms = append(arms, steadyArm(sys, withColloid, intensity))
+			}
+		}
+	}
+	return arms, nil
+}
+
+func fig5Assemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:    "fig5",
 		Title: "GUPS throughput with and without Colloid vs best-case",
@@ -22,30 +49,35 @@ func Fig5(o Options) (*Table, error) {
 			"with Colloid each system lands within 3%/8%/13% of best-case",
 		},
 	}
-	for _, intensity := range intensities {
-		best, err := bestCase(intensity, o)
-		if err != nil {
-			return nil, err
-		}
+	stride := 1 + 2*len(systemNames)
+	for k, intensity := range intensities {
+		best := bestAt(results, k*stride)
 		row := []string{fmt.Sprintf("%dx", intensity), fOps(best.Best.OpsPerSec)}
-		for _, sys := range systemNames {
-			for _, withColloid := range []bool{false, true} {
-				_, st, err := runSteady(sys, withColloid, intensity, o)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fOps(st.OpsPerSec))
-			}
+		for a := 1; a < stride; a++ {
+			row = append(row, fOps(steadyAt(results, k*stride+a).OpsPerSec))
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }
 
-// Fig6a reproduces Figure 6(a): with Colloid, each system's
-// default-tier share of app bandwidth tracks the best-case placement.
-func Fig6a(o Options) (*Table, error) {
-	o = o.withDefaults()
+// Figure 6(a): with Colloid, each system's default-tier share of app
+// bandwidth tracks the best-case placement.
+//
+// Arm layout: per intensity, [best, hemem+colloid, tpp+colloid,
+// memtis+colloid] (stride 4).
+func fig6aArms(Options) ([]Arm, error) {
+	var arms []Arm
+	for _, intensity := range intensities {
+		arms = append(arms, bestArm(intensity))
+		for _, sys := range systemNames {
+			arms = append(arms, steadyArm(sys, true, intensity))
+		}
+	}
+	return arms, nil
+}
+
+func fig6aAssemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "fig6a",
 		Title:   "default-tier share of app bandwidth with Colloid vs best-case",
@@ -54,27 +86,12 @@ func Fig6a(o Options) (*Table, error) {
 			"compare fig2b: baselines keep >75% in the default tier regardless of contention",
 		},
 	}
-	shareOf := func(app []float64) float64 {
-		total := 0.0
-		for _, b := range app {
-			total += b
-		}
-		if total == 0 {
-			return 0
-		}
-		return app[0] / total
-	}
-	for _, intensity := range intensities {
-		best, err := bestCase(intensity, o)
-		if err != nil {
-			return nil, err
-		}
+	stride := 1 + len(systemNames)
+	for k, intensity := range intensities {
+		best := bestAt(results, k*stride)
 		row := []string{fmt.Sprintf("%dx", intensity), fPct(shareOf(best.Best.AppBytesPerSec))}
-		for _, sys := range systemNames {
-			_, st, err := runSteady(sys, true, intensity, o)
-			if err != nil {
-				return nil, err
-			}
+		for s := range systemNames {
+			st := steadyAt(results, k*stride+1+s)
 			row = append(row, fPct(shareOf(st.AppBytesPerSec)))
 		}
 		t.Rows = append(t.Rows, row)
@@ -82,10 +99,22 @@ func Fig6a(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Fig6b reproduces Figure 6(b): Colloid shrinks the gap between tier
-// latencies relative to Figure 2(a).
-func Fig6b(o Options) (*Table, error) {
-	o = o.withDefaults()
+// Figure 6(b): Colloid shrinks the gap between tier latencies relative
+// to Figure 2(a).
+//
+// Arm layout: per intensity, one colloid steady arm per system
+// (stride 3).
+func fig6bArms(Options) ([]Arm, error) {
+	var arms []Arm
+	for _, intensity := range intensities {
+		for _, sys := range systemNames {
+			arms = append(arms, steadyArm(sys, true, intensity))
+		}
+	}
+	return arms, nil
+}
+
+func fig6bAssemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "fig6b",
 		Title:   "per-tier access latency with Colloid",
@@ -94,12 +123,11 @@ func Fig6b(o Options) (*Table, error) {
 			"compare fig2a ratios of 1.2x/1.8x/2.4x at 1x/2x/3x without Colloid",
 		},
 	}
+	i := 0
 	for _, intensity := range intensities {
 		for _, sys := range systemNames {
-			_, st, err := runSteady(sys, true, intensity, o)
-			if err != nil {
-				return nil, err
-			}
+			st := steadyAt(results, i)
+			i++
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("%dx", intensity), sys + "+colloid",
 				f1(st.LatencyNs[0]), f1(st.LatencyNs[1]),

@@ -7,18 +7,59 @@ import (
 )
 
 func init() {
-	register("fig7", Fig7)
-	register("fig8", Fig8)
+	register("fig7", &Experiment{
+		Title:    "Colloid speedup heatmap vs alternate-tier unloaded latency",
+		Arms:     fig7Arms,
+		Assemble: fig7Assemble,
+	})
+	register("fig8", &Experiment{
+		Title:    "Colloid speedup heatmap vs GUPS object size",
+		Arms:     fig8Arms,
+		Assemble: fig8Assemble,
+	})
 }
 
-// Fig7 reproduces Figure 7: Colloid's speedup over each vanilla system
-// as the alternate tier's unloaded latency grows from 1.9x to 2.7x of
-// the default tier's. The paper raised remote latency by downclocking
-// the remote socket's uncore, which also cut its bandwidth; the
-// simulation reproduces that side effect by scaling alternate-tier
-// bandwidth down with the latency.
-func Fig7(o Options) (*Table, error) {
-	o = o.withDefaults()
+// fig7Ratios are the swept alternate-tier latency ratios. Base remote
+// latency is 135 ns = 1.93x of 70 ns; the sweep scales it to 1.9x,
+// 2.3x, 2.7x with proportional bandwidth loss.
+var fig7Ratios = []float64{1.9, 2.3, 2.7}
+
+const fig7BaseRatio = 135.0 / 70.0
+
+// Figure 7: Colloid's speedup over each vanilla system as the alternate
+// tier's unloaded latency grows from 1.9x to 2.7x of the default
+// tier's. The paper raised remote latency by downclocking the remote
+// socket's uncore, which also cut its bandwidth; the simulation
+// reproduces that side effect by scaling alternate-tier bandwidth down
+// with the latency.
+//
+// Arm layout: system-major, then ratio, then intensity, vanilla before
+// colloid: [sys][ratio][intensity][vanilla, colloid].
+func fig7Arms(Options) ([]Arm, error) {
+	var arms []Arm
+	for _, sys := range systemNames {
+		for _, ratio := range fig7Ratios {
+			latScale := ratio / fig7BaseRatio
+			bwScale := 1 / latScale
+			for _, intensity := range intensities {
+				for _, withColloid := range []bool{false, true} {
+					sys, intensity, withColloid := sys, intensity, withColloid
+					name := fmt.Sprintf("%s/%.1fx/%dx/colloid=%v", sys, ratio, intensity, withColloid)
+					arms = append(arms, Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
+						// Each arm builds its own topology: engines run
+						// concurrently and must not share construction.
+						topo := paperTopology(latScale, bwScale)
+						_, st, err := runSteadyOn(topo, workloads.DefaultGUPS(), sys, withColloid, intensity, ctx.Options, ctx.Seed, 0)
+						return st, err
+					}})
+				}
+			}
+		}
+	}
+	return arms, nil
+}
+
+func fig7Assemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "fig7",
 		Title:   "Colloid speedup heatmap vs alternate-tier unloaded latency",
@@ -28,25 +69,14 @@ func Fig7(o Options) (*Table, error) {
 			"(1.01-1.76x HeMem, 1.03-1.76x TPP, 1.01-1.63x MEMTIS at 2.7x)",
 		},
 	}
-	// Base remote latency is 135 ns = 1.93x of 70 ns; the sweep scales
-	// it to 1.9x, 2.3x, 2.7x with proportional bandwidth loss.
-	baseRatio := 135.0 / 70.0
-	ratios := []float64{1.9, 2.3, 2.7}
+	i := 0
 	for _, sys := range systemNames {
-		for _, ratio := range ratios {
-			latScale := ratio / baseRatio
-			bwScale := 1 / latScale
-			topo := paperTopology(latScale, bwScale)
+		for _, ratio := range fig7Ratios {
 			row := []string{sys, fmt.Sprintf("%.1fx", ratio)}
-			for _, intensity := range intensities {
-				_, vanilla, err := runSteadyOn(topo, workloads.DefaultGUPS(), sys, false, intensity, o, 0)
-				if err != nil {
-					return nil, err
-				}
-				_, colloid, err := runSteadyOn(topo, workloads.DefaultGUPS(), sys, true, intensity, o, 0)
-				if err != nil {
-					return nil, err
-				}
+			for range intensities {
+				vanilla := steadyAt(results, i)
+				colloid := steadyAt(results, i+1)
+				i += 2
 				row = append(row, fX(colloid.OpsPerSec/vanilla.OpsPerSec))
 			}
 			t.Rows = append(t.Rows, row)
@@ -55,13 +85,36 @@ func Fig7(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Fig8 reproduces Figure 8: Colloid's speedup as the GUPS object size
-// grows from 64 B to 4 KB. Larger objects raise per-core effective
-// parallelism (prefetchers) and sequentiality, making the workload more
+// fig8Sizes are the swept GUPS object sizes in bytes.
+var fig8Sizes = []int64{64, 256, 1024, 4096}
+
+// Figure 8: Colloid's speedup as the GUPS object size grows from 64 B
+// to 4 KB. Larger objects raise per-core effective parallelism
+// (prefetchers) and sequentiality, making the workload more
 // memory-intensive — at 4 KB the default tier saturates even without an
 // antagonist, so Colloid helps at 0x too.
-func Fig8(o Options) (*Table, error) {
-	o = o.withDefaults()
+//
+// Arm layout: [sys][size][intensity][vanilla, colloid].
+func fig8Arms(Options) ([]Arm, error) {
+	var arms []Arm
+	for _, sys := range systemNames {
+		for _, size := range fig8Sizes {
+			for _, intensity := range intensities {
+				for _, withColloid := range []bool{false, true} {
+					sys, size, intensity, withColloid := sys, size, intensity, withColloid
+					name := fmt.Sprintf("%s/%dB/%dx/colloid=%v", sys, size, intensity, withColloid)
+					arms = append(arms, Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
+						_, st, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), sys, withColloid, intensity, ctx.Options, ctx.Seed, size)
+						return st, err
+					}})
+				}
+			}
+		}
+	}
+	return arms, nil
+}
+
+func fig8Assemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "fig8",
 		Title:   "Colloid speedup heatmap vs GUPS object size",
@@ -71,19 +124,14 @@ func Fig8(o Options) (*Table, error) {
 			"gains at 3x shrink slightly with size as the alternate tier saturates",
 		},
 	}
-	sizes := []int64{64, 256, 1024, 4096}
+	i := 0
 	for _, sys := range systemNames {
-		for _, size := range sizes {
+		for _, size := range fig8Sizes {
 			row := []string{sys, fmt.Sprintf("%dB", size)}
-			for _, intensity := range intensities {
-				_, vanilla, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), sys, false, intensity, o, size)
-				if err != nil {
-					return nil, err
-				}
-				_, colloid, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), sys, true, intensity, o, size)
-				if err != nil {
-					return nil, err
-				}
+			for range intensities {
+				vanilla := steadyAt(results, i)
+				colloid := steadyAt(results, i+1)
+				i += 2
 				row = append(row, fX(colloid.OpsPerSec/vanilla.OpsPerSec))
 			}
 			t.Rows = append(t.Rows, row)

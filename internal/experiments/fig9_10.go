@@ -8,9 +8,21 @@ import (
 )
 
 func init() {
-	register("fig9", Fig9)
-	register("fig10", Fig10)
-	register("fig9-series", Fig9Series)
+	register("fig9", &Experiment{
+		Title:    "convergence under dynamism (throughput before/after, convergence time)",
+		Arms:     fig9Arms,
+		Assemble: fig9Assemble,
+	})
+	register("fig10", &Experiment{
+		Title:    "HeMem migration rate under dynamism",
+		Arms:     fig10Arms,
+		Assemble: fig10Assemble,
+	})
+	register("fig9-series", &Experiment{
+		Title:    "instantaneous throughput and migration rate time series",
+		Arms:     fig9Arms,
+		Assemble: fig9SeriesAssemble,
+	})
 }
 
 // dynamicScenario describes one Figure 9 column.
@@ -31,10 +43,11 @@ func fig9Scenarios(o Options) []dynamicScenario {
 	}
 }
 
-// runDynamic executes one (system, scenario) arm and returns the trace.
-func runDynamic(system string, withColloid bool, sc dynamicScenario, o Options) ([]sim.Sample, error) {
+// runDynamic executes one (system, scenario) arm with the given seed
+// and returns the trace.
+func runDynamic(system string, withColloid bool, sc dynamicScenario, o Options, seed uint64) ([]sim.Sample, error) {
 	g := workloads.DefaultGUPS()
-	cfg := gupsConfig(paperTopology(0, 0), g, sc.intensity0, o.Seed)
+	cfg := gupsConfig(paperTopology(0, 0), g, sc.intensity0, seed)
 	e, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
@@ -62,6 +75,20 @@ func runDynamic(system string, withColloid bool, sc dynamicScenario, o Options) 
 	return e.Samples(), nil
 }
 
+// dynamicArm wraps one (scenario, system, colloid) dynamic run.
+func dynamicArm(sc dynamicScenario, system string, withColloid bool) Arm {
+	name := system
+	if withColloid {
+		name += "+colloid"
+	}
+	return Arm{Name: sc.name + "/" + name, Run: func(ctx ArmContext) (any, error) {
+		return runDynamic(system, withColloid, sc, ctx.Options, ctx.Seed)
+	}}
+}
+
+// samplesAt asserts results[i] back to a dynamic arm's trace.
+func samplesAt(results []any, i int) []sim.Sample { return results[i].([]sim.Sample) }
+
 // convergenceTime returns how long after the disturbance the trace
 // takes to stay within tol of its final level.
 func convergenceTime(samples []sim.Sample, atSec float64, tol float64) float64 {
@@ -83,13 +110,27 @@ func convergenceTime(samples []sim.Sample, atSec float64, tol float64) float64 {
 	return conv - atSec
 }
 
-// Fig9 reproduces Figure 9: instantaneous throughput over time for each
-// system with and without Colloid under three dynamism scenarios:
-// hot-set shift at 0x, hot-set shift at 3x, and a 0x->3x contention
-// step. The table reports pre/post throughput and convergence time;
-// cmd/colloidsim -series fig9 prints the full time series.
-func Fig9(o Options) (*Table, error) {
-	o = o.withDefaults()
+// Figure 9: instantaneous throughput over time for each system with and
+// without Colloid under three dynamism scenarios: hot-set shift at 0x,
+// hot-set shift at 3x, and a 0x->3x contention step. The table reports
+// pre/post throughput and convergence time; fig9-series emits the full
+// time series.
+//
+// Arm layout: [scenario][system][vanilla, colloid] (shared with
+// fig9-series).
+func fig9Arms(o Options) ([]Arm, error) {
+	var arms []Arm
+	for _, sc := range fig9Scenarios(o) {
+		for _, sys := range systemNames {
+			for _, withColloid := range []bool{false, true} {
+				arms = append(arms, dynamicArm(sc, sys, withColloid))
+			}
+		}
+	}
+	return arms, nil
+}
+
+func fig9Assemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "fig9",
 		Title:   "convergence under dynamism (throughput before/after, convergence time)",
@@ -99,13 +140,12 @@ func Fig9(o Options) (*Table, error) {
 			"on contention changes vanilla systems never react (conv time reflects staying degraded)",
 		},
 	}
+	i := 0
 	for _, sc := range fig9Scenarios(o) {
 		for _, sys := range systemNames {
 			for _, withColloid := range []bool{false, true} {
-				samples, err := runDynamic(sys, withColloid, sc, o)
-				if err != nil {
-					return nil, err
-				}
+				samples := samplesAt(results, i)
+				i++
 				var pre float64
 				for _, s := range samples {
 					if s.TimeSec <= sc.atSec {
@@ -128,23 +168,21 @@ func Fig9(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Fig9Series emits the full per-second time series behind Figures 9
-// and 10 (throughput and migration rate for every scenario/system/arm)
-// so the plots can be regenerated point for point.
-func Fig9Series(o Options) (*Table, error) {
-	o = o.withDefaults()
+// fig9SeriesAssemble emits the full per-second time series behind
+// Figures 9 and 10 (throughput and migration rate for every
+// scenario/system/arm) so the plots can be regenerated point for point.
+func fig9SeriesAssemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "fig9-series",
 		Title:   "instantaneous throughput and migration rate time series",
 		Columns: []string{"scenario", "system", "t sec", "Mops", "mig MB/s"},
 	}
+	i := 0
 	for _, sc := range fig9Scenarios(o) {
 		for _, sys := range systemNames {
 			for _, withColloid := range []bool{false, true} {
-				samples, err := runDynamic(sys, withColloid, sc, o)
-				if err != nil {
-					return nil, err
-				}
+				samples := samplesAt(results, i)
+				i++
 				name := sys
 				if withColloid {
 					name += "+colloid"
@@ -163,13 +201,24 @@ func Fig9Series(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Fig10 reproduces Figure 10: migration rate over time for HeMem and
-// HeMem+Colloid across the Figure 9 scenarios. The table reports the
-// peak and steady migration rates; the paper's observations are that
-// Colloid does not exceed vanilla HeMem's peak rate and decays more
-// gradually near the equilibrium (the dynamic migration limit).
-func Fig10(o Options) (*Table, error) {
-	o = o.withDefaults()
+// Figure 10: migration rate over time for HeMem and HeMem+Colloid
+// across the Figure 9 scenarios. The table reports the peak and steady
+// migration rates; the paper's observations are that Colloid does not
+// exceed vanilla HeMem's peak rate and decays more gradually near the
+// equilibrium (the dynamic migration limit).
+//
+// Arm layout: [scenario][vanilla, colloid], HeMem only.
+func fig10Arms(o Options) ([]Arm, error) {
+	var arms []Arm
+	for _, sc := range fig9Scenarios(o) {
+		for _, withColloid := range []bool{false, true} {
+			arms = append(arms, dynamicArm(sc, "hemem", withColloid))
+		}
+	}
+	return arms, nil
+}
+
+func fig10Assemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "fig10",
 		Title:   "HeMem migration rate under dynamism",
@@ -178,12 +227,11 @@ func Fig10(o Options) (*Table, error) {
 			"paper: HeMem+Colloid stays under HeMem's peak; steady-state migration <0.7% of app bandwidth",
 		},
 	}
+	i := 0
 	for _, sc := range fig9Scenarios(o) {
 		for _, withColloid := range []bool{false, true} {
-			samples, err := runDynamic("hemem", withColloid, sc, o)
-			if err != nil {
-				return nil, err
-			}
+			samples := samplesAt(results, i)
+			i++
 			var peak float64
 			var steadySum float64
 			var steadyN int

@@ -10,8 +10,16 @@ import (
 )
 
 func init() {
-	register("overhead", Overhead)
-	register("sens", Sensitivity)
+	register("overhead", &Experiment{
+		Title:    "Colloid CPU overhead per system (modeled)",
+		Arms:     overheadArms,
+		Assemble: overheadAssemble,
+	})
+	register("sens", &Experiment{
+		Title:    "Colloid parameter sensitivity (HeMem+Colloid, GUPS at 1x)",
+		Arms:     sensArms,
+		Assemble: sensAssemble,
+	})
 }
 
 // Overhead reproduces the Section 5.1 CPU-overhead discussion. The
@@ -21,8 +29,15 @@ func init() {
 // plus Algorithm 1 cost amortizes below 2%); TPP requires a dedicated
 // spin-polling core for microsecond-scale counter sampling, costing one
 // of the application's 16 cores, plus the hint-fault-path additions.
-func Overhead(o Options) (*Table, error) {
-	o = o.withDefaults()
+//
+// Arm layout: a single shared steady arm (hemem+colloid at 2x) backing
+// the measured-throughput note; the overhead rows themselves are the
+// paper's static cost model.
+func overheadArms(Options) ([]Arm, error) {
+	return []Arm{steadyArm("hemem", true, 2)}, nil
+}
+
+func overheadAssemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "overhead",
 		Title:   "Colloid CPU overhead per system (modeled)",
@@ -39,15 +54,18 @@ func Overhead(o Options) (*Table, error) {
 	}
 	// Add measured controller work per quantum: decisions per second
 	// and pages examined, which is the simulated analogue of overhead.
-	_, st, err := runSteady("hemem", true, 2, o)
-	if err != nil {
-		return nil, err
-	}
+	st := steadyAt(results, 0)
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"hemem+colloid at 2x sustains %.1fM ops/s while running the controller at 100 Hz",
 		st.OpsPerSec/1e6))
 	return t, nil
 }
+
+// sensGrid is the swept epsilon x delta parameter grid.
+var (
+	sensEpsilons = []float64{0.005, 0.01, 0.05}
+	sensDeltas   = []float64{0.02, 0.05, 0.15}
+)
 
 // Sensitivity reproduces the extended version's epsilon/delta
 // sensitivity analysis: steady-state throughput at 1x contention (the
@@ -57,8 +75,37 @@ func Overhead(o Options) (*Table, error) {
 // at the cost of a wider latency deadband (suboptimal steady-state
 // placement). At 2x-3x the equilibrium is a corner (the whole hot set
 // belongs in the alternate tier), where the parameters barely matter.
-func Sensitivity(o Options) (*Table, error) {
-	o = o.withDefaults()
+//
+// Arm layout: epsilon-major grid, [eps][delta] (stride len(sensDeltas)).
+func sensArms(Options) ([]Arm, error) {
+	var arms []Arm
+	for _, eps := range sensEpsilons {
+		for _, delta := range sensDeltas {
+			eps, delta := eps, delta
+			name := fmt.Sprintf("eps=%.3f/delta=%.2f", eps, delta)
+			arms = append(arms, Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
+				g := workloads.DefaultGUPS()
+				cfg := gupsConfig(paperTopology(0, 0), g, 1, ctx.Seed)
+				e, err := sim.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+					return nil, err
+				}
+				e.SetSystem(hemem.New(hemem.Config{Colloid: &core.Options{Epsilon: eps, Delta: delta}}))
+				secs := ctx.Options.scale(60, 25)
+				if err := e.Run(secs); err != nil {
+					return nil, err
+				}
+				return e.SteadyState(secs / 3), nil
+			}})
+		}
+	}
+	return arms, nil
+}
+
+func sensAssemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "sens",
 		Title:   "Colloid parameter sensitivity (HeMem+Colloid, GUPS at 1x)",
@@ -67,23 +114,11 @@ func Sensitivity(o Options) (*Table, error) {
 			"paper defaults: epsilon=0.01, delta=0.05",
 		},
 	}
-	g := workloads.DefaultGUPS()
-	for _, eps := range []float64{0.005, 0.01, 0.05} {
-		for _, delta := range []float64{0.02, 0.05, 0.15} {
-			cfg := gupsConfig(paperTopology(0, 0), g, 1, o.Seed)
-			e, err := sim.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
-				return nil, err
-			}
-			e.SetSystem(hemem.New(hemem.Config{Colloid: &core.Options{Epsilon: eps, Delta: delta}}))
-			secs := o.scale(60, 25)
-			if err := e.Run(secs); err != nil {
-				return nil, err
-			}
-			st := e.SteadyState(secs / 3)
+	i := 0
+	for _, eps := range sensEpsilons {
+		for _, delta := range sensDeltas {
+			st := steadyAt(results, i)
+			i++
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("%.3f", eps), fmt.Sprintf("%.2f", delta),
 				fmt.Sprintf("%.1f", st.OpsPerSec/1e6),

@@ -9,7 +9,33 @@ import (
 )
 
 func init() {
-	register("related", Related)
+	register("related", &Experiment{
+		Title:    "related-work placement policies vs Colloid (GUPS)",
+		Arms:     relatedArms,
+		Assemble: relatedAssemble,
+	})
+}
+
+// relatedArm runs one related-work policy (BATMAN or Carrefour) at one
+// contention intensity.
+func relatedArm(policy related.Policy, name string, intensity int) Arm {
+	return Arm{Name: fmt.Sprintf("%s/%dx", name, intensity), Run: func(ctx ArmContext) (any, error) {
+		g := workloads.DefaultGUPS()
+		cfg := gupsConfig(paperTopology(0, 0), g, intensity, ctx.Seed)
+		e, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+			return nil, err
+		}
+		e.SetSystem(related.New(related.Config{Policy: policy}))
+		secs := ctx.Options.scale(60, 25)
+		if err := e.Run(secs); err != nil {
+			return nil, err
+		}
+		return e.SteadyState(secs / 3), nil
+	}}
 }
 
 // Related runs the Section 6 comparison the paper argues in prose:
@@ -20,8 +46,24 @@ func init() {
 // higher-latency tier for no reason) and cannot adapt to contention
 // (their target is static), while Colloid tracks the optimum at both
 // ends.
-func Related(o Options) (*Table, error) {
-	o = o.withDefaults()
+//
+// Arm layout: per intensity, [best, batman, carrefour, hemem,
+// hemem+colloid] (stride 5).
+func relatedArms(Options) ([]Arm, error) {
+	var arms []Arm
+	for _, intensity := range intensities {
+		arms = append(arms,
+			bestArm(intensity),
+			relatedArm(related.BATMAN, "batman", intensity),
+			relatedArm(related.Carrefour, "carrefour", intensity),
+			steadyArm("hemem", false, intensity),
+			steadyArm("hemem", true, intensity),
+		)
+	}
+	return arms, nil
+}
+
+func relatedAssemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "related",
 		Title:   "related-work placement policies vs Colloid (GUPS)",
@@ -31,47 +73,16 @@ func Related(o Options) (*Table, error) {
 			"(unloaded latencies differ) and with it (latency inflates before saturation)",
 		},
 	}
-	runRelated := func(policy related.Policy, intensity int) (float64, error) {
-		g := workloads.DefaultGUPS()
-		cfg := gupsConfig(paperTopology(0, 0), g, intensity, o.Seed)
-		e, err := sim.New(cfg)
-		if err != nil {
-			return 0, err
-		}
-		if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
-			return 0, err
-		}
-		e.SetSystem(related.New(related.Config{Policy: policy}))
-		secs := o.scale(60, 25)
-		if err := e.Run(secs); err != nil {
-			return 0, err
-		}
-		return e.SteadyState(secs / 3).OpsPerSec, nil
-	}
-	for _, intensity := range intensities {
-		best, err := bestCase(intensity, o)
-		if err != nil {
-			return nil, err
-		}
-		batman, err := runRelated(related.BATMAN, intensity)
-		if err != nil {
-			return nil, err
-		}
-		carrefour, err := runRelated(related.Carrefour, intensity)
-		if err != nil {
-			return nil, err
-		}
-		_, hememSt, err := runSteady("hemem", false, intensity, o)
-		if err != nil {
-			return nil, err
-		}
-		_, colloidSt, err := runSteady("hemem", true, intensity, o)
-		if err != nil {
-			return nil, err
-		}
+	const stride = 5
+	for k, intensity := range intensities {
+		best := bestAt(results, k*stride)
+		batman := steadyAt(results, k*stride+1)
+		carrefour := steadyAt(results, k*stride+2)
+		hememSt := steadyAt(results, k*stride+3)
+		colloidSt := steadyAt(results, k*stride+4)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%dx", intensity),
-			fOps(best.Best.OpsPerSec), fOps(batman), fOps(carrefour),
+			fOps(best.Best.OpsPerSec), fOps(batman.OpsPerSec), fOps(carrefour.OpsPerSec),
 			fOps(hememSt.OpsPerSec), fOps(colloidSt.OpsPerSec),
 		})
 	}

@@ -178,6 +178,10 @@ type Engine struct {
 // New builds an engine. The working set is placed first-fit (default
 // tier fills first); install a workload's weights before running.
 func New(cfg Config) (*Engine, error) {
+	if cfg.MigrationLimitBytesPerSec < 0 && cfg.MigrationLimitBytesPerSec != NoMigrationLimit {
+		return nil, fmt.Errorf("sim: negative migration limit %v (use sim.NoMigrationLimit for unlimited)",
+			cfg.MigrationLimitBytesPerSec)
+	}
 	cfg = cfg.withDefaults()
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("sim: topology required")
@@ -236,10 +240,15 @@ func (e *Engine) SetAntagonist(cores int) { e.antagonist.Cores = cores }
 func (e *Engine) SetProfile(p workloads.Profile) { e.profile = p }
 
 // ScheduleAt registers fn to run at simulation time atSec, before the
-// quantum covering that time executes.
+// quantum covering that time executes. Events at equal times fire in
+// scheduling order. Insertion is a binary search plus shift, so
+// experiment scripts can schedule many phase changes without the
+// re-sort-per-insert cost growing quadratically.
 func (e *Engine) ScheduleAt(atSec float64, fn func(*Engine)) {
-	e.events = append(e.events, event{at: atSec, fn: fn})
-	sort.SliceStable(e.events, func(i, j int) bool { return e.events[i].at < e.events[j].at })
+	i := sort.Search(len(e.events), func(i int) bool { return e.events[i].at > atSec })
+	e.events = append(e.events, event{})
+	copy(e.events[i+1:], e.events[i:])
+	e.events[i] = event{at: atSec, fn: fn}
 }
 
 // Step advances one quantum.

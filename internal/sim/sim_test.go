@@ -220,6 +220,89 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+func TestNegativeMigrationLimitRejected(t *testing.T) {
+	// Regression: withDefaults only special-cases NoMigrationLimit (-1);
+	// any other negative limit used to flow through to migrate.NewEngine.
+	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+	g := workloads.DefaultGUPS()
+	cfg := Config{
+		Topology:        topo,
+		WorkingSetBytes: g.WorkingSetBytes,
+		Profile:         g.Profile(),
+	}
+	cfg.MigrationLimitBytesPerSec = -5e9
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative migration limit accepted")
+	}
+	cfg.MigrationLimitBytesPerSec = NoMigrationLimit
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("NoMigrationLimit rejected: %v", err)
+	}
+}
+
+func TestScheduleAtManyEventsOrdered(t *testing.T) {
+	// ScheduleAt uses a binary-search insert; many insertions in
+	// adversarial (descending, duplicate-heavy) order must still fire in
+	// time order, with equal times firing in scheduling order.
+	e, _ := gupsEngine(t, 0, 8)
+	type rec struct {
+		at  float64
+		seq int
+	}
+	const n = 2000
+	var fired []rec
+	for seq := 0; seq < n; seq++ {
+		at := 0.05 + float64((n-1-seq)%50)*0.01 // 50 time buckets, descending
+		at, seq := at, seq
+		e.ScheduleAt(at, func(*Engine) { fired = append(fired, rec{at, seq}) })
+	}
+	// The internal queue must be sorted before any event fires.
+	for j := 1; j < len(e.events); j++ {
+		if e.events[j-1].at > e.events[j].at {
+			t.Fatalf("event queue unsorted at %d: %v > %v", j, e.events[j-1].at, e.events[j].at)
+		}
+	}
+	if err := e.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != n {
+		t.Fatalf("fired %d of %d events", len(fired), n)
+	}
+	for j := 1; j < len(fired); j++ {
+		prev, cur := fired[j-1], fired[j]
+		if prev.at > cur.at {
+			t.Fatalf("events fired out of time order: %v before %v", prev.at, cur.at)
+		}
+		if prev.at == cur.at && prev.seq > cur.seq {
+			t.Fatalf("equal-time events fired out of scheduling order: seq %d before %d", prev.seq, cur.seq)
+		}
+	}
+}
+
+func TestSteadyStateEmptyTrace(t *testing.T) {
+	// SteadyState on an engine that has never stepped (no samples) must
+	// return the zero summary, not NaN from a 0/0 average.
+	e, _ := gupsEngine(t, 0, 9)
+	st := e.SteadyState(10)
+	if st.OpsPerSec != 0 {
+		t.Fatalf("empty trace OpsPerSec = %v, want 0", st.OpsPerSec)
+	}
+	for t2, l := range st.LatencyNs {
+		if math.IsNaN(l) || l != 0 {
+			t.Fatalf("empty trace LatencyNs[%d] = %v, want 0", t2, l)
+		}
+	}
+	// A cutoff excluding every sample must behave the same way.
+	if err := e.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	future := *e
+	future.timeSec += 1000
+	if st := future.SteadyState(1); st.OpsPerSec != 0 || math.IsNaN(st.OpsPerSec) {
+		t.Fatalf("out-of-window steady = %+v, want zero", st)
+	}
+}
+
 func TestSteadyStateAveraging(t *testing.T) {
 	e, _ := gupsEngine(t, 0, 7)
 	if err := e.Run(6); err != nil {

@@ -40,6 +40,19 @@ func (r *RNG) Split(label uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
 }
 
+// SplitString derives an independent child stream labeled by a string
+// (FNV-1a folded into Split). Used to give named subsystems — and
+// experiment arms — stable streams that do not depend on registration
+// or scheduling order.
+func (r *RNG) SplitString(label string) *RNG {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	return r.Split(h)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -154,3 +154,31 @@ func TestMul128(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitStringDeterministic(t *testing.T) {
+	a := NewRNG(7).SplitString("fig5")
+	b := NewRNG(7).SplitString("fig5")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same label diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitStringLabelsIndependent(t *testing.T) {
+	parent := NewRNG(7)
+	streams := []*RNG{
+		parent.SplitString("fig5"),
+		parent.SplitString("fig6a"),
+		parent.SplitString(""),
+	}
+	seen := map[uint64]bool{}
+	for _, s := range streams {
+		for i := 0; i < 50; i++ {
+			seen[s.Uint64()] = true
+		}
+	}
+	if len(seen) < 149 {
+		t.Fatalf("labeled streams collide: %d/150 distinct draws", len(seen))
+	}
+}
