@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: ci verify vet race bench clean
+.PHONY: ci verify vet race bench bench-smoke clean
 
 # Everything CI gates on.
-ci: verify vet race
+ci: verify vet race bench-smoke
 
 # Tier-1: the whole tree must build and every test must pass.
 verify:
@@ -25,6 +25,12 @@ race:
 # Headline figure metrics as benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# One-iteration smoke of the instrumentation-overhead benchmark: proves
+# the obs plumbing still runs end to end without paying for a full
+# benchstat-quality measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=ObsOverhead -benchtime=1x .
 
 clean:
 	rm -f BENCH_*.json

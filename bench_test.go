@@ -15,7 +15,11 @@ import (
 	"strings"
 	"testing"
 
+	"colloid/internal/core"
 	"colloid/internal/experiments"
+	"colloid/internal/hemem"
+	"colloid/internal/obs"
+	"colloid/internal/simtest"
 )
 
 // runExperiment executes one experiment per benchmark iteration and
@@ -236,4 +240,36 @@ func BenchmarkSensitivity(b *testing.B) {
 		}
 	}
 	b.ReportMetric(hi/lo, "grid-spread")
+}
+
+// BenchmarkObsOverhead measures instrumentation cost on the paper's
+// 60 s GUPS contention run (hemem+colloid). "off" is the uninstrumented
+// baseline: a nil registry hands out nil handles whose methods are
+// no-ops, so instrumented code pays only a dead branch. "on" attaches a
+// live registry with the event trace enabled — the colloidtrace
+// -metrics configuration. The acceptance bar is <5% overhead:
+//
+//	go test -bench=ObsOverhead -count=5 .
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, mkReg func() *obs.Registry) {
+		for i := 0; i < b.N; i++ {
+			sys := hemem.New(hemem.Config{Colloid: &core.Options{}})
+			simtest.Run(b, sys, simtest.Scenario{
+				AntagonistCores: 15,
+				Seconds:         60,
+				Seed:            1,
+				Obs:             mkReg(),
+			})
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, func() *obs.Registry { return nil })
+	})
+	b.Run("on", func(b *testing.B) {
+		run(b, func() *obs.Registry {
+			r := obs.NewRegistry()
+			r.EnableTrace(0)
+			return r
+		})
+	})
 }

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"colloid/internal/experiments"
+	"colloid/internal/obs"
 	"colloid/internal/trace"
 )
 
@@ -40,6 +42,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
 		parallel = flag.Int("parallel", 0, "arm workers per experiment (0 = GOMAXPROCS, 1 = serial)")
 		benchDir = flag.String("bench", ".", "directory for BENCH_<id>.json timing reports (empty = off)")
+		metrics  = flag.String("metrics", "", "write the merged obs metric summary JSON here")
 	)
 	flag.Var(aliasValue{exp}, "experiments", "alias for -exp")
 	flag.Parse()
@@ -65,6 +68,14 @@ func main() {
 		}
 	} else {
 		ids = strings.Split(*exp, ",")
+		for i, id := range ids {
+			ids[i] = strings.TrimSpace(id)
+		}
+	}
+
+	if err := validateFlags(ids, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "colloidsim:", err)
+		os.Exit(2)
 	}
 
 	opts := experiments.Options{
@@ -73,9 +84,11 @@ func main() {
 		Parallelism: *parallel,
 		BenchDir:    *benchDir,
 	}
+	if *metrics != "" {
+		opts.Metrics = obs.NewRegistry()
+	}
 	failed := 0
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
 		start := time.Now()
 		tab, err := experiments.Run(id, opts)
 		if err != nil {
@@ -92,9 +105,48 @@ func main() {
 			}
 		}
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, opts.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			failed++
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// validateFlags reports every bad flag at once (experiment ids are
+// checked against the registry; the sim configs themselves are
+// validated by sim.New inside each arm).
+func validateFlags(ids []string, parallel int) error {
+	var errs []error
+	known := make(map[string]bool, len(experiments.List()))
+	for _, id := range experiments.List() {
+		known[id] = true
+	}
+	for _, id := range ids {
+		if !known[id] {
+			errs = append(errs, fmt.Errorf("unknown experiment %q (use -list)", id))
+		}
+	}
+	if parallel < 0 {
+		errs = append(errs, fmt.Errorf("negative -parallel %d", parallel))
+	}
+	return errors.Join(errs...)
+}
+
+// writeMetrics dumps the cross-experiment merged metric summary.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := reg.WriteSummaryJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // aliasValue forwards a flag to another flag's backing string.

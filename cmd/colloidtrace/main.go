@@ -16,14 +16,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"colloid/internal/core"
 	"colloid/internal/hemem"
 	"colloid/internal/memsys"
 	"colloid/internal/memtis"
+	"colloid/internal/obs"
 	"colloid/internal/related"
 	"colloid/internal/sim"
 	"colloid/internal/tpp"
@@ -47,6 +50,8 @@ func main() {
 		sample     = flag.Float64("sample", 1, "trace sampling interval (sec)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		out        = flag.String("o", "", "output CSV path (default stdout)")
+		metrics    = flag.String("metrics", "", "write the obs event trace here (.csv = CSV, else JSONL)")
+		metricsSum = flag.String("metrics-summary", "", "write the obs counter/gauge summary JSON here")
 	)
 	flag.Parse()
 
@@ -56,6 +61,7 @@ func main() {
 		hotshiftAt: *hotshiftAt, duration: *duration,
 		wsGB: *wsGB, hotGB: *hotGB, object: *object, cores: *cores,
 		sample: *sample, seed: *seed, out: *out,
+		metrics: *metrics, metricsSummary: *metricsSum,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "colloidtrace:", err)
 		os.Exit(1)
@@ -74,6 +80,37 @@ type settings struct {
 	sample             float64
 	seed               uint64
 	out                string
+	metrics            string
+	metricsSummary     string
+}
+
+// validate reports every problem with the flag set at once, combining
+// cmd-level checks with sim.Config.Validate.
+func (s settings) validate(cfg sim.Config) error {
+	var errs []error
+	if _, err := makeSystem(s.system, s.colloid); err != nil {
+		errs = append(errs, err)
+	}
+	if s.duration <= 0 {
+		errs = append(errs, fmt.Errorf("non-positive -duration %v", s.duration))
+	}
+	if s.intensity < 0 || s.stepTo < 0 {
+		errs = append(errs, fmt.Errorf("negative antagonist intensity (-intensity %d, -step-intensity %d)",
+			s.intensity, s.stepTo))
+	}
+	if s.hotGB > s.wsGB {
+		errs = append(errs, fmt.Errorf("-hot-gb %d exceeds -ws-gb %d", s.hotGB, s.wsGB))
+	}
+	if s.object <= 0 {
+		errs = append(errs, fmt.Errorf("non-positive -object %d", s.object))
+	}
+	if s.cores <= 0 {
+		errs = append(errs, fmt.Errorf("non-positive -cores %d", s.cores))
+	}
+	if err := cfg.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 func run(s settings) error {
@@ -88,14 +125,24 @@ func run(s settings) error {
 		ObjectBytes:     s.object,
 		Cores:           s.cores,
 	}
-	engine, err := sim.New(sim.Config{
+	var reg *obs.Registry
+	if s.metrics != "" || s.metricsSummary != "" {
+		reg = obs.NewRegistry()
+		reg.EnableTrace(0)
+	}
+	cfg := sim.Config{
 		Topology:        topo,
 		WorkingSetBytes: gups.WorkingSetBytes,
 		Profile:         gups.Profile(),
 		AntagonistCores: workloads.AntagonistForIntensity(s.intensity).Cores,
 		Seed:            s.seed,
 		SampleEverySec:  s.sample,
-	})
+		Obs:             reg,
+	}
+	if err := s.validate(cfg); err != nil {
+		return err
+	}
+	engine, err := sim.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -122,6 +169,10 @@ func run(s settings) error {
 		return err
 	}
 
+	if err := writeMetrics(s, reg); err != nil {
+		return err
+	}
+
 	w := os.Stdout
 	if s.out != "" {
 		f, err := os.Create(s.out)
@@ -132,6 +183,40 @@ func run(s settings) error {
 		w = f
 	}
 	return trace.WriteSamplesCSV(w, engine.Samples(), topo.NumTiers())
+}
+
+// writeMetrics dumps the event trace (-metrics) and the counter/gauge
+// summary (-metrics-summary) if requested.
+func writeMetrics(s settings, reg *obs.Registry) error {
+	if s.metrics != "" {
+		f, err := os.Create(s.metrics)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(s.metrics, ".csv") {
+			err = obs.WriteEventsCSV(f, reg.Events())
+		} else {
+			err = obs.WriteEventsJSONL(f, reg.Events())
+		}
+		if err != nil {
+			return err
+		}
+		if n := reg.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "colloidtrace: event trace overflowed, %d oldest events dropped\n", n)
+		}
+	}
+	if s.metricsSummary != "" {
+		f, err := os.Create(s.metricsSummary)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := reg.WriteSummaryJSON(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // makeSystem builds the requested tiering system; "none" runs static

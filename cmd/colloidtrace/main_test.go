@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"colloid/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSettings is a small deterministic contention-step run; changing
+// it invalidates testdata/trace_golden.csv (regenerate with -update).
+func goldenSettings(out string) settings {
+	return settings{
+		system: "hemem", colloid: true,
+		intensity: 0, stepAt: 3, stepTo: 2,
+		duration: 6, wsGB: 24, hotGB: 8, object: 64, cores: 15,
+		sample: 1, seed: 1, out: out,
+	}
+}
+
+func TestGoldenCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run(goldenSettings(out)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.csv")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("CSV output drifted from %s (re-run with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+func TestGoldenCSVParses(t *testing.T) {
+	// The emitted file must stay readable by the package that defines
+	// the format, with the documented header and one row per sample.
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run(goldenSettings(out)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples, err := trace.ReadSamplesCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 6 {
+		t.Fatalf("%d samples for a 6 s run at 1 s sampling, want 6", len(samples))
+	}
+	for _, s := range samples {
+		if s.OpsPerSec <= 0 {
+			t.Errorf("non-positive throughput at t=%v", s.TimeSec)
+		}
+		if len(s.LatencyNs) != 2 {
+			t.Errorf("tier count = %d at t=%v, want 2", len(s.LatencyNs), s.TimeSec)
+		}
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(string(raw), "\n", 2)[0]
+	wantHeader := "t_sec,ops_per_sec,migration_bytes_per_sec," +
+		"latency_ns_t0,app_share_t0,app_bytes_per_sec_t0," +
+		"latency_ns_t1,app_share_t1,app_bytes_per_sec_t1"
+	if header != wantHeader {
+		t.Errorf("header = %q, want %q", header, wantHeader)
+	}
+}

@@ -8,6 +8,7 @@ package access
 import (
 	"sort"
 
+	"colloid/internal/obs"
 	"colloid/internal/pages"
 	"colloid/internal/stats"
 )
@@ -24,6 +25,9 @@ type Sampler struct {
 	cum     []float64
 	ids     []pages.PageID
 	total   float64
+
+	mSamples  *obs.Counter
+	mRebuilds *obs.Counter
 }
 
 // NewSampler returns a sampler over as using rng.
@@ -31,7 +35,14 @@ func NewSampler(as *pages.AddressSpace, rng *stats.RNG) *Sampler {
 	return &Sampler{as: as, rng: rng}
 }
 
+// SetObs installs the metrics registry (nil disables instrumentation).
+func (s *Sampler) SetObs(r *obs.Registry) {
+	s.mSamples = r.Counter("sampler_samples")
+	s.mRebuilds = r.Counter("sampler_rebuilds")
+}
+
 func (s *Sampler) rebuild() {
+	s.mRebuilds.Inc()
 	s.cum = s.cum[:0]
 	s.ids = s.ids[:0]
 	acc := 0.0
@@ -51,6 +62,7 @@ func (s *Sampler) rebuild() {
 // Sample returns one page drawn with probability proportional to its
 // weight, or pages.NoPage if no page has weight.
 func (s *Sampler) Sample() pages.PageID {
+	s.mSamples.Inc()
 	if !s.built || s.version != s.as.Version() {
 		s.rebuild()
 	}

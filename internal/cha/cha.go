@@ -19,6 +19,7 @@ package cha
 import (
 	"fmt"
 
+	"colloid/internal/obs"
 	"colloid/internal/stats"
 )
 
@@ -40,6 +41,15 @@ type Counters struct {
 	noise    float64
 	rng      *stats.RNG
 	snap     Snapshot
+
+	mAdvances *obs.Counter
+	mReads    *obs.Counter
+}
+
+// SetObs installs the metrics registry (nil disables instrumentation).
+func (c *Counters) SetObs(r *obs.Registry) {
+	c.mAdvances = r.Counter("cha_advances")
+	c.mReads = r.Counter("cha_reads")
 }
 
 // NewCounters returns a counter bank for numTiers tiers. noiseStdDev is
@@ -79,6 +89,7 @@ func (c *Counters) Advance(durNs float64, readRatePerSec, latencyNs []float64) {
 	if durNs < 0 {
 		panic("cha: negative duration")
 	}
+	c.mAdvances.Inc()
 	c.snap.TimeNs += durNs
 	for t := 0; t < c.numTiers; t++ {
 		ins := readRatePerSec[t] * durNs * 1e-9
@@ -103,6 +114,7 @@ func (c *Counters) factor() float64 {
 
 // Read returns a copy of the cumulative counters, like an MSR read.
 func (c *Counters) Read() Snapshot {
+	c.mReads.Inc()
 	out := Snapshot{
 		TimeNs:              c.snap.TimeNs,
 		Inserts:             append([]float64(nil), c.snap.Inserts...),

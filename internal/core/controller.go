@@ -20,6 +20,7 @@ import (
 
 	"colloid/internal/cha"
 	"colloid/internal/memsys"
+	"colloid/internal/obs"
 	"colloid/internal/stats"
 )
 
@@ -67,6 +68,10 @@ type Options struct {
 	// (an idle tier's Little's-law latency is 0/0; its true latency is
 	// its unloaded latency).
 	UnloadedLatencyNs []float64
+	// Obs receives controller metrics and trace events (mode
+	// transitions, deadband holds, watermark resets). Nil disables
+	// instrumentation.
+	Obs *obs.Registry
 
 	// Ablation switches (DESIGN.md section 4). All default off — the
 	// full Colloid design. They exist so the ablation experiments can
@@ -130,6 +135,21 @@ type Controller struct {
 	pLo   float64
 	pHi   float64
 	n     int
+
+	// Instrumentation. lastMode tracks transitions; deadbandHit is set
+	// by computeShift so Observe can attribute a Hold to the deadband.
+	reg         *obs.Registry
+	mObserves   *obs.Counter
+	mDecisions  *obs.Counter
+	mDeadband   *obs.Counter
+	mTransition *obs.Counter
+	mWmReset    *obs.Counter
+	gPLo        *obs.Gauge
+	gPHi        *obs.Gauge
+	lastMode    Mode
+	modePrimed  bool
+	deadbandHit bool
+	inDeadband  bool
 }
 
 // NewController returns a controller for numTiers tiers (>= 2).
@@ -154,6 +174,14 @@ func NewController(numTiers int, opts Options) *Controller {
 		c.occ[i] = stats.NewEWMA(o.EWMAAlpha)
 		c.rate[i] = stats.NewEWMA(o.EWMAAlpha)
 	}
+	c.reg = o.Obs
+	c.mObserves = c.reg.Counter("ctrl_observes")
+	c.mDecisions = c.reg.Counter("ctrl_decisions")
+	c.mDeadband = c.reg.Counter("ctrl_deadband_holds")
+	c.mTransition = c.reg.Counter("ctrl_mode_transitions")
+	c.mWmReset = c.reg.Counter("ctrl_watermark_resets")
+	c.gPLo = c.reg.Gauge("ctrl_p_lo")
+	c.gPHi = c.reg.Gauge("ctrl_p_hi")
 	return c
 }
 
@@ -166,6 +194,7 @@ func (c *Controller) Watermarks() (pLo, pHi float64) { return c.pLo, c.pHi }
 // while the controller is still priming (first snapshot) or when the
 // interval carried no traffic.
 func (c *Controller) Observe(snap cha.Snapshot) (d Decision, ok bool) {
+	c.mObserves.Inc()
 	meas, ready := c.meter.Observe(snap)
 	if !ready {
 		return Decision{}, false
@@ -232,7 +261,7 @@ func (c *Controller) Observe(snap cha.Snapshot) (d Decision, ok bool) {
 	deltaP := c.computeShift(p, lD, lA)
 	if deltaP <= 0 {
 		d.Mode = Hold
-		return d, true
+		return c.finish(d), true
 	}
 	if lD < lA {
 		d.Mode = Promote
@@ -253,7 +282,38 @@ func (c *Controller) Observe(snap cha.Snapshot) (d Decision, ok bool) {
 	if m := c.opts.StaticLimitBytesPerSec; m > 0 && d.MigrationLimitBytesPerSec > m {
 		d.MigrationLimitBytesPerSec = m
 	}
-	return d, true
+	return c.finish(d), true
+}
+
+// finish records instrumentation for an emitted decision: decision and
+// deadband counters, mode-transition events, and watermark gauges.
+func (c *Controller) finish(d Decision) Decision {
+	c.mDecisions.Inc()
+	if c.deadbandHit {
+		c.deadbandHit = false
+		c.mDeadband.Inc()
+		if !c.inDeadband {
+			// Event only on entering the deadband; steady balanced runs
+			// hold every quantum and would flood the trace otherwise.
+			c.inDeadband = true
+			c.reg.Emit(obs.EvDeadbandHold, obs.F("p", d.P))
+		}
+	} else {
+		c.inDeadband = false
+	}
+	if c.modePrimed && d.Mode != c.lastMode {
+		c.mTransition.Inc()
+		c.reg.Emit(obs.EvModeTransition,
+			obs.F("from", float64(c.lastMode)),
+			obs.F("to", float64(d.Mode)),
+			obs.F("p", d.P),
+			obs.F("delta_p", d.DeltaP))
+	}
+	c.lastMode = d.Mode
+	c.modePrimed = true
+	c.gPLo.Set(c.pLo)
+	c.gPHi.Set(c.pHi)
+	return d
 }
 
 // computeShift is Algorithm 2: binary-search watermarks with the
@@ -265,6 +325,7 @@ func (c *Controller) computeShift(p, lD, lA float64) float64 {
 	// unloaded-latency prior measures near zero), promoting on latency
 	// gaps a demotion of the same magnitude would hold through.
 	if abs(lD-lA) < c.opts.Delta*max(lD, lA) {
+		c.deadbandHit = true
 		return 0
 	}
 	if g := c.opts.ProportionalShift; g > 0 {
@@ -281,6 +342,9 @@ func (c *Controller) computeShift(p, lD, lA float64) float64 {
 		// Watermarks have collapsed but latencies are still unbalanced:
 		// the equilibrium point moved outside [pLo, pHi]; reset the
 		// side it escaped through (Figure 4(c)).
+		c.mWmReset.Inc()
+		c.reg.Emit(obs.EvWatermarkReset,
+			obs.F("p_lo", c.pLo), obs.F("p_hi", c.pHi), obs.F("p", p))
 		if lD < lA {
 			c.pHi = 1
 		} else {

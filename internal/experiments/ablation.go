@@ -6,6 +6,7 @@ import (
 
 	"colloid/internal/core"
 	"colloid/internal/hemem"
+	"colloid/internal/obs"
 	"colloid/internal/sim"
 	"colloid/internal/stats"
 	"colloid/internal/workloads"
@@ -55,7 +56,7 @@ func ablationExpArms(Options) ([]Arm, error) {
 	for _, arm := range ablationArms() {
 		arm := arm
 		arms = append(arms, Arm{Name: arm.name, Run: func(ctx ArmContext) (any, error) {
-			return runAblationArm(arm, ctx.Options, ctx.Seed)
+			return runAblationArm(arm, ctx.Options, ctx.Seed, ctx.Obs)
 		}})
 	}
 	return arms, nil
@@ -85,10 +86,10 @@ func ablationAssemble(o Options, results []any) (*Table, error) {
 	return t, nil
 }
 
-func runAblationArm(arm ablationArm, o Options, seed uint64) (ablationResult, error) {
+func runAblationArm(arm ablationArm, o Options, seed uint64, reg *obs.Registry) (ablationResult, error) {
 	var res ablationResult
 	g := workloads.DefaultGUPS()
-	cfg := gupsConfig(paperTopology(0, 0), g, 2, seed)
+	cfg := gupsConfig(paperTopology(0, 0), g, 2, seed, reg)
 	e, err := sim.New(cfg)
 	if err != nil {
 		return res, err

@@ -8,6 +8,7 @@ import (
 	"colloid/internal/hemem"
 	"colloid/internal/memsys"
 	"colloid/internal/memtis"
+	"colloid/internal/obs"
 	"colloid/internal/oracle"
 	"colloid/internal/sim"
 	"colloid/internal/tpp"
@@ -67,14 +68,16 @@ func paperTopology(latencyScale, bandwidthScale float64) *memsys.Topology {
 }
 
 // gupsConfig assembles the standard GUPS simulation at the given
-// contention intensity.
-func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity int, seed uint64) sim.Config {
+// contention intensity; reg (usually ArmContext.Obs, may be nil)
+// receives the run's instrumentation.
+func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity int, seed uint64, reg *obs.Registry) sim.Config {
 	return sim.Config{
 		Topology:        topo,
 		WorkingSetBytes: g.WorkingSetBytes,
 		Profile:         g.Profile(),
 		AntagonistCores: workloads.AntagonistForIntensity(intensity).Cores,
 		Seed:            seed,
+		Obs:             reg,
 	}
 }
 
@@ -97,15 +100,17 @@ var (
 // same logical (system, colloid, intensity) runs, and keying them to
 // the base seed keeps every figure reporting one consistent dataset
 // (and keeps the cache shareable across figures).
-func runSteady(system string, withColloid bool, intensity int, o Options) (*sim.Engine, sim.Steady, error) {
+func runSteady(system string, withColloid bool, intensity int, o Options, reg *obs.Registry) (*sim.Engine, sim.Steady, error) {
 	key := fmt.Sprintf("%s/%v/%d/%d/%v", system, withColloid, intensity, o.Seed, o.Quick)
 	steadyMu.Lock()
 	st, ok := steadyCache[key]
 	steadyMu.Unlock()
 	if ok {
+		// Cache hit: the run (and its metrics) happened under another
+		// figure's arm, so this arm reports no metrics of its own.
 		return nil, st, nil
 	}
-	e, st, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), system, withColloid, intensity, o, o.Seed, 0)
+	e, st, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), system, withColloid, intensity, o, o.Seed, 0, reg)
 	if err == nil {
 		steadyMu.Lock()
 		steadyCache[key] = st
@@ -117,11 +122,11 @@ func runSteady(system string, withColloid bool, intensity int, o Options) (*sim.
 // runSteadyOn is runSteady against an explicit topology/workload and
 // simulation seed; a nonzero objectBytes overrides the GUPS object size
 // (Figure 8).
-func runSteadyOn(topo *memsys.Topology, g *workloads.GUPS, system string, withColloid bool, intensity int, o Options, seed uint64, objectBytes int64) (*sim.Engine, sim.Steady, error) {
+func runSteadyOn(topo *memsys.Topology, g *workloads.GUPS, system string, withColloid bool, intensity int, o Options, seed uint64, objectBytes int64, reg *obs.Registry) (*sim.Engine, sim.Steady, error) {
 	if objectBytes > 0 {
 		g.ObjectBytes = objectBytes
 	}
-	cfg := gupsConfig(topo, g, intensity, seed)
+	cfg := gupsConfig(topo, g, intensity, seed, reg)
 	e, err := sim.New(cfg)
 	if err != nil {
 		return nil, sim.Steady{}, err
@@ -160,7 +165,7 @@ func bestCase(intensity int, o Options) (*oracle.Result, error) {
 		return r, nil
 	}
 	g := workloads.DefaultGUPS()
-	cfg := gupsConfig(paperTopology(0, 0), g, intensity, o.Seed)
+	cfg := gupsConfig(paperTopology(0, 0), g, intensity, o.Seed, nil)
 	r, err := oracle.BestCase(oracle.Config{Sim: cfg, Workload: g})
 	if err == nil {
 		bestMu.Lock()
@@ -181,7 +186,7 @@ func steadyArm(system string, withColloid bool, intensity int) Arm {
 		name = fmt.Sprintf("steady/%s+colloid/%dx", system, intensity)
 	}
 	return Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
-		_, st, err := runSteady(system, withColloid, intensity, ctx.Options)
+		_, st, err := runSteady(system, withColloid, intensity, ctx.Options, ctx.Obs)
 		return st, err
 	}}
 }

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"colloid/internal/obs"
 )
 
 // Options tunes experiment scale.
@@ -26,6 +28,10 @@ type Options struct {
 	// BenchDir, when non-empty, streams per-arm wall-clock timings to
 	// <BenchDir>/BENCH_<id>.json as each experiment runs.
 	BenchDir string
+	// Metrics, when non-nil, accumulates every arm's obs metrics: each
+	// arm runs against its own registry (no cross-arm locking) and the
+	// runner merges them here after all arms finish.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {

@@ -49,7 +49,7 @@ func fig7Arms(Options) ([]Arm, error) {
 						// Each arm builds its own topology: engines run
 						// concurrently and must not share construction.
 						topo := paperTopology(latScale, bwScale)
-						_, st, err := runSteadyOn(topo, workloads.DefaultGUPS(), sys, withColloid, intensity, ctx.Options, ctx.Seed, 0)
+						_, st, err := runSteadyOn(topo, workloads.DefaultGUPS(), sys, withColloid, intensity, ctx.Options, ctx.Seed, 0, ctx.Obs)
 						return st, err
 					}})
 				}
@@ -104,7 +104,7 @@ func fig8Arms(Options) ([]Arm, error) {
 					sys, size, intensity, withColloid := sys, size, intensity, withColloid
 					name := fmt.Sprintf("%s/%dB/%dx/colloid=%v", sys, size, intensity, withColloid)
 					arms = append(arms, Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
-						_, st, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), sys, withColloid, intensity, ctx.Options, ctx.Seed, size)
+						_, st, err := runSteadyOn(paperTopology(0, 0), workloads.DefaultGUPS(), sys, withColloid, intensity, ctx.Options, ctx.Seed, size, ctx.Obs)
 						return st, err
 					}})
 				}

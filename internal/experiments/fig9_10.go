@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"colloid/internal/obs"
 	"colloid/internal/sim"
 	"colloid/internal/workloads"
 )
@@ -45,9 +46,9 @@ func fig9Scenarios(o Options) []dynamicScenario {
 
 // runDynamic executes one (system, scenario) arm with the given seed
 // and returns the trace.
-func runDynamic(system string, withColloid bool, sc dynamicScenario, o Options, seed uint64) ([]sim.Sample, error) {
+func runDynamic(system string, withColloid bool, sc dynamicScenario, o Options, seed uint64, reg *obs.Registry) ([]sim.Sample, error) {
 	g := workloads.DefaultGUPS()
-	cfg := gupsConfig(paperTopology(0, 0), g, sc.intensity0, seed)
+	cfg := gupsConfig(paperTopology(0, 0), g, sc.intensity0, seed, reg)
 	e, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
@@ -82,7 +83,7 @@ func dynamicArm(sc dynamicScenario, system string, withColloid bool) Arm {
 		name += "+colloid"
 	}
 	return Arm{Name: sc.name + "/" + name, Run: func(ctx ArmContext) (any, error) {
-		return runDynamic(system, withColloid, sc, ctx.Options, ctx.Seed)
+		return runDynamic(system, withColloid, sc, ctx.Options, ctx.Seed, ctx.Obs)
 	}}
 }
 

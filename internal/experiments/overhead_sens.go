@@ -85,7 +85,7 @@ func sensArms(Options) ([]Arm, error) {
 			name := fmt.Sprintf("eps=%.3f/delta=%.2f", eps, delta)
 			arms = append(arms, Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
 				g := workloads.DefaultGUPS()
-				cfg := gupsConfig(paperTopology(0, 0), g, 1, ctx.Seed)
+				cfg := gupsConfig(paperTopology(0, 0), g, 1, ctx.Seed, ctx.Obs)
 				e, err := sim.New(cfg)
 				if err != nil {
 					return nil, err

@@ -21,7 +21,7 @@ func init() {
 func relatedArm(policy related.Policy, name string, intensity int) Arm {
 	return Arm{Name: fmt.Sprintf("%s/%dx", name, intensity), Run: func(ctx ArmContext) (any, error) {
 		g := workloads.DefaultGUPS()
-		cfg := gupsConfig(paperTopology(0, 0), g, intensity, ctx.Seed)
+		cfg := gupsConfig(paperTopology(0, 0), g, intensity, ctx.Seed, ctx.Obs)
 		e, err := sim.New(cfg)
 		if err != nil {
 			return nil, err

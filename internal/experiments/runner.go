@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"colloid/internal/obs"
 	"colloid/internal/stats"
 )
 
@@ -38,6 +39,10 @@ type ArmContext struct {
 	// cross-figure runs read Options.Seed instead of Seed; see
 	// common.go).
 	Options Options
+	// Obs is the arm's private metrics registry (nil when metrics are
+	// off). Arms thread it into sim.Config.Obs; the runner folds its
+	// values into BENCH_<id>.json and merges it into Options.Metrics.
+	Obs *obs.Registry
 }
 
 // armSeed derives the deterministic per-arm seed: the base seed is
@@ -58,11 +63,12 @@ type Runner struct {
 
 // armRecord is one arm's timing entry in the BENCH file.
 type armRecord struct {
-	Name        string  `json:"name"`
-	Index       int     `json:"index"`
-	Seed        uint64  `json:"seed"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Error       string  `json:"error,omitempty"`
+	Name        string             `json:"name"`
+	Index       int                `json:"index"`
+	Seed        uint64             `json:"seed"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Error       string             `json:"error,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchReport is the BENCH_<id>.json document.
@@ -169,6 +175,16 @@ func (r *Runner) runArms(id string, arms []Arm, o Options) ([]any, error) {
 	start := time.Now()
 	results := make([]any, len(arms))
 	errs := make([]error, len(arms))
+	// Per-arm registries keep the obs fast path lock-free; they are
+	// merged serially after the pool drains. Collected whenever a BENCH
+	// file or a caller-supplied registry wants them.
+	var regs []*obs.Registry
+	if bench != nil || o.Metrics != nil {
+		regs = make([]*obs.Registry, len(arms))
+		for i := range regs {
+			regs[i] = obs.NewRegistry()
+		}
+	}
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
@@ -187,6 +203,9 @@ func (r *Runner) runArms(id string, arms []Arm, o Options) ([]any, error) {
 					Seed:       armSeed(id, i, o.Seed),
 					Options:    o,
 				}
+				if regs != nil {
+					ctx.Obs = regs[i]
+				}
 				armStart := time.Now()
 				results[i], errs[i] = runArm(arms[i], ctx)
 				rec := armRecord{
@@ -194,6 +213,7 @@ func (r *Runner) runArms(id string, arms []Arm, o Options) ([]any, error) {
 					Index:       i,
 					Seed:        ctx.Seed,
 					WallSeconds: time.Since(armStart).Seconds(),
+					Metrics:     ctx.Obs.Values(),
 				}
 				if errs[i] != nil {
 					rec.Error = errs[i].Error()
@@ -203,6 +223,11 @@ func (r *Runner) runArms(id string, arms []Arm, o Options) ([]any, error) {
 		}()
 	}
 	wg.Wait()
+	if o.Metrics != nil {
+		for _, reg := range regs {
+			o.Metrics.Merge(reg)
+		}
+	}
 	if err := bench.finish(time.Since(start).Seconds()); err != nil {
 		return nil, err
 	}

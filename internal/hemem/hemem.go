@@ -120,6 +120,9 @@ func (s *System) Step(ctx *sim.Context) {
 		if opts.StaticLimitBytesPerSec == 0 {
 			opts.StaticLimitBytesPerSec = ctx.Migrator.StaticLimitBytesPerSec()
 		}
+		if opts.Obs == nil {
+			opts.Obs = ctx.Obs
+		}
 		s.colloid = core.NewController(ctx.Topo.NumTiers(), opts)
 	}
 	s.samplePEBS(ctx)
@@ -203,6 +206,7 @@ func (s *System) binIndex(count uint32) int {
 // rebuildLists reconstructs hot/bin memberships after a cooling pass.
 func (s *System) rebuildLists(ctx *sim.Context) {
 	s.cools++
+	ctx.Obs.Counter("hemem_cools").Inc()
 	s.hot.Clear()
 	s.hotAlt.Clear()
 	for _, b := range s.bins {

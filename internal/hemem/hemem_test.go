@@ -4,41 +4,15 @@ import (
 	"testing"
 
 	"colloid/internal/core"
-	"colloid/internal/memsys"
-	"colloid/internal/sim"
-	"colloid/internal/workloads"
+	"colloid/internal/simtest"
 )
-
-func runGUPS(t *testing.T, sys sim.System, antagonistCores int, seconds float64, seed uint64) (*sim.Engine, sim.Steady) {
-	t.Helper()
-	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
-	g := workloads.DefaultGUPS()
-	e, err := sim.New(sim.Config{
-		Topology:        topo,
-		WorkingSetBytes: g.WorkingSetBytes,
-		Profile:         g.Profile(),
-		AntagonistCores: antagonistCores,
-		Seed:            seed,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
-		t.Fatal(err)
-	}
-	e.SetSystem(sys)
-	if err := e.Run(seconds); err != nil {
-		t.Fatal(err)
-	}
-	return e, e.SteadyState(seconds / 3)
-}
 
 func TestVanillaPacksHotSetAtZeroContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
 	sys := New(Config{})
-	e, st := runGUPS(t, sys, 0, 60, 1)
+	e, st := simtest.RunGUPS(t, sys, 0, 60, 1)
 	// First-fit starts with ~44% of the hot set in the default tier;
 	// HeMem should pack nearly all of it: p -> ~0.92.
 	if p := e.AS().DefaultShare(); p < 0.85 {
@@ -57,7 +31,7 @@ func TestVanillaStaysPackedUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, st := runGUPS(t, New(Config{}), 15, 60, 2)
+	e, st := simtest.RunGUPS(t, New(Config{}), 15, 60, 2)
 	// Contention-agnostic: still packs hot pages in the default tier
 	// even though its latency now far exceeds the alternate's
 	// (Figure 2(b)).
@@ -73,7 +47,7 @@ func TestColloidBalancesLatenciesUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, st := runGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 120, 3)
+	e, st := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 120, 3)
 	// Colloid moves the hot set out: p drops far below the packed
 	// ~0.92 (Figure 6(a): best-case default share is ~4% of app
 	// traffic at 3x).
@@ -91,8 +65,8 @@ func TestColloidBeatsVanillaUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	_, vanilla := runGUPS(t, New(Config{}), 15, 90, 4)
-	_, colloid := runGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 90, 4)
+	_, vanilla := simtest.RunGUPS(t, New(Config{}), 15, 90, 4)
+	_, colloid := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 90, 4)
 	gain := colloid.OpsPerSec / vanilla.OpsPerSec
 	// Figure 5: 2.3x at 3x intensity.
 	if gain < 1.6 {
@@ -104,8 +78,8 @@ func TestColloidMatchesVanillaWithoutContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	_, vanilla := runGUPS(t, New(Config{}), 0, 60, 5)
-	_, colloid := runGUPS(t, New(Config{Colloid: &core.Options{}}), 0, 60, 5)
+	_, vanilla := simtest.RunGUPS(t, New(Config{}), 0, 60, 5)
+	_, colloid := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 0, 60, 5)
 	gain := colloid.OpsPerSec / vanilla.OpsPerSec
 	// Figure 5 at 0x: Colloid matches the underlying system.
 	if gain < 0.93 || gain > 1.1 {

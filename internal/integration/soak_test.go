@@ -16,6 +16,7 @@ import (
 	"colloid/internal/pages"
 	"colloid/internal/related"
 	"colloid/internal/sim"
+	"colloid/internal/simtest"
 	"colloid/internal/tpp"
 	"colloid/internal/workloads"
 )
@@ -112,7 +113,6 @@ func TestSoakAllSystemsAllScenarios(t *testing.T) {
 		for name, mk := range allSystems() {
 			label := fmt.Sprintf("%s/%s", sc.name, name)
 			t.Run(label, func(t *testing.T) {
-				topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
 				g := &workloads.GUPS{
 					WorkingSetBytes: sc.wsGiB * memsys.GiB,
 					HotSetBytes:     sc.hotGiB * memsys.GiB,
@@ -120,28 +120,14 @@ func TestSoakAllSystemsAllScenarios(t *testing.T) {
 					ObjectBytes:     sc.object,
 					Cores:           15,
 				}
-				e, err := sim.New(sim.Config{
-					Topology:        topo,
-					WorkingSetBytes: g.WorkingSetBytes,
-					Profile:         g.Profile(),
+				e, _ := simtest.Run(t, mk(), simtest.Scenario{
+					GUPS:            g,
 					AntagonistCores: workloads.AntagonistForIntensity(sc.intensity).Cores,
+					Seconds:         12,
 					Seed:            7,
+					DisturbAtSec:    sc.disturbSec,
+					DisturbCores:    workloads.AntagonistForIntensity(3).Cores,
 				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
-					t.Fatal(err)
-				}
-				e.SetSystem(mk())
-				if sc.disturbSec > 0 {
-					e.ScheduleAt(sc.disturbSec, func(en *sim.Engine) {
-						en.SetAntagonist(workloads.AntagonistForIntensity(3).Cores)
-					})
-				}
-				if err := e.Run(12); err != nil {
-					t.Fatal(err)
-				}
 				checkInvariants(t, label, e, g.WorkingSetBytes)
 			})
 		}
@@ -168,23 +154,13 @@ func TestSoakThreeTiers(t *testing.T) {
 				ObjectBytes:     64,
 				Cores:           15,
 			}
-			e, err := sim.New(sim.Config{
+			e, _ := simtest.Run(t, mk(), simtest.Scenario{
 				Topology:        topo,
-				WorkingSetBytes: g.WorkingSetBytes,
-				Profile:         g.Profile(),
+				GUPS:            g,
 				AntagonistCores: 10,
+				Seconds:         10,
 				Seed:            11,
 			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
-				t.Fatal(err)
-			}
-			e.SetSystem(mk())
-			if err := e.Run(10); err != nil {
-				t.Fatal(err)
-			}
 			checkInvariants(t, name, e, g.WorkingSetBytes)
 		})
 	}
@@ -199,25 +175,11 @@ func TestSoakDeterminism(t *testing.T) {
 	for name, mk := range allSystems() {
 		t.Run(name, func(t *testing.T) {
 			run := func() []sim.Sample {
-				topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
-				g := workloads.DefaultGUPS()
-				e, err := sim.New(sim.Config{
-					Topology:        topo,
-					WorkingSetBytes: g.WorkingSetBytes,
-					Profile:         g.Profile(),
+				e, _ := simtest.Run(t, mk(), simtest.Scenario{
 					AntagonistCores: 10,
+					Seconds:         8,
 					Seed:            99,
 				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
-					t.Fatal(err)
-				}
-				e.SetSystem(mk())
-				if err := e.Run(8); err != nil {
-					t.Fatal(err)
-				}
 				return e.Samples()
 			}
 			a, b := run(), run()

@@ -152,6 +152,9 @@ func (s *System) Step(ctx *sim.Context) {
 		if opts.StaticLimitBytesPerSec == 0 {
 			opts.StaticLimitBytesPerSec = ctx.Migrator.StaticLimitBytesPerSec()
 		}
+		if opts.Obs == nil {
+			opts.Obs = ctx.Obs
+		}
 		s.colloid = core.NewController(ctx.Topo.NumTiers(), opts)
 	}
 	s.samplePEBS(ctx)
@@ -405,6 +408,7 @@ func (s *System) splitHotHugePages(ctx *sim.Context) {
 		}
 		best[i], best[maxJ] = best[maxJ], best[i]
 		s.split.Add(best[i].id)
+		ctx.Obs.Counter("memtis_splits").Inc()
 	}
 }
 
@@ -419,6 +423,7 @@ func (s *System) coalesceSlowly(ctx *sim.Context) {
 	s.lastCoalesce = ctx.TimeSec
 	if s.split.Len() > 0 {
 		s.split.Remove(s.split.At(0))
+		ctx.Obs.Counter("memtis_coalesces").Inc()
 	}
 }
 

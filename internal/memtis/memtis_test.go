@@ -4,41 +4,15 @@ import (
 	"testing"
 
 	"colloid/internal/core"
-	"colloid/internal/memsys"
-	"colloid/internal/sim"
-	"colloid/internal/workloads"
+	"colloid/internal/simtest"
 )
-
-func runGUPS(t *testing.T, sys sim.System, antagonistCores int, seconds float64, seed uint64) (*sim.Engine, sim.Steady) {
-	t.Helper()
-	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
-	g := workloads.DefaultGUPS()
-	e, err := sim.New(sim.Config{
-		Topology:        topo,
-		WorkingSetBytes: g.WorkingSetBytes,
-		Profile:         g.Profile(),
-		AntagonistCores: antagonistCores,
-		Seed:            seed,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
-		t.Fatal(err)
-	}
-	e.SetSystem(sys)
-	if err := e.Run(seconds); err != nil {
-		t.Fatal(err)
-	}
-	return e, e.SteadyState(seconds / 3)
-}
 
 func TestVanillaPacksHotSet(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
 	sys := New(Config{})
-	e, _ := runGUPS(t, sys, 0, 90, 1)
+	e, _ := simtest.RunGUPS(t, sys, 0, 90, 1)
 	if p := e.AS().DefaultShare(); p < 0.8 {
 		t.Fatalf("default share = %v, want > 0.8", p)
 	}
@@ -52,9 +26,9 @@ func TestSplittingHappensAndPenalizes(t *testing.T) {
 		t.Skip("long simulation")
 	}
 	withSplit := New(Config{})
-	_, stSplit := runGUPS(t, withSplit, 0, 90, 2)
+	_, stSplit := simtest.RunGUPS(t, withSplit, 0, 90, 2)
 	noSplit := New(Config{SplitsPerQuantum: -1})
-	_, stNoSplit := runGUPS(t, noSplit, 0, 90, 2)
+	_, stNoSplit := simtest.RunGUPS(t, noSplit, 0, 90, 2)
 	if withSplit.SplitParents() == 0 {
 		t.Fatal("no hugepages were split")
 	}
@@ -72,7 +46,7 @@ func TestVanillaStaysPackedUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, _ := runGUPS(t, New(Config{}), 15, 90, 3)
+	e, _ := simtest.RunGUPS(t, New(Config{}), 15, 90, 3)
 	if p := e.AS().DefaultShare(); p < 0.8 {
 		t.Fatalf("vanilla MEMTIS unpacked under contention: p = %v", p)
 	}
@@ -82,7 +56,7 @@ func TestColloidDemotesUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, st := runGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 120, 4)
+	e, st := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 120, 4)
 	if p := e.AS().DefaultShare(); p > 0.5 {
 		t.Fatalf("memtis+colloid did not demote: p = %v", p)
 	}
@@ -95,8 +69,8 @@ func TestColloidBeatsVanillaUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	_, vanilla := runGUPS(t, New(Config{}), 15, 120, 5)
-	_, colloid := runGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 120, 5)
+	_, vanilla := simtest.RunGUPS(t, New(Config{}), 15, 120, 5)
+	_, colloid := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 120, 5)
 	gain := colloid.OpsPerSec / vanilla.OpsPerSec
 	if gain < 1.5 {
 		t.Fatalf("memtis+colloid gain at 3x = %.2fx, want > 1.5x", gain)
@@ -108,7 +82,7 @@ func TestDynamicSampleRateBounded(t *testing.T) {
 		t.Skip("long simulation")
 	}
 	sys := New(Config{})
-	runGUPS(t, sys, 0, 30, 6)
+	simtest.RunGUPS(t, sys, 0, 30, 6)
 	if sys.sampleScale < 0.4 || sys.sampleScale > 2.3 {
 		t.Fatalf("sample scale out of bounds: %v", sys.sampleScale)
 	}
@@ -119,7 +93,7 @@ func TestCoalesceShrinksSplitSet(t *testing.T) {
 		t.Skip("long simulation")
 	}
 	sys := New(Config{CoalesceIntervalSec: 5})
-	runGUPS(t, sys, 0, 30, 7)
+	simtest.RunGUPS(t, sys, 0, 30, 7)
 	// With a 5s coalesce interval and splitting capped, coalesces must
 	// have fired several times; the split set stops growing.
 	if sys.SplitParents() == 0 {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"colloid/internal/memsys"
+	"colloid/internal/obs"
 	"colloid/internal/pages"
 )
 
@@ -43,6 +44,14 @@ type Engine struct {
 	totalMoves    int64
 	totalPromoted int64 // bytes moved into the default tier
 	totalDemoted  int64 // bytes moved out of the default tier
+
+	// Instrumentation (nil-safe handles; one throttle event per quantum
+	// at most so a starved system can't flood the trace).
+	reg              *obs.Registry
+	mBytes           *obs.Counter
+	mMoves           *obs.Counter
+	mThrottled       *obs.Counter
+	throttledEmitted bool
 }
 
 // NewEngine returns an engine over as with the given migration rate
@@ -57,6 +66,14 @@ func NewEngine(as *pages.AddressSpace, numTiers int, staticLimitBytesPerSec floa
 		movedFrom:              make([]int64, numTiers),
 		movedTo:                make([]int64, numTiers),
 	}
+}
+
+// SetObs installs the metrics registry (nil disables instrumentation).
+func (e *Engine) SetObs(r *obs.Registry) {
+	e.reg = r
+	e.mBytes = r.Counter("migrate_bytes")
+	e.mMoves = r.Counter("migrate_moves")
+	e.mThrottled = r.Counter("migrate_throttled")
 }
 
 // budgetCapSeconds bounds how much unused migration budget can accrue:
@@ -85,6 +102,7 @@ func (e *Engine) BeginQuantum(quantumSec float64) {
 		e.movedFrom[i] = 0
 		e.movedTo[i] = 0
 	}
+	e.throttledEmitted = false
 }
 
 // Budget returns the remaining migration byte budget for this quantum.
@@ -107,6 +125,13 @@ func (e *Engine) Move(id pages.PageID, to memsys.TierID) error {
 		return nil
 	}
 	if e.quantumBudget < p.Bytes {
+		e.mThrottled.Inc()
+		if !e.throttledEmitted {
+			e.throttledEmitted = true
+			e.reg.Emit(obs.EvMigrationThrottled,
+				obs.F("want_bytes", float64(p.Bytes)),
+				obs.F("budget_bytes", float64(e.quantumBudget)))
+		}
 		return ErrLimit
 	}
 	if err := e.as.Move(id, to); err != nil {
@@ -145,6 +170,8 @@ func (e *Engine) account(from, to memsys.TierID, bytes int64) {
 	e.movedTo[to] += bytes
 	e.totalBytes += bytes
 	e.totalMoves++
+	e.mBytes.Add(bytes)
+	e.mMoves.Inc()
 	if to == memsys.DefaultTier {
 		e.totalPromoted += bytes
 	}

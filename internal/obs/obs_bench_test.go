@@ -1,0 +1,46 @@
+package obs
+
+import "testing"
+
+// The disabled path is the one every uninstrumented run pays: it must
+// compile down to a nil check and nothing else. Compare:
+//
+//	go test -bench 'Handle' -benchmem ./internal/obs/
+//
+// BenchmarkNilHandles (registry off) vs BenchmarkLiveHandles (on).
+
+func BenchmarkNilHandles(b *testing.B) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(1)
+		h.Observe(float64(i))
+		r.Emit(EvModeTransition)
+	}
+}
+
+func BenchmarkLiveHandles(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(1)
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkEmit(b *testing.B) {
+	r := NewRegistry()
+	r.EnableTrace(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(EvMigrationThrottled, F("want_bytes", 1), F("budget_bytes", 2))
+	}
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	// Every path must be a no-op, not a panic.
+	r.Counter("c").Add(5)
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(2)
+	r.EnableTrace(8)
+	r.SetTime(1)
+	r.Emit(EvModeTransition, F("x", 1))
+	r.Merge(NewRegistry())
+	NewRegistry().Merge(r)
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 {
+		t.Fatal("nil handles returned nonzero values")
+	}
+	if r.Histogram("h").Count() != 0 || r.Histogram("h").Mean() != 0 || r.Histogram("h").Max() != 0 {
+		t.Fatal("nil histogram returned nonzero values")
+	}
+	if r.Events() != nil || r.Values() != nil || r.MetricNames() != nil || r.Dropped() != 0 {
+		t.Fatal("nil registry returned non-nil data")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("moves")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	if r.Counter("moves") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	r.Gauge("p").Set(0.25)
+	if got := r.Gauge("p").Value(); got != 0.25 {
+		t.Fatalf("gauge = %v", got)
+	}
+	h := r.Histogram("iters")
+	for _, v := range []float64{1, 2, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Mean() != 4 || h.Max() != 10 {
+		t.Fatalf("histogram count/mean/max = %d/%v/%v", h.Count(), h.Mean(), h.Max())
+	}
+
+	vals := r.Values()
+	if vals["moves"] != 4 || vals["p"] != 0.25 {
+		t.Fatalf("values = %v", vals)
+	}
+	if vals["iters.count"] != 4 || vals["iters.mean"] != 4 || vals["iters.max"] != 10 {
+		t.Fatalf("histogram values = %v", vals)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1)) // must clamp into the last bucket, not index out
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.buckets[0] != 3 || h.buckets[histBuckets-1] != 1 {
+		t.Fatalf("buckets = %v", h.buckets)
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	r := NewRegistry()
+	r.EnableTrace(4)
+	for i := 0; i < 10; i++ {
+		r.SetTime(float64(i))
+		r.Emit("tick", F("i", float64(i)))
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("events = %d, want 4", len(ev))
+	}
+	// Oldest surviving first: 6,7,8,9.
+	for i, e := range ev {
+		if want := float64(6 + i); e.TimeSec != want {
+			t.Fatalf("event %d at t=%v, want %v", i, e.TimeSec, want)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestEmitWithoutTraceIsNoop(t *testing.T) {
+	r := NewRegistry()
+	r.Emit("tick")
+	if len(r.Events()) != 0 {
+		t.Fatal("trace disabled but event recorded")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("c").Add(2)
+	b.Counter("c").Add(5)
+	b.Counter("only_b").Inc()
+	b.Gauge("g").Set(9)
+	a.Histogram("h").Observe(1)
+	b.Histogram("h").Observe(3)
+	a.Merge(b)
+	vals := a.Values()
+	if vals["c"] != 7 || vals["only_b"] != 1 || vals["g"] != 9 {
+		t.Fatalf("merged values = %v", vals)
+	}
+	if vals["h.count"] != 2 || vals["h.mean"] != 2 || vals["h.max"] != 3 {
+		t.Fatalf("merged histogram = %v", vals)
+	}
+}
+
+func TestWriteEventsJSONL(t *testing.T) {
+	r := NewRegistry()
+	r.EnableTrace(0) // default capacity
+	r.SetTime(30.5)
+	r.Emit(EvModeTransition, F("from", 0), F("to", 2))
+	r.Emit(EvMigrationThrottled)
+	var sb strings.Builder
+	if err := WriteEventsJSONL(&sb, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var got jsonEvent
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TimeSec != 30.5 || got.Kind != EvModeTransition || got.Fields["to"] != 2 {
+		t.Fatalf("decoded event = %+v", got)
+	}
+	if strings.Contains(lines[1], "fields") {
+		t.Fatalf("empty fields must be omitted: %q", lines[1])
+	}
+}
+
+func TestWriteEventsCSV(t *testing.T) {
+	events := []Event{{TimeSec: 1.5, Kind: "k", Fields: []Field{F("a", 1), F("b", 0.5)}}}
+	var sb strings.Builder
+	if err := WriteEventsCSV(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "t_sec,kind,fields" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1.500,k,a=1|b=0.5" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteSummaryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Add(1)
+	r.Counter("a").Add(2)
+	var sb strings.Builder
+	if err := r.WriteSummaryJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal([]byte(sb.String()), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["a"] != 2 || m["z"] != 1 {
+		t.Fatalf("summary = %v", m)
+	}
+	if strings.Index(sb.String(), `"a"`) > strings.Index(sb.String(), `"z"`) {
+		t.Fatal("keys not sorted")
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.Histogram("c")
+	names := r.MetricNames()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -200,6 +200,7 @@ func (s *System) shift(ctx *sim.Context, from, to memsys.TierID, deficit float64
 		}
 		if err == nil {
 			moved += prob
+			ctx.Obs.Counter("related_shift_moves").Inc()
 		}
 		return false
 	})

@@ -7,32 +7,8 @@ import (
 	"colloid/internal/hemem"
 	"colloid/internal/memsys"
 	"colloid/internal/sim"
-	"colloid/internal/workloads"
+	"colloid/internal/simtest"
 )
-
-func runGUPS(t *testing.T, sys sim.System, antagonistCores int, seconds float64, seed uint64) (*sim.Engine, sim.Steady) {
-	t.Helper()
-	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
-	g := workloads.DefaultGUPS()
-	e, err := sim.New(sim.Config{
-		Topology:        topo,
-		WorkingSetBytes: g.WorkingSetBytes,
-		Profile:         g.Profile(),
-		AntagonistCores: antagonistCores,
-		Seed:            seed,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
-		t.Fatal(err)
-	}
-	e.SetSystem(sys)
-	if err := e.Run(seconds); err != nil {
-		t.Fatal(err)
-	}
-	return e, e.SteadyState(seconds / 3)
-}
 
 func TestNames(t *testing.T) {
 	if New(Config{Policy: BATMAN}).Name() != "batman" {
@@ -49,7 +25,7 @@ func TestBATMANTargetsBandwidthRatio(t *testing.T) {
 	}
 	// Default tier 205 GB/s, alternate 75 GB/s: BATMAN wants ~73% of
 	// accesses in the default tier, regardless of contention.
-	e, _ := runGUPS(t, New(Config{Policy: BATMAN}), 0, 60, 1)
+	e, _ := simtest.RunGUPS(t, New(Config{Policy: BATMAN}), 0, 60, 1)
 	want := 205.0 / 280.0
 	if got := e.AS().DefaultShare(); math.Abs(got-want) > 0.08 {
 		t.Fatalf("BATMAN default share = %v, want ~%v", got, want)
@@ -60,7 +36,7 @@ func TestCarrefourTargetsEqualRates(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, _ := runGUPS(t, New(Config{Policy: Carrefour}), 0, 60, 2)
+	e, _ := simtest.RunGUPS(t, New(Config{Policy: Carrefour}), 0, 60, 2)
 	if got := e.AS().DefaultShare(); math.Abs(got-0.5) > 0.08 {
 		t.Fatalf("Carrefour default share = %v, want ~0.5", got)
 	}
@@ -78,24 +54,8 @@ func TestRelatedPoliciesLoseAtZeroContention(t *testing.T) {
 	remote.UnloadedLatencyNs = 270 // a far tier; parking hot pages hurts
 	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), remote)
 	run := func(sys sim.System, seed uint64) sim.Steady {
-		g := workloads.DefaultGUPS()
-		e, err := sim.New(sim.Config{
-			Topology:        topo,
-			WorkingSetBytes: g.WorkingSetBytes,
-			Profile:         g.Profile(),
-			Seed:            seed,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
-			t.Fatal(err)
-		}
-		e.SetSystem(sys)
-		if err := e.Run(60); err != nil {
-			t.Fatal(err)
-		}
-		return e.SteadyState(20)
+		_, st := simtest.Run(t, sys, simtest.Scenario{Topology: topo, Seconds: 60, Seed: seed})
+		return st
 	}
 	batman := run(New(Config{Policy: BATMAN}), 3)
 	carrefour := run(New(Config{Policy: Carrefour}), 3)
@@ -120,8 +80,8 @@ func TestRelatedPoliciesContentionAgnostic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e0, _ := runGUPS(t, New(Config{Policy: BATMAN}), 0, 60, 4)
-	e3, _ := runGUPS(t, New(Config{Policy: BATMAN}), 15, 60, 4)
+	e0, _ := simtest.RunGUPS(t, New(Config{Policy: BATMAN}), 0, 60, 4)
+	e3, _ := simtest.RunGUPS(t, New(Config{Policy: BATMAN}), 15, 60, 4)
 	s0, s3 := e0.AS().DefaultShare(), e3.AS().DefaultShare()
 	if math.Abs(s0-s3) > 0.1 {
 		t.Fatalf("BATMAN share moved with contention: %v -> %v", s0, s3)

@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -20,6 +21,7 @@ import (
 	"colloid/internal/cha"
 	"colloid/internal/memsys"
 	"colloid/internal/migrate"
+	"colloid/internal/obs"
 	"colloid/internal/pages"
 	"colloid/internal/stats"
 	"colloid/internal/workloads"
@@ -55,6 +57,9 @@ type Context struct {
 	SetInflightScale func(scale float64)
 	// RNG is the system's private randomness stream.
 	RNG *stats.RNG
+	// Obs records the system's decisions; nil when instrumentation is
+	// off (all obs handles are nil-safe, so systems never check).
+	Obs *obs.Registry
 }
 
 // System is a tiering system under test: HeMem, TPP, MEMTIS, each with
@@ -94,10 +99,18 @@ type Config struct {
 	MigrationLimitBytesPerSec float64
 	// SampleEverySec is the trace recording interval (default 1 s).
 	SampleEverySec float64
+	// Obs receives metrics and trace events from the engine, the
+	// migration/CHA/sampler plumbing, and the system under test. Nil
+	// disables instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 // NoMigrationLimit disables the migration rate limit.
 const NoMigrationLimit = -1
+
+// NoCHANoise requests noiseless CHA counters. A plain 0 keeps the
+// default noise (0.01), mirroring NoMigrationLimit.
+const NoCHANoise = -1
 
 // DefaultMigrationLimit is the static migration rate limit
 // (bytes/sec) used when Config leaves it zero: 2.5 GB/s, sized like the
@@ -113,6 +126,8 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CHANoiseStdDev == 0 {
 		c.CHANoiseStdDev = 0.01
+	} else if c.CHANoiseStdDev == NoCHANoise {
+		c.CHANoiseStdDev = 0
 	}
 	if c.MigrationLimitBytesPerSec == 0 {
 		c.MigrationLimitBytesPerSec = DefaultMigrationLimit
@@ -123,6 +138,44 @@ func (c Config) withDefaults() Config {
 		c.SampleEverySec = 1
 	}
 	return c
+}
+
+// Validate reports every problem with the configuration, joined into a
+// single error, so a bad invocation fails with the full list rather
+// than one complaint per retry. It checks the raw config — sentinels
+// (NoMigrationLimit, NoCHANoise) and zeros-meaning-default are fine.
+func (c Config) Validate() error {
+	var errs []error
+	if c.Topology == nil {
+		errs = append(errs, fmt.Errorf("sim: topology required"))
+	}
+	if c.WorkingSetBytes <= 0 {
+		errs = append(errs, fmt.Errorf("sim: working set required (WorkingSetBytes = %d)", c.WorkingSetBytes))
+	} else if c.Topology != nil && c.WorkingSetBytes > c.Topology.TotalCapacity() {
+		errs = append(errs, fmt.Errorf("sim: working set %d bytes exceeds topology capacity %d bytes",
+			c.WorkingSetBytes, c.Topology.TotalCapacity()))
+	}
+	if c.PageBytes < 0 {
+		errs = append(errs, fmt.Errorf("sim: negative page size %d", c.PageBytes))
+	}
+	if c.QuantumSec < 0 {
+		errs = append(errs, fmt.Errorf("sim: negative quantum %v s", c.QuantumSec))
+	}
+	if c.SampleEverySec < 0 {
+		errs = append(errs, fmt.Errorf("sim: negative sample interval %v s", c.SampleEverySec))
+	}
+	if c.AntagonistCores < 0 {
+		errs = append(errs, fmt.Errorf("sim: negative antagonist cores %d", c.AntagonistCores))
+	}
+	if c.MigrationLimitBytesPerSec < 0 && c.MigrationLimitBytesPerSec != NoMigrationLimit {
+		errs = append(errs, fmt.Errorf("sim: negative migration limit %v (use sim.NoMigrationLimit for unlimited)",
+			c.MigrationLimitBytesPerSec))
+	}
+	if c.CHANoiseStdDev < 0 && c.CHANoiseStdDev != NoCHANoise {
+		errs = append(errs, fmt.Errorf("sim: negative CHA noise %v (use sim.NoCHANoise for noiseless counters)",
+			c.CHANoiseStdDev))
+	}
+	return errors.Join(errs...)
 }
 
 // Sample is one trace point.
@@ -173,22 +226,18 @@ type Engine struct {
 	samples     []Sample
 	lastSampled float64
 	lastEq      *memsys.Equilibrium
+
+	mQuanta *obs.Counter
+	hIters  *obs.Histogram
 }
 
 // New builds an engine. The working set is placed first-fit (default
 // tier fills first); install a workload's weights before running.
 func New(cfg Config) (*Engine, error) {
-	if cfg.MigrationLimitBytesPerSec < 0 && cfg.MigrationLimitBytesPerSec != NoMigrationLimit {
-		return nil, fmt.Errorf("sim: negative migration limit %v (use sim.NoMigrationLimit for unlimited)",
-			cfg.MigrationLimitBytesPerSec)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	if cfg.Topology == nil {
-		return nil, fmt.Errorf("sim: topology required")
-	}
-	if cfg.WorkingSetBytes <= 0 {
-		return nil, fmt.Errorf("sim: working set required")
-	}
 	as, err := pages.NewAddressSpace(cfg.Topology, cfg.WorkingSetBytes, cfg.PageBytes)
 	if err != nil {
 		return nil, err
@@ -208,6 +257,11 @@ func New(cfg Config) (*Engine, error) {
 		inflightScale: 1,
 	}
 	e.sampler = access.NewSampler(as, root.Split(4))
+	e.migrator.SetObs(cfg.Obs)
+	e.counters.SetObs(cfg.Obs)
+	e.sampler.SetObs(cfg.Obs)
+	e.mQuanta = cfg.Obs.Counter("sim_quanta")
+	e.hIters = cfg.Obs.Histogram("sim_solver_iters")
 	return e, nil
 }
 
@@ -281,6 +335,9 @@ func (e *Engine) Step() error {
 
 	e.timeSec += e.cfg.QuantumSec
 	e.quantum++
+	e.cfg.Obs.SetTime(e.timeSec)
+	e.mQuanta.Inc()
+	e.hIters.Observe(float64(eq.Iterations))
 
 	// Record a trace sample at the configured cadence.
 	if e.timeSec-e.lastSampled >= e.cfg.SampleEverySec-1e-12 || len(e.samples) == 0 {
@@ -309,6 +366,7 @@ func (e *Engine) Step() error {
 				e.inflightScale = scale
 			},
 			RNG: e.rngSystem,
+			Obs: e.cfg.Obs,
 		}
 		e.system.Step(ctx)
 	}

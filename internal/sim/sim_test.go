@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"colloid/internal/memsys"
@@ -320,5 +321,95 @@ func TestSteadyStateAveraging(t *testing.T) {
 	if empty := e.SteadyState(0); empty.OpsPerSec != 0 {
 		// A zero window has no samples in range; must not NaN.
 		t.Logf("zero-window steady = %+v", empty)
+	}
+}
+
+func TestValidateReportsAllProblems(t *testing.T) {
+	// Validate must join every problem into one error so a bad
+	// invocation fails with the full list, not one complaint per retry.
+	cfg := Config{
+		QuantumSec:                -1,
+		SampleEverySec:            -2,
+		AntagonistCores:           -3,
+		MigrationLimitBytesPerSec: -5e9,
+		CHANoiseStdDev:            -0.5,
+	}
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("bad config validated")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"topology required",
+		"working set required",
+		"negative quantum",
+		"negative sample interval",
+		"negative antagonist cores",
+		"negative migration limit",
+		"negative CHA noise",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestNoCHANoiseSentinel(t *testing.T) {
+	// Regression: withDefaults treats CHANoiseStdDev == 0 as "use the
+	// default", so truly noiseless counters need an explicit sentinel,
+	// mirroring NoMigrationLimit.
+	if got := (Config{CHANoiseStdDev: NoCHANoise}).withDefaults().CHANoiseStdDev; got != 0 {
+		t.Fatalf("NoCHANoise maps to stddev %v, want 0", got)
+	}
+	if got := (Config{}).withDefaults().CHANoiseStdDev; got != 0.01 {
+		t.Fatalf("zero maps to stddev %v, want default 0.01", got)
+	}
+
+	// Behavioral check: with noiseless counters the CHA-derived latency
+	// (Little's law over one quantum's increments) equals the solver's
+	// equilibrium latency exactly; with the default noise it cannot.
+	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+	g := workloads.DefaultGUPS()
+	mk := func(noise float64) *Engine {
+		e, err := New(Config{
+			Topology:        topo,
+			WorkingSetBytes: g.WorkingSetBytes,
+			Profile:         g.Profile(),
+			CHANoiseStdDev:  noise,
+			Seed:            1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	chaError := func(e *Engine) float64 {
+		before := e.counters.Read()
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+		after := e.counters.Read()
+		var worst float64
+		for tier := range after.Inserts {
+			dIns := after.Inserts[tier] - before.Inserts[tier]
+			dOcc := after.OccupancyIntegralNs[tier] - before.OccupancyIntegralNs[tier]
+			if dIns == 0 {
+				continue
+			}
+			rel := math.Abs(dOcc/dIns-e.lastEq.LatencyNs[tier]) / e.lastEq.LatencyNs[tier]
+			if rel > worst {
+				worst = rel
+			}
+		}
+		return worst
+	}
+	if rel := chaError(mk(NoCHANoise)); rel > 1e-9 {
+		t.Fatalf("noiseless CHA counters off by %v relative", rel)
+	}
+	if rel := chaError(mk(0)); rel < 1e-6 {
+		t.Fatalf("default noise produced exact counters (rel err %v); sentinel check is vacuous", rel)
 	}
 }

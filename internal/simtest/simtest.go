@@ -1,0 +1,89 @@
+// Package simtest is the shared test harness for tiering-system tests:
+// one place that assembles the paper's dual-socket GUPS testbed, runs a
+// system to steady state, and returns the engine plus tail averages.
+// Every per-system test package (hemem, tpp, memtis, related) and the
+// cross-package soak tests build on it instead of carrying their own
+// copies of the setup boilerplate.
+package simtest
+
+import (
+	"testing"
+
+	"colloid/internal/memsys"
+	"colloid/internal/obs"
+	"colloid/internal/sim"
+	"colloid/internal/workloads"
+)
+
+// Scenario describes one GUPS simulation. The zero value (plus Seconds)
+// is the standard testbed: paper dual-socket topology, DefaultGUPS, no
+// contention.
+type Scenario struct {
+	// Topology overrides the paper's dual-socket Xeon testbed.
+	Topology *memsys.Topology
+	// GUPS overrides workloads.DefaultGUPS().
+	GUPS *workloads.GUPS
+	// AntagonistCores sets the initial contention (0 = none).
+	AntagonistCores int
+	// Seconds is the simulated duration (required).
+	Seconds float64
+	// Seed drives all randomness.
+	Seed uint64
+	// DisturbAtSec, when nonzero, switches the antagonist to
+	// DisturbCores at that time (contention-flip scenarios).
+	DisturbAtSec float64
+	DisturbCores int
+	// Obs optionally instruments the run.
+	Obs *obs.Registry
+}
+
+// Run executes the scenario with the given system installed and returns
+// the engine and the steady-state averages over the final third of the
+// run — the window every system test asserts against.
+func Run(tb testing.TB, sys sim.System, sc Scenario) (*sim.Engine, sim.Steady) {
+	tb.Helper()
+	topo := sc.Topology
+	if topo == nil {
+		topo = memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
+	}
+	g := sc.GUPS
+	if g == nil {
+		g = workloads.DefaultGUPS()
+	}
+	e, err := sim.New(sim.Config{
+		Topology:        topo,
+		WorkingSetBytes: g.WorkingSetBytes,
+		Profile:         g.Profile(),
+		AntagonistCores: sc.AntagonistCores,
+		Seed:            sc.Seed,
+		Obs:             sc.Obs,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+		tb.Fatal(err)
+	}
+	e.SetSystem(sys)
+	if sc.DisturbAtSec > 0 {
+		cores := sc.DisturbCores
+		e.ScheduleAt(sc.DisturbAtSec, func(en *sim.Engine) {
+			en.SetAntagonist(cores)
+		})
+	}
+	if err := e.Run(sc.Seconds); err != nil {
+		tb.Fatal(err)
+	}
+	return e, e.SteadyState(sc.Seconds / 3)
+}
+
+// RunGUPS runs the standard testbed — the signature every system test
+// package used to duplicate as a private runGUPS helper.
+func RunGUPS(tb testing.TB, sys sim.System, antagonistCores int, seconds float64, seed uint64) (*sim.Engine, sim.Steady) {
+	tb.Helper()
+	return Run(tb, sys, Scenario{
+		AntagonistCores: antagonistCores,
+		Seconds:         seconds,
+		Seed:            seed,
+	})
+}

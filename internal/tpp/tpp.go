@@ -117,6 +117,9 @@ func (s *System) Step(ctx *sim.Context) {
 			unloaded[t] = ctx.Topo.Tier(memsys.TierID(t)).Config().UnloadedLatencyNs
 		}
 		opts.UnloadedLatencyNs = unloaded
+		if opts.Obs == nil {
+			opts.Obs = ctx.Obs
+		}
 		s.colloid = core.NewController(ctx.Topo.NumTiers(), opts)
 	}
 
@@ -129,6 +132,7 @@ func (s *System) Step(ctx *sim.Context) {
 	}
 
 	faults := s.scanner.Step(ctx.TimeSec, ctx.QuantumSec, ctx.AppRequestRate)
+	ctx.Obs.Counter("tpp_hint_faults").Add(int64(len(faults)))
 	for _, f := range faults {
 		s.lastFaultSec[f.Page] = ctx.TimeSec
 		s.lastTTF[f.Page] = f.TimeToFaultSec
@@ -267,6 +271,7 @@ func (s *System) kswapd(ctx *sim.Context) {
 		if err := ctx.Migrator.MoveForced(victim, s.spillTier(ctx)); err != nil {
 			return
 		}
+		ctx.Obs.Counter("tpp_kswapd_demotions").Inc()
 	}
 }
 

@@ -5,39 +5,14 @@ import (
 
 	"colloid/internal/core"
 	"colloid/internal/memsys"
-	"colloid/internal/sim"
-	"colloid/internal/workloads"
+	"colloid/internal/simtest"
 )
-
-func runGUPS(t *testing.T, sys sim.System, antagonistCores int, seconds float64, seed uint64) (*sim.Engine, sim.Steady) {
-	t.Helper()
-	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
-	g := workloads.DefaultGUPS()
-	e, err := sim.New(sim.Config{
-		Topology:        topo,
-		WorkingSetBytes: g.WorkingSetBytes,
-		Profile:         g.Profile(),
-		AntagonistCores: antagonistCores,
-		Seed:            seed,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
-		t.Fatal(err)
-	}
-	e.SetSystem(sys)
-	if err := e.Run(seconds); err != nil {
-		t.Fatal(err)
-	}
-	return e, e.SteadyState(seconds / 3)
-}
 
 func TestVanillaPromotesHotPages(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, st := runGUPS(t, New(Config{}), 0, 120, 1)
+	e, st := simtest.RunGUPS(t, New(Config{}), 0, 120, 1)
 	// TPP is slower than HeMem but must still pack most of the hot set
 	// within two scan periods.
 	if p := e.AS().DefaultShare(); p < 0.75 {
@@ -52,7 +27,7 @@ func TestVanillaStaysPackedUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, _ := runGUPS(t, New(Config{}), 15, 120, 2)
+	e, _ := simtest.RunGUPS(t, New(Config{}), 15, 120, 2)
 	if p := e.AS().DefaultShare(); p < 0.75 {
 		t.Fatalf("vanilla TPP unpacked under contention: p = %v", p)
 	}
@@ -62,7 +37,7 @@ func TestColloidDemotesUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, st := runGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 240, 3)
+	e, st := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 240, 3)
 	if p := e.AS().DefaultShare(); p > 0.55 {
 		t.Fatalf("tpp+colloid did not demote: p = %v", p)
 	}
@@ -75,8 +50,8 @@ func TestColloidBeatsVanillaUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	_, vanilla := runGUPS(t, New(Config{}), 15, 240, 4)
-	_, colloid := runGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 240, 4)
+	_, vanilla := simtest.RunGUPS(t, New(Config{}), 15, 240, 4)
+	_, colloid := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 240, 4)
 	gain := colloid.OpsPerSec / vanilla.OpsPerSec
 	if gain < 1.5 {
 		t.Fatalf("tpp+colloid gain at 3x = %.2fx, want > 1.5x", gain)
@@ -87,7 +62,7 @@ func TestKswapdMaintainsWatermark(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, _ := runGUPS(t, New(Config{}), 0, 120, 5)
+	e, _ := simtest.RunGUPS(t, New(Config{}), 0, 120, 5)
 	free := e.AS().FreeBytes(memsys.DefaultTier)
 	watermark := int64(0.02 * float64(e.Topology().Capacity(memsys.DefaultTier)))
 	// Allow slack of a few pages while promotions are in flight.
@@ -101,7 +76,7 @@ func TestThresholdAdapts(t *testing.T) {
 		t.Skip("long simulation")
 	}
 	sys := New(Config{})
-	runGUPS(t, sys, 0, 60, 6)
+	simtest.RunGUPS(t, sys, 0, 60, 6)
 	if sys.TTFThreshold() == sys.cfg.HotTTFSec {
 		t.Log("threshold unchanged (acceptable if budget matched exactly)")
 	}
