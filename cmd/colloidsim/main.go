@@ -30,6 +30,7 @@ import (
 
 	"colloid/internal/experiments"
 	"colloid/internal/obs"
+	"colloid/internal/scenario"
 	"colloid/internal/trace"
 )
 
@@ -43,14 +44,32 @@ func main() {
 		parallel = flag.Int("parallel", 0, "arm workers per experiment (0 = GOMAXPROCS, 1 = serial)")
 		benchDir = flag.String("bench", ".", "directory for BENCH_<id>.json timing reports (empty = off)")
 		metrics  = flag.String("metrics", "", "write the merged obs metric summary JSON here")
+		scName   = flag.String("scenario", "", "run one builtin fault-injection scenario by name (see -list)")
 	)
 	flag.Var(aliasValue{exp}, "experiments", "alias for -exp")
 	flag.Parse()
+
+	if *scName != "" {
+		// -scenario x is shorthand for -exp scenario-x, validated
+		// against the builtin registry for a friendlier error.
+		if _, err := scenario.Builtin(*scName); err != nil {
+			fmt.Fprintln(os.Stderr, "colloidsim:", err)
+			os.Exit(2)
+		}
+		if *exp != "" {
+			*exp += ","
+		}
+		*exp += "scenario-" + *scName
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
 		for _, id := range experiments.List() {
 			fmt.Println("  " + id)
+		}
+		fmt.Println("\nbuiltin scenarios (-scenario <name>):")
+		for _, name := range scenario.BuiltinNames() {
+			fmt.Println("  " + name)
 		}
 		if *exp == "" && !*list {
 			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
@@ -63,6 +82,9 @@ func main() {
 		for _, id := range experiments.List() {
 			if id == "fig9-series" {
 				continue // bulky; run explicitly
+			}
+			if strings.HasPrefix(id, "scenario-") {
+				continue // subsumed by the "scenarios" family
 			}
 			ids = append(ids, id)
 		}

@@ -28,6 +28,7 @@ import (
 	"colloid/internal/memtis"
 	"colloid/internal/obs"
 	"colloid/internal/related"
+	"colloid/internal/scenario"
 	"colloid/internal/sim"
 	"colloid/internal/tpp"
 	"colloid/internal/trace"
@@ -134,7 +135,7 @@ func run(s settings) error {
 		Topology:        topo,
 		WorkingSetBytes: gups.WorkingSetBytes,
 		Profile:         gups.Profile(),
-		AntagonistCores: workloads.AntagonistForIntensity(s.intensity).Cores,
+		AntagonistCores: workloads.AntagonistForIntensity(workloads.Intensity(s.intensity)).Cores,
 		Seed:            s.seed,
 		SampleEverySec:  s.sample,
 		Obs:             reg,
@@ -142,28 +143,30 @@ func run(s settings) error {
 	if err := s.validate(cfg); err != nil {
 		return err
 	}
-	engine, err := sim.New(cfg)
+	sys, err := makeSystem(s.system, s.colloid)
+	if err != nil {
+		return err
+	}
+	var events []scenario.Event
+	if s.stepAt > 0 {
+		events = append(events, scenario.AntagonistStep{
+			AtSec:     s.stepAt,
+			Intensity: workloads.Intensity(s.stepTo),
+		})
+	}
+	if s.hotshiftAt > 0 {
+		events = append(events, scenario.WorkloadShift{AtSec: s.hotshiftAt, Shift: gups.ShiftHotSet})
+	}
+	opts := []sim.Option{sim.WithSystem(sys)}
+	if len(events) > 0 {
+		opts = append(opts, sim.WithScenario(&scenario.Scenario{Name: "colloidtrace", Events: events}))
+	}
+	engine, err := sim.New(cfg, opts...)
 	if err != nil {
 		return err
 	}
 	if err := gups.Install(engine.AS(), engine.WorkloadRNG()); err != nil {
 		return err
-	}
-	sys, err := makeSystem(s.system, s.colloid)
-	if err != nil {
-		return err
-	}
-	engine.SetSystem(sys)
-	if s.stepAt > 0 {
-		to := s.stepTo
-		engine.ScheduleAt(s.stepAt, func(e *sim.Engine) {
-			e.SetAntagonist(workloads.AntagonistForIntensity(to).Cores)
-		})
-	}
-	if s.hotshiftAt > 0 {
-		engine.ScheduleAt(s.hotshiftAt, func(e *sim.Engine) {
-			gups.ShiftHotSet(e.AS(), e.WorkloadRNG())
-		})
 	}
 	if err := engine.Run(s.duration); err != nil {
 		return err

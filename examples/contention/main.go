@@ -15,6 +15,7 @@ import (
 	"colloid/internal/core"
 	"colloid/internal/hemem"
 	"colloid/internal/memsys"
+	"colloid/internal/scenario"
 	"colloid/internal/sim"
 	"colloid/internal/workloads"
 )
@@ -25,28 +26,26 @@ func trace(withColloid bool) ([]sim.Sample, error) {
 		return nil, err
 	}
 	gups := workloads.DefaultGUPS()
+	var colloid *core.Options
+	if withColloid {
+		colloid = &core.Options{}
+	}
+	// The antagonist arrives mid-run.
+	arrival := &scenario.Scenario{Name: "contention-arrival", Events: []scenario.Event{
+		scenario.AntagonistStep{AtSec: 30, Intensity: workloads.Intensity3x},
+	}}
 	engine, err := sim.New(sim.Config{
 		Topology:        topo,
 		WorkingSetBytes: gups.WorkingSetBytes,
 		Profile:         gups.Profile(),
-		AntagonistCores: 0,
 		Seed:            7,
-	})
+	}, sim.WithSystem(hemem.New(hemem.Config{Colloid: colloid})), sim.WithScenario(arrival))
 	if err != nil {
 		return nil, err
 	}
 	if err := gups.Install(engine.AS(), engine.WorkloadRNG()); err != nil {
 		return nil, err
 	}
-	var colloid *core.Options
-	if withColloid {
-		colloid = &core.Options{}
-	}
-	engine.SetSystem(hemem.New(hemem.Config{Colloid: colloid}))
-	// The antagonist arrives mid-run.
-	engine.ScheduleAt(30, func(e *sim.Engine) {
-		e.SetAntagonist(workloads.AntagonistForIntensity(3).Cores)
-	})
 	if err := engine.Run(75); err != nil {
 		return nil, err
 	}

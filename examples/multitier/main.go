@@ -96,16 +96,14 @@ func main() {
 		Topology:        topo,
 		WorkingSetBytes: gups.WorkingSetBytes,
 		Profile:         gups.Profile(),
-		AntagonistCores: workloads.AntagonistForIntensity(2).Cores,
 		Seed:            3,
-	})
+	}, sim.WithSystem(&multiTierSystem{}), sim.WithAntagonist(workloads.Intensity2x))
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := gups.Install(engine.AS(), engine.WorkloadRNG()); err != nil {
 		log.Fatal(err)
 	}
-	engine.SetSystem(&multiTierSystem{})
 	fmt.Println("three tiers under 2x contention; balancing all loaded latencies:")
 	fmt.Println("time    L_ddr   L_remote  L_cxl    Mops    share ddr/remote/cxl")
 	for step := 0; step < 12; step++ {

@@ -26,24 +26,23 @@ func run(withColloid bool) (sim.Steady, error) {
 	}
 	// GUPS: 72 GB working set, 24 GB hot set, 90/10 split, 15 cores.
 	gups := workloads.DefaultGUPS()
+	var colloid *core.Options
+	if withColloid {
+		colloid = &core.Options{Epsilon: 0.01, Delta: 0.05}
+	}
 	engine, err := sim.New(sim.Config{
 		Topology:        topo,
 		WorkingSetBytes: gups.WorkingSetBytes,
 		Profile:         gups.Profile(),
-		AntagonistCores: workloads.AntagonistForIntensity(2).Cores, // 2x contention
 		Seed:            42,
-	})
+	}, sim.WithSystem(hemem.New(hemem.Config{Colloid: colloid})),
+		sim.WithAntagonist(workloads.Intensity2x)) // 2x contention
 	if err != nil {
 		return sim.Steady{}, err
 	}
 	if err := gups.Install(engine.AS(), engine.WorkloadRNG()); err != nil {
 		return sim.Steady{}, err
 	}
-	var colloid *core.Options
-	if withColloid {
-		colloid = &core.Options{Epsilon: 0.01, Delta: 0.05}
-	}
-	engine.SetSystem(hemem.New(hemem.Config{Colloid: colloid}))
 	if err := engine.Run(40); err != nil {
 		return sim.Steady{}, err
 	}

@@ -124,13 +124,17 @@ func simulate(a app, withColloid bool) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	var opts *core.Options
+	if withColloid {
+		opts = &core.Options{}
+	}
 	engine, err := sim.New(sim.Config{
 		Topology:        topo,
 		WorkingSetBytes: a.wsBytes / (2 * memsys.MiB) * (2 * memsys.MiB),
 		Profile:         a.traffic,
-		AntagonistCores: workloads.AntagonistForIntensity(3).Cores,
 		Seed:            5,
-	})
+	}, sim.WithSystem(memtis.New(memtis.Config{Colloid: opts})),
+		sim.WithAntagonist(workloads.Intensity3x))
 	if err != nil {
 		return 0, err
 	}
@@ -138,11 +142,6 @@ func simulate(a app, withColloid bool) (float64, error) {
 	if err := fw.Install(engine.AS(), engine.WorkloadRNG()); err != nil {
 		return 0, err
 	}
-	var opts *core.Options
-	if withColloid {
-		opts = &core.Options{}
-	}
-	engine.SetSystem(memtis.New(memtis.Config{Colloid: opts}))
 	if err := engine.Run(40); err != nil {
 		return 0, err
 	}

@@ -42,14 +42,24 @@ type Counters struct {
 	rng      *stats.RNG
 	snap     Snapshot
 
+	// dropout suppresses counter updates (fault injection: the PMU
+	// readout path is down). While set, Advance discards the quantum's
+	// activity entirely and the snapshot — including its timestamp —
+	// freezes, so a Meter diffing successive reads sees no elapsed time
+	// and reports "not ready" rather than fabricating a rate.
+	dropout       bool
+	droppedQuanta int64
+
 	mAdvances *obs.Counter
 	mReads    *obs.Counter
+	mDropped  *obs.Counter
 }
 
 // SetObs installs the metrics registry (nil disables instrumentation).
 func (c *Counters) SetObs(r *obs.Registry) {
 	c.mAdvances = r.Counter("cha_advances")
 	c.mReads = r.Counter("cha_reads")
+	c.mDropped = r.Counter("cha_dropped_advances")
 }
 
 // NewCounters returns a counter bank for numTiers tiers. noiseStdDev is
@@ -89,6 +99,11 @@ func (c *Counters) Advance(durNs float64, readRatePerSec, latencyNs []float64) {
 	if durNs < 0 {
 		panic("cha: negative duration")
 	}
+	if c.dropout {
+		c.droppedQuanta++
+		c.mDropped.Inc()
+		return
+	}
 	c.mAdvances.Inc()
 	c.snap.TimeNs += durNs
 	for t := 0; t < c.numTiers; t++ {
@@ -111,6 +126,15 @@ func (c *Counters) factor() float64 {
 	}
 	return f
 }
+
+// SetDropout starts or ends a counter-sample outage. While active,
+// every Advance is discarded and Read keeps returning the frozen
+// pre-outage snapshot; consumers must hold their last estimates until
+// samples return.
+func (c *Counters) SetDropout(active bool) { c.dropout = active }
+
+// DroppedQuanta returns how many Advance calls the dropout discarded.
+func (c *Counters) DroppedQuanta() int64 { return c.droppedQuanta }
 
 // Read returns a copy of the cumulative counters, like an MSR read.
 func (c *Counters) Read() Snapshot {

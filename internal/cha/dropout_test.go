@@ -1,0 +1,72 @@
+package cha
+
+import "testing"
+
+func TestDropoutFreezesSnapshot(t *testing.T) {
+	c := NewCounters(2, 0, nil)
+	c.Advance(1e6, []float64{1e9, 2e8}, []float64{150, 300})
+	before := c.Read()
+
+	c.SetDropout(true)
+	c.Advance(1e6, []float64{1e9, 2e8}, []float64{150, 300})
+	c.Advance(1e6, []float64{1e9, 2e8}, []float64{150, 300})
+	during := c.Read()
+	if during.TimeNs != before.TimeNs {
+		t.Fatalf("time advanced during dropout: %v -> %v", before.TimeNs, during.TimeNs)
+	}
+	for tier := range during.Inserts {
+		if during.Inserts[tier] != before.Inserts[tier] {
+			t.Fatalf("tier %d inserts advanced during dropout", tier)
+		}
+		if during.OccupancyIntegralNs[tier] != before.OccupancyIntegralNs[tier] {
+			t.Fatalf("tier %d occupancy advanced during dropout", tier)
+		}
+	}
+	if got := c.DroppedQuanta(); got != 2 {
+		t.Fatalf("DroppedQuanta = %d, want 2", got)
+	}
+
+	// Restored counters resume from the frozen snapshot.
+	c.SetDropout(false)
+	c.Advance(1e6, []float64{1e9, 2e8}, []float64{150, 300})
+	after := c.Read()
+	if after.TimeNs != before.TimeNs+1e6 {
+		t.Fatalf("post-outage time = %v, want %v", after.TimeNs, before.TimeNs+1e6)
+	}
+	if got := c.DroppedQuanta(); got != 2 {
+		t.Fatalf("DroppedQuanta after recovery = %d, want 2", got)
+	}
+}
+
+func TestMeterHoldsThroughDropout(t *testing.T) {
+	// The consumer-side contract: a Meter diffing frozen snapshots must
+	// report not-ready (never a fabricated rate), then produce a sane
+	// measurement on the first post-outage quantum.
+	c := NewCounters(1, 0, nil)
+	m := NewMeter(1)
+	m.Observe(c.Read()) // prime
+	c.Advance(1e6, []float64{1e9}, []float64{100})
+	if _, ok := m.Observe(c.Read()); !ok {
+		t.Fatal("healthy quantum not measured")
+	}
+
+	c.SetDropout(true)
+	for i := 0; i < 3; i++ {
+		c.Advance(1e6, []float64{1e9}, []float64{100})
+		if meas, ok := m.Observe(c.Read()); ok {
+			t.Fatalf("dropout quantum %d produced a measurement: %+v", i, meas)
+		}
+	}
+
+	c.SetDropout(false)
+	c.Advance(1e6, []float64{1e9}, []float64{250})
+	meas, ok := m.Observe(c.Read())
+	if !ok {
+		t.Fatal("first post-outage quantum not measured")
+	}
+	// Only the post-outage quantum is visible (the outage's activity was
+	// discarded, not deferred), so the latency is the new 250 ns.
+	if got := meas[0].LatencyNs; got < 249 || got > 251 {
+		t.Fatalf("post-outage latency = %v, want 250", got)
+	}
+}

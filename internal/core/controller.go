@@ -144,12 +144,25 @@ type Controller struct {
 	mDeadband   *obs.Counter
 	mTransition *obs.Counter
 	mWmReset    *obs.Counter
+	mStaleHolds *obs.Counter
 	gPLo        *obs.Gauge
 	gPHi        *obs.Gauge
 	lastMode    Mode
 	modePrimed  bool
 	deadbandHit bool
 	inDeadband  bool
+
+	// Staleness tracking (graceful degradation under counter dropout):
+	// a snapshot whose timestamp has not advanced past the last one means
+	// the counter readout path is down. The controller freezes — EWMAs,
+	// pLo/pHi and mode untouched — and reports not-ok so callers hold
+	// their previous placement, then emits a recovery event on the first
+	// fresh measurement.
+	lastTimeNs    float64
+	timePrimed    bool
+	inStale       bool
+	staleObserves int64
+	lastP         float64
 }
 
 // NewController returns a controller for numTiers tiers (>= 2).
@@ -180,6 +193,7 @@ func NewController(numTiers int, opts Options) *Controller {
 	c.mDeadband = c.reg.Counter("ctrl_deadband_holds")
 	c.mTransition = c.reg.Counter("ctrl_mode_transitions")
 	c.mWmReset = c.reg.Counter("ctrl_watermark_resets")
+	c.mStaleHolds = c.reg.Counter("ctrl_stale_holds")
 	c.gPLo = c.reg.Gauge("ctrl_p_lo")
 	c.gPHi = c.reg.Gauge("ctrl_p_hi")
 	return c
@@ -195,9 +209,29 @@ func (c *Controller) Watermarks() (pLo, pHi float64) { return c.pLo, c.pHi }
 // interval carried no traffic.
 func (c *Controller) Observe(snap cha.Snapshot) (d Decision, ok bool) {
 	c.mObserves.Inc()
+	if c.timePrimed && snap.TimeNs <= c.lastTimeNs {
+		// Frozen counters (sample dropout): hold every estimate. The
+		// event fires once per outage; the counter counts held quanta.
+		c.mStaleHolds.Inc()
+		c.staleObserves++
+		if !c.inStale {
+			c.inStale = true
+			c.reg.Emit(obs.EvCounterStale, obs.F("p", c.lastP))
+		}
+		return Decision{}, false
+	}
+	c.lastTimeNs = snap.TimeNs
+	c.timePrimed = true
 	meas, ready := c.meter.Observe(snap)
 	if !ready {
 		return Decision{}, false
+	}
+	if c.inStale {
+		c.inStale = false
+		c.reg.Emit(obs.EvCounterRecovered,
+			obs.F("stale_observes", float64(c.staleObserves)),
+			obs.F("p", c.lastP))
+		c.staleObserves = 0
 	}
 	// EWMA-smooth occupancy and rate independently (Section 3.1), then
 	// derive latency from the smoothed signals.
@@ -311,6 +345,7 @@ func (c *Controller) finish(d Decision) Decision {
 	}
 	c.lastMode = d.Mode
 	c.modePrimed = true
+	c.lastP = d.P
 	c.gPLo.Set(c.pLo)
 	c.gPHi.Set(c.pHi)
 	return d

@@ -7,6 +7,7 @@ import (
 	"colloid/internal/core"
 	"colloid/internal/hemem"
 	"colloid/internal/obs"
+	"colloid/internal/scenario"
 	"colloid/internal/sim"
 	"colloid/internal/stats"
 	"colloid/internal/workloads"
@@ -89,16 +90,22 @@ func ablationAssemble(o Options, results []any) (*Table, error) {
 func runAblationArm(arm ablationArm, o Options, seed uint64, reg *obs.Registry) (ablationResult, error) {
 	var res ablationResult
 	g := workloads.DefaultGUPS()
-	cfg := gupsConfig(paperTopology(0, 0), g, 2, seed, reg)
-	e, err := sim.New(cfg)
+	phase1 := o.scale(60, 30)
+	// Phase 2 disturbance as a scenario: contention drops to 0x at
+	// phase1, so the equilibrium point jumps to p*=1 and the controller
+	// must re-bracket.
+	sc := &scenario.Scenario{Name: "ablation-contention-drop", Events: []scenario.Event{
+		scenario.AntagonistStep{AtSec: phase1, Intensity: workloads.Intensity0x},
+	}}
+	e, err := sim.New(gupsConfig(paperTopology(0, 0), g, 2, seed, reg),
+		sim.WithSystem(hemem.New(hemem.Config{Colloid: &arm.opts})),
+		sim.WithScenario(sc))
 	if err != nil {
 		return res, err
 	}
 	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 		return res, err
 	}
-	e.SetSystem(hemem.New(hemem.Config{Colloid: &arm.opts}))
-	phase1 := o.scale(60, 30)
 	if err := e.Run(phase1); err != nil {
 		return res, err
 	}
@@ -112,9 +119,8 @@ func runAblationArm(arm ablationArm, o Options, seed uint64, reg *obs.Registry) 
 		}
 	}
 	res.pStd = math.Sqrt(w.Variance())
-	// Phase 2: drop contention to 0x — the equilibrium point jumps to
-	// p*=1 and the controller must re-bracket.
-	e.SetAntagonist(0)
+	// Phase 2: the scenario's contention drop fires on the first quantum
+	// past phase1.
 	phase2 := o.scale(60, 30)
 	if err := e.Run(phase2); err != nil {
 		return res, err

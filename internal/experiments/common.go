@@ -19,7 +19,9 @@ import (
 var systemNames = []string{"hemem", "tpp", "memtis"}
 
 // intensities are the antagonist levels of Section 2.1 (0x-3x).
-var intensities = []int{0, 1, 2, 3}
+var intensities = []workloads.Intensity{
+	workloads.Intensity0x, workloads.Intensity1x, workloads.Intensity2x, workloads.Intensity3x,
+}
 
 // newSystem instantiates a tiering system by name, optionally with
 // Colloid (paper defaults epsilon=0.01, delta=0.05).
@@ -70,7 +72,7 @@ func paperTopology(latencyScale, bandwidthScale float64) *memsys.Topology {
 // gupsConfig assembles the standard GUPS simulation at the given
 // contention intensity; reg (usually ArmContext.Obs, may be nil)
 // receives the run's instrumentation.
-func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity int, seed uint64, reg *obs.Registry) sim.Config {
+func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity workloads.Intensity, seed uint64, reg *obs.Registry) sim.Config {
 	return sim.Config{
 		Topology:        topo,
 		WorkingSetBytes: g.WorkingSetBytes,
@@ -100,7 +102,7 @@ var (
 // same logical (system, colloid, intensity) runs, and keying them to
 // the base seed keeps every figure reporting one consistent dataset
 // (and keeps the cache shareable across figures).
-func runSteady(system string, withColloid bool, intensity int, o Options, reg *obs.Registry) (*sim.Engine, sim.Steady, error) {
+func runSteady(system string, withColloid bool, intensity workloads.Intensity, o Options, reg *obs.Registry) (*sim.Engine, sim.Steady, error) {
 	key := fmt.Sprintf("%s/%v/%d/%d/%v", system, withColloid, intensity, o.Seed, o.Quick)
 	steadyMu.Lock()
 	st, ok := steadyCache[key]
@@ -122,23 +124,21 @@ func runSteady(system string, withColloid bool, intensity int, o Options, reg *o
 // runSteadyOn is runSteady against an explicit topology/workload and
 // simulation seed; a nonzero objectBytes overrides the GUPS object size
 // (Figure 8).
-func runSteadyOn(topo *memsys.Topology, g *workloads.GUPS, system string, withColloid bool, intensity int, o Options, seed uint64, objectBytes int64, reg *obs.Registry) (*sim.Engine, sim.Steady, error) {
+func runSteadyOn(topo *memsys.Topology, g *workloads.GUPS, system string, withColloid bool, intensity workloads.Intensity, o Options, seed uint64, objectBytes int64, reg *obs.Registry) (*sim.Engine, sim.Steady, error) {
 	if objectBytes > 0 {
 		g.ObjectBytes = objectBytes
 	}
-	cfg := gupsConfig(topo, g, intensity, seed, reg)
-	e, err := sim.New(cfg)
+	sys, err := newSystem(system, withColloid)
+	if err != nil {
+		return nil, sim.Steady{}, err
+	}
+	e, err := sim.New(gupsConfig(topo, g, intensity, seed, reg), sim.WithSystem(sys))
 	if err != nil {
 		return nil, sim.Steady{}, err
 	}
 	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 		return nil, sim.Steady{}, err
 	}
-	sys, err := newSystem(system, withColloid)
-	if err != nil {
-		return nil, sim.Steady{}, err
-	}
-	e.SetSystem(sys)
 	secs := convergeSeconds(system, o)
 	if err := e.Run(secs); err != nil {
 		return nil, sim.Steady{}, err
@@ -156,7 +156,7 @@ var (
 // bestCase runs the oracle sweep for GUPS at the given intensity. Like
 // runSteady it is keyed to the base seed so every figure compares
 // against the same best-case dataset.
-func bestCase(intensity int, o Options) (*oracle.Result, error) {
+func bestCase(intensity workloads.Intensity, o Options) (*oracle.Result, error) {
 	key := fmt.Sprintf("%d/%d", intensity, o.Seed)
 	bestMu.Lock()
 	r, ok := bestCache[key]
@@ -180,7 +180,7 @@ func bestCase(intensity int, o Options) (*oracle.Result, error) {
 // arm layout next to its Arms function.
 
 // steadyArm wraps the shared memoized GUPS steady run as an arm.
-func steadyArm(system string, withColloid bool, intensity int) Arm {
+func steadyArm(system string, withColloid bool, intensity workloads.Intensity) Arm {
 	name := fmt.Sprintf("steady/%s/%dx", system, intensity)
 	if withColloid {
 		name = fmt.Sprintf("steady/%s+colloid/%dx", system, intensity)
@@ -192,7 +192,7 @@ func steadyArm(system string, withColloid bool, intensity int) Arm {
 }
 
 // bestArm wraps the shared memoized oracle sweep as an arm.
-func bestArm(intensity int) Arm {
+func bestArm(intensity workloads.Intensity) Arm {
 	return Arm{Name: fmt.Sprintf("best/%dx", intensity), Run: func(ctx ArmContext) (any, error) {
 		return bestCase(intensity, ctx.Options)
 	}}

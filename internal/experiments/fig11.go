@@ -204,13 +204,16 @@ func fig11Arms(o Options, app string) ([]Arm, error) {
 				sys, intensity, withColloid := sys, intensity, withColloid
 				name := fmt.Sprintf("%s/%s/%dx/colloid=%v", app, sys, intensity, withColloid)
 				arms = append(arms, Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
+					system, err := newSystem(sys, withColloid)
+					if err != nil {
+						return nil, err
+					}
 					e, err := sim.New(sim.Config{
 						Topology:        topo,
 						WorkingSetBytes: ws,
 						Profile:         setup.traffic,
-						AntagonistCores: workloads.AntagonistForIntensity(intensity).Cores,
 						Seed:            ctx.Seed,
-					})
+					}, sim.WithSystem(system), sim.WithAntagonist(intensity))
 					if err != nil {
 						return nil, err
 					}
@@ -218,11 +221,6 @@ func fig11Arms(o Options, app string) ([]Arm, error) {
 					if err := fw.Install(e.AS(), e.WorkloadRNG()); err != nil {
 						return nil, err
 					}
-					system, err := newSystem(sys, withColloid)
-					if err != nil {
-						return nil, err
-					}
-					e.SetSystem(system)
 					secs := convergeSeconds(sys, ctx.Options)
 					if err := e.Run(secs); err != nil {
 						return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"colloid/internal/obs"
+	"colloid/internal/scenario"
 	"colloid/internal/sim"
 	"colloid/internal/workloads"
 )
@@ -29,10 +30,10 @@ func init() {
 // dynamicScenario describes one Figure 9 column.
 type dynamicScenario struct {
 	name        string
-	intensity0  int
+	intensity0  workloads.Intensity
 	atSec       float64
 	shiftHotSet bool
-	intensity1  int // applied at atSec when != intensity0
+	intensity1  workloads.Intensity // applied at atSec when != intensity0
 }
 
 func fig9Scenarios(o Options) []dynamicScenario {
@@ -44,31 +45,36 @@ func fig9Scenarios(o Options) []dynamicScenario {
 	}
 }
 
+// timeline renders the column's disturbance as a scenario over g: the
+// hot-set shift and the contention step fire at atSec, shift first
+// (events at equal times fire in declared order).
+func (sc dynamicScenario) timeline(g *workloads.GUPS) *scenario.Scenario {
+	s := &scenario.Scenario{Name: sc.name}
+	if sc.shiftHotSet {
+		s.Events = append(s.Events, scenario.WorkloadShift{AtSec: sc.atSec, Shift: g.ShiftHotSet})
+	}
+	if sc.intensity1 != sc.intensity0 {
+		s.Events = append(s.Events, scenario.AntagonistStep{AtSec: sc.atSec, Intensity: sc.intensity1})
+	}
+	return s
+}
+
 // runDynamic executes one (system, scenario) arm with the given seed
 // and returns the trace.
 func runDynamic(system string, withColloid bool, sc dynamicScenario, o Options, seed uint64, reg *obs.Registry) ([]sim.Sample, error) {
 	g := workloads.DefaultGUPS()
-	cfg := gupsConfig(paperTopology(0, 0), g, sc.intensity0, seed, reg)
-	e, err := sim.New(cfg)
+	sys, err := newSystem(system, withColloid)
+	if err != nil {
+		return nil, err
+	}
+	e, err := sim.New(gupsConfig(paperTopology(0, 0), g, sc.intensity0, seed, reg),
+		sim.WithSystem(sys), sim.WithScenario(sc.timeline(g)))
 	if err != nil {
 		return nil, err
 	}
 	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 		return nil, err
 	}
-	sys, err := newSystem(system, withColloid)
-	if err != nil {
-		return nil, err
-	}
-	e.SetSystem(sys)
-	e.ScheduleAt(sc.atSec, func(en *sim.Engine) {
-		if sc.shiftHotSet {
-			g.ShiftHotSet(en.AS(), en.WorkloadRNG())
-		}
-		if sc.intensity1 != sc.intensity0 {
-			en.SetAntagonist(workloads.AntagonistForIntensity(sc.intensity1).Cores)
-		}
-	})
 	total := sc.atSec + convergeSeconds(system, o)
 	if err := e.Run(total); err != nil {
 		return nil, err

@@ -85,15 +85,14 @@ func sensArms(Options) ([]Arm, error) {
 			name := fmt.Sprintf("eps=%.3f/delta=%.2f", eps, delta)
 			arms = append(arms, Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
 				g := workloads.DefaultGUPS()
-				cfg := gupsConfig(paperTopology(0, 0), g, 1, ctx.Seed, ctx.Obs)
-				e, err := sim.New(cfg)
+				e, err := sim.New(gupsConfig(paperTopology(0, 0), g, 1, ctx.Seed, ctx.Obs),
+					sim.WithSystem(hemem.New(hemem.Config{Colloid: &core.Options{Epsilon: eps, Delta: delta}})))
 				if err != nil {
 					return nil, err
 				}
 				if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 					return nil, err
 				}
-				e.SetSystem(hemem.New(hemem.Config{Colloid: &core.Options{Epsilon: eps, Delta: delta}}))
 				secs := ctx.Options.scale(60, 25)
 				if err := e.Run(secs); err != nil {
 					return nil, err

@@ -18,18 +18,17 @@ func init() {
 
 // relatedArm runs one related-work policy (BATMAN or Carrefour) at one
 // contention intensity.
-func relatedArm(policy related.Policy, name string, intensity int) Arm {
+func relatedArm(policy related.Policy, name string, intensity workloads.Intensity) Arm {
 	return Arm{Name: fmt.Sprintf("%s/%dx", name, intensity), Run: func(ctx ArmContext) (any, error) {
 		g := workloads.DefaultGUPS()
-		cfg := gupsConfig(paperTopology(0, 0), g, intensity, ctx.Seed, ctx.Obs)
-		e, err := sim.New(cfg)
+		e, err := sim.New(gupsConfig(paperTopology(0, 0), g, intensity, ctx.Seed, ctx.Obs),
+			sim.WithSystem(related.New(related.Config{Policy: policy})))
 		if err != nil {
 			return nil, err
 		}
 		if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 			return nil, err
 		}
-		e.SetSystem(related.New(related.Config{Policy: policy}))
 		secs := ctx.Options.scale(60, 25)
 		if err := e.Run(secs); err != nil {
 			return nil, err

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"colloid/internal/scenario"
+)
+
+func TestScenarioExperimentsRegistered(t *testing.T) {
+	set := make(map[string]bool)
+	for _, id := range List() {
+		set[id] = true
+	}
+	if !set["scenarios"] {
+		t.Fatal("scenarios family not registered")
+	}
+	for _, name := range scenario.BuiltinNames() {
+		if !set["scenario-"+name] {
+			t.Errorf("per-scenario experiment %q not registered", "scenario-"+name)
+		}
+	}
+}
+
+// TestScenarioParallelMatchesSerial extends the determinism contract to
+// fault-injection runs: the same seed and scenario must produce
+// bit-identical tables at any worker count.
+func TestScenarioParallelMatchesSerial(t *testing.T) {
+	serial, err := Run("scenario-tier-brownout", Options{Quick: true, Seed: 42, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run("scenario-tier-brownout", Options{Quick: true, Seed: 42, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel table differs from serial\nserial:\n%s\nparallel:\n%s",
+			serial.Render(), parallel.Render())
+	}
+}
+
+func TestScenariosTableShape(t *testing.T) {
+	tab, err := Run("scenario-cha-dropout-storm", Options{Quick: true, Seed: 1, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("table has %d rows, want 2 (static, hemem+colloid)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[0] != "cha-dropout-storm" {
+			t.Fatalf("row scenario = %q", row[0])
+		}
+		ops, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || ops <= 0 {
+			t.Fatalf("mean Mops %q not positive", row[2])
+		}
+	}
+	// The dropout storm must actually register fault events on both arms
+	// (the trace records the outage opening and closing either way).
+	for _, row := range tab.Rows {
+		n, err := strconv.Atoi(row[len(row)-1])
+		if err != nil || n == 0 {
+			t.Fatalf("arm %s saw %q fault events, want > 0", row[1], row[len(row)-1])
+		}
+	}
+}

@@ -169,18 +169,17 @@ func TestHotSetShiftReclassifies(t *testing.T) {
 	}
 	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
 	g := workloads.DefaultGUPS()
+	sys := New(Config{})
 	e, err := sim.New(sim.Config{
 		Topology: topo, WorkingSetBytes: g.WorkingSetBytes,
 		Profile: g.Profile(), Seed: 5,
-	})
+	}, sim.WithSystem(sys))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 		t.Fatal(err)
 	}
-	sys := New(Config{})
-	e.SetSystem(sys)
 	if err := e.Run(20); err != nil {
 		t.Fatal(err)
 	}

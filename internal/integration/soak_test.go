@@ -38,7 +38,7 @@ func allSystems() map[string]func() sim.System {
 
 type scenario struct {
 	name       string
-	intensity  int
+	intensity  workloads.Intensity
 	wsGiB      int64
 	hotGiB     int64
 	object     int64
@@ -121,12 +121,12 @@ func TestSoakAllSystemsAllScenarios(t *testing.T) {
 					Cores:           15,
 				}
 				e, _ := simtest.Run(t, mk(), simtest.Scenario{
-					GUPS:            g,
-					AntagonistCores: workloads.AntagonistForIntensity(sc.intensity).Cores,
-					Seconds:         12,
-					Seed:            7,
-					DisturbAtSec:    sc.disturbSec,
-					DisturbCores:    workloads.AntagonistForIntensity(3).Cores,
+					GUPS:             g,
+					AntagonistCores:  workloads.AntagonistForIntensity(sc.intensity).Cores,
+					Seconds:          12,
+					Seed:             7,
+					DisturbAtSec:     sc.disturbSec,
+					DisturbIntensity: workloads.Intensity3x,
 				})
 				checkInvariants(t, label, e, g.WorkingSetBytes)
 			})

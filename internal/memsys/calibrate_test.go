@@ -11,38 +11,6 @@ import (
 	"testing"
 )
 
-// Canonical source parameters shared with internal/workloads; duplicated
-// here as literals so the calibration is self-contained.
-const (
-	gupsCores    = 15
-	gupsInflight = 2.8 // effective MLP for random 64 B accesses
-	antInflight  = 23  // streaming with prefetchers engaged
-)
-
-func gupsSource(pDefault float64) Source {
-	return Source{
-		Name:            "gups",
-		Cores:           gupsCores,
-		Inflight:        gupsInflight,
-		TierShare:       []float64{pDefault, 1 - pDefault},
-		SeqFraction:     0,
-		WriteFraction:   1, // 1:1 read/write -> one writeback per read
-		BytesPerRequest: CachelineBytes,
-	}
-}
-
-func antagonistSource(cores int) Source {
-	return Source{
-		Name:            "antagonist",
-		Cores:           cores,
-		Inflight:        antInflight,
-		TierShare:       []float64{1, 0},
-		SeqFraction:     1,
-		WriteFraction:   1,
-		BytesPerRequest: CachelineBytes,
-	}
-}
-
 func paperTopology(t *testing.T) *Topology {
 	t.Helper()
 	tp, err := NewTopology(DualSocketXeonDefault(), DualSocketXeonRemote())
@@ -65,7 +33,7 @@ func TestCalibrationAntagonistIsolation(t *testing.T) {
 	tp := paperTopology(t)
 	wantFrac := map[int]float64{5: 0.51, 10: 0.65, 15: 0.70}
 	for cores, want := range wantFrac {
-		eq, err := tp.Solve([]Source{antagonistSource(cores)}, nil, SolveOptions{})
+		eq, err := tp.Solve([]Source{AntagonistSource(cores)}, nil, SolveOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +62,7 @@ func TestCalibrationDefaultTierInflation(t *testing.T) {
 		{15, 350},
 	}
 	for _, c := range cases {
-		eq, err := tp.Solve([]Source{gupsSource(p), antagonistSource(c.antCores)}, nil, SolveOptions{})
+		eq, err := tp.Solve([]Source{GUPSSource(p), AntagonistSource(c.antCores)}, nil, SolveOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +86,7 @@ func TestCalibrationLatencyRatio(t *testing.T) {
 		{15, 2.4},
 	}
 	for _, c := range cases {
-		eq, err := tp.Solve([]Source{gupsSource(p), antagonistSource(c.antCores)}, nil, SolveOptions{})
+		eq, err := tp.Solve([]Source{GUPSSource(p), AntagonistSource(c.antCores)}, nil, SolveOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +104,7 @@ func TestCalibrationAlternatePlacementWinsUnderContention(t *testing.T) {
 	const pPacked = 0.9 + 0.1*(8.0/48.0)
 	const pMoved = 0.05 // nearly all hot traffic to alternate
 	solve := func(p float64) float64 {
-		eq, err := tp.Solve([]Source{gupsSource(p), antagonistSource(15)}, nil, SolveOptions{})
+		eq, err := tp.Solve([]Source{GUPSSource(p), AntagonistSource(15)}, nil, SolveOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +124,7 @@ func TestCalibrationDefaultWinsWithoutContention(t *testing.T) {
 	tp := paperTopology(t)
 	const pPacked = 0.9 + 0.1*(8.0/48.0)
 	solve := func(p float64) float64 {
-		eq, err := tp.Solve([]Source{gupsSource(p)}, nil, SolveOptions{})
+		eq, err := tp.Solve([]Source{GUPSSource(p)}, nil, SolveOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,112 @@
+package memsys
+
+import (
+	"testing"
+)
+
+func TestSetDegradationScalesLatencyAndBandwidth(t *testing.T) {
+	tier, err := NewTier(DualSocketXeonDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tier.UnloadedLatencyNs()
+	cap0 := tier.EffectiveCapacity(Load{})
+	if err := tier.SetDegradation(3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := tier.UnloadedLatencyNs(); got != 3*base {
+		t.Fatalf("degraded unloaded latency = %v, want %v", got, 3*base)
+	}
+	if got := tier.EffectiveCapacity(Load{}); got != 0.5*cap0 {
+		t.Fatalf("degraded capacity = %v, want %v", got, 0.5*cap0)
+	}
+	// Loaded latency inherits both effects: higher floor, earlier knee.
+	load := Load{RandBytes: 0.3 * cap0}
+	healthy, _ := NewTier(DualSocketXeonDefault())
+	if dl, hl := tier.LoadedLatencyNs(load), healthy.LoadedLatencyNs(load); dl <= hl {
+		t.Fatalf("degraded loaded latency %v not above healthy %v", dl, hl)
+	}
+	// Restoring health undoes everything.
+	if err := tier.SetDegradation(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tier.UnloadedLatencyNs() != base || tier.EffectiveCapacity(Load{}) != cap0 {
+		t.Fatal("SetDegradation(1,1) did not restore health")
+	}
+}
+
+func TestSetDegradationRejectsBadFactors(t *testing.T) {
+	tier, _ := NewTier(DualSocketXeonDefault())
+	for _, bad := range []struct{ lat, bw float64 }{
+		{0.5, 1}, {0, 1}, {-1, 1}, // latency factor must be >= 1
+		{1, 0}, {1, -0.1}, {1, 1.5}, // bandwidth factor must be in (0, 1]
+	} {
+		if err := tier.SetDegradation(bad.lat, bad.bw); err == nil {
+			t.Errorf("SetDegradation(%v, %v) accepted", bad.lat, bad.bw)
+		}
+	}
+	// A rejected call must not have modified the healthy state.
+	if lf, bf := tier.Degradation(); lf != 1 || bf != 1 {
+		t.Fatalf("rejected factors leaked into state: (%v, %v)", lf, bf)
+	}
+}
+
+func TestTopologyDegradeRestore(t *testing.T) {
+	tp := MustTopology(DualSocketXeonDefault(), DualSocketXeonRemote())
+	base := tp.Tier(DefaultTier).UnloadedLatencyNs()
+	if err := tp.Degrade(DefaultTier, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.Tier(DefaultTier).UnloadedLatencyNs(); got != 2*base {
+		t.Fatalf("degraded latency = %v, want %v", got, 2*base)
+	}
+	// The other tier is untouched.
+	if lf, bf := tp.Tier(1).Degradation(); lf != 1 || bf != 1 {
+		t.Fatalf("tier 1 degraded collaterally: (%v, %v)", lf, bf)
+	}
+	if err := tp.Restore(DefaultTier); err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.Tier(DefaultTier).UnloadedLatencyNs(); got != base {
+		t.Fatalf("restored latency = %v, want %v", got, base)
+	}
+	if err := tp.Degrade(TierID(9), 2, 1); err == nil {
+		t.Fatal("out-of-range tier accepted")
+	}
+}
+
+func TestTopologyCloneIsolatesDegradation(t *testing.T) {
+	orig := MustTopology(DualSocketXeonDefault(), DualSocketXeonRemote())
+	clone := orig.Clone()
+	if err := clone.Degrade(DefaultTier, 3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if lf, _ := orig.Tier(DefaultTier).Degradation(); lf != 1 {
+		t.Fatalf("degrading the clone leaked into the original (latFactor %v)", lf)
+	}
+	if lf, bf := clone.Tier(DefaultTier).Degradation(); lf != 3 || bf != 0.5 {
+		t.Fatalf("clone degradation = (%v, %v)", lf, bf)
+	}
+}
+
+func TestSolverSeesDegradedTier(t *testing.T) {
+	// The equilibrium solver reads UnloadedLatencyNs through the tier, so
+	// an injected brownout must raise the solved latency floor.
+	tp := MustTopology(DualSocketXeonDefault(), DualSocketXeonRemote())
+	src := GUPSSource(1) // everything on the default tier
+	healthy, err := tp.Solve([]Source{src}, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Degrade(DefaultTier, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := tp.Solve([]Source{src}, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.LatencyNs[0] < 2*healthy.LatencyNs[0] {
+		t.Fatalf("3x brownout raised default latency only %v -> %v",
+			healthy.LatencyNs[0], degraded.LatencyNs[0])
+	}
+}

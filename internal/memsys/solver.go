@@ -150,10 +150,10 @@ func (tp *Topology) Solve(sources []Source, extraLoad []Load, opts SolveOptions)
 		return nil, fmt.Errorf("memsys: extraLoad has %d entries for %d tiers", len(extraLoad), n)
 	}
 
-	// Start from unloaded latencies.
+	// Start from (possibly degraded) unloaded latencies.
 	lat := make([]float64, n)
 	for t := 0; t < n; t++ {
-		lat[t] = tp.tiers[t].cfg.UnloadedLatencyNs
+		lat[t] = tp.tiers[t].UnloadedLatencyNs()
 	}
 
 	load := make([]Load, n)

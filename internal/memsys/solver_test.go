@@ -19,7 +19,7 @@ func TestSolveNoSources(t *testing.T) {
 
 func TestSolveSingleSourceLittlesLaw(t *testing.T) {
 	tp := paperTopology(t)
-	src := gupsSource(1.0)
+	src := GUPSSource(1.0)
 	eq, err := tp.Solve([]Source{src}, nil, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -35,12 +35,12 @@ func TestSolveSingleSourceLittlesLaw(t *testing.T) {
 
 func TestSolveValidatesShares(t *testing.T) {
 	tp := paperTopology(t)
-	bad := gupsSource(0.5)
+	bad := GUPSSource(0.5)
 	bad.TierShare = []float64{0.5, 0.2} // sums to 0.7
 	if _, err := tp.Solve([]Source{bad}, nil, SolveOptions{}); err == nil {
 		t.Fatal("bad tier shares accepted")
 	}
-	short := gupsSource(0.5)
+	short := GUPSSource(0.5)
 	short.TierShare = []float64{1}
 	if _, err := tp.Solve([]Source{short}, nil, SolveOptions{}); err == nil {
 		t.Fatal("short tier share slice accepted")
@@ -56,7 +56,7 @@ func TestSolveValidatesExtraLoad(t *testing.T) {
 
 func TestSolveExtraLoadRaisesLatency(t *testing.T) {
 	tp := paperTopology(t)
-	src := gupsSource(0.9)
+	src := GUPSSource(0.9)
 	base, err := tp.Solve([]Source{src}, nil, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestSolveProperties(t *testing.T) {
 	f := func(pSeed uint16, antSeed uint8) bool {
 		p := float64(pSeed) / math.MaxUint16
 		ant := int(antSeed % 16)
-		eq, err := tp.Solve([]Source{gupsSource(p), antagonistSource(ant)}, nil, SolveOptions{})
+		eq, err := tp.Solve([]Source{GUPSSource(p), AntagonistSource(ant)}, nil, SolveOptions{})
 		if err != nil {
 			return false
 		}
@@ -91,7 +91,7 @@ func TestSolveProperties(t *testing.T) {
 		}
 		g := eq.Sources[0]
 		budget := g.RequestRate * g.AvgLatencyNs * 1e-9
-		return math.Abs(budget-gupsCores*gupsInflight) < 1e-3
+		return math.Abs(budget-GUPSCores*GUPSInflight) < 1e-3
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestSolveProperties(t *testing.T) {
 func TestSolveShiftReducesSourceTierLatency(t *testing.T) {
 	tp := paperTopology(t)
 	solve := func(p float64) *Equilibrium {
-		eq, err := tp.Solve([]Source{gupsSource(p), antagonistSource(10)}, nil, SolveOptions{})
+		eq, err := tp.Solve([]Source{GUPSSource(p), AntagonistSource(10)}, nil, SolveOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +145,7 @@ func TestSolveThreeTiers(t *testing.T) {
 
 func TestSolveZeroCoreSourceIgnored(t *testing.T) {
 	tp := paperTopology(t)
-	eq, err := tp.Solve([]Source{antagonistSource(0)}, nil, SolveOptions{})
+	eq, err := tp.Solve([]Source{AntagonistSource(0)}, nil, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestSolveZeroCoreSourceIgnored(t *testing.T) {
 
 func TestSolveTierReadRateConsistency(t *testing.T) {
 	tp := paperTopology(t)
-	eq, err := tp.Solve([]Source{gupsSource(0.7), antagonistSource(5)}, nil, SolveOptions{})
+	eq, err := tp.Solve([]Source{GUPSSource(0.7), AntagonistSource(5)}, nil, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

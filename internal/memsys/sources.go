@@ -1,0 +1,52 @@
+package memsys
+
+// Canonical traffic-source parameters of the paper's testbed workloads
+// (Section 2.1). These are the single source of truth: the calibration
+// tests in this package and the workloads package both build their
+// sources from them, so the latency-model anchors and the simulated
+// workloads can never drift apart.
+const (
+	// GUPSCores is the application thread count of the GUPS
+	// microbenchmark (15 in the paper).
+	GUPSCores = 15
+	// GUPSInflight is the effective per-core memory-level parallelism
+	// of a random 64 B access stream on the testbed (calibrated in
+	// calibrate_test.go).
+	GUPSInflight = 2.8
+	// AntagonistInflight is the per-core in-flight request count of the
+	// streaming antagonist (prefetchers keep the pipeline full);
+	// calibrated so 5/10/15 cores consume ~51%/65%/70% of the default
+	// tier's theoretical peak in isolation.
+	AntagonistInflight = 23
+)
+
+// GUPSSource returns the canonical GUPS traffic source for the
+// two-tier paper testbed: 15 cores of random 64 B accesses with a 1:1
+// read/write mix, serving pDefault of requests from the default tier
+// and the rest from the alternate.
+func GUPSSource(pDefault float64) Source {
+	return Source{
+		Name:            "gups",
+		Cores:           GUPSCores,
+		Inflight:        GUPSInflight,
+		TierShare:       []float64{pDefault, 1 - pDefault},
+		SeqFraction:     0,
+		WriteFraction:   1, // 1:1 read/write -> one writeback per read
+		BytesPerRequest: CachelineBytes,
+	}
+}
+
+// AntagonistSource returns the canonical memory antagonist for the
+// two-tier paper testbed: cores streaming 1:1 read/write traffic pinned
+// to the default tier.
+func AntagonistSource(cores int) Source {
+	return Source{
+		Name:            "antagonist",
+		Cores:           cores,
+		Inflight:        AntagonistInflight,
+		TierShare:       []float64{1, 0},
+		SeqFraction:     1,
+		WriteFraction:   1,
+		BytesPerRequest: CachelineBytes,
+	}
+}

@@ -111,9 +111,17 @@ func (l Load) Scale(f float64) Load {
 // closed-loop solver keeps equilibria below it in practice.
 const rhoMax = 0.995
 
-// Tier is an instantiated memory tier.
+// Tier is an instantiated memory tier. Besides its immutable hardware
+// configuration it carries a mutable degradation state (fault
+// injection: thermal throttling, a failing DIMM, a link retraining)
+// that scales the unloaded latency up and the usable bandwidth down.
 type Tier struct {
 	cfg TierConfig
+	// latFactor >= 1 multiplies the unloaded latency; bwFactor in
+	// (0, 1] multiplies the achievable bandwidth. Both are 1 when the
+	// tier is healthy.
+	latFactor float64
+	bwFactor  float64
 }
 
 // NewTier validates cfg and returns the tier.
@@ -121,11 +129,38 @@ func NewTier(cfg TierConfig) (*Tier, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Tier{cfg: cfg}, nil
+	return &Tier{cfg: cfg, latFactor: 1, bwFactor: 1}, nil
 }
 
 // Config returns the tier's configuration.
 func (t *Tier) Config() TierConfig { return t.cfg }
+
+// SetDegradation installs fault-injection scaling: the unloaded latency
+// is multiplied by latencyFactor (>= 1) and the achievable bandwidth by
+// bandwidthFactor (in (0, 1]). SetDegradation(1, 1) restores health.
+func (t *Tier) SetDegradation(latencyFactor, bandwidthFactor float64) error {
+	if latencyFactor < 1 {
+		return fmt.Errorf("memsys: tier %q: latency degradation factor %v < 1", t.cfg.Name, latencyFactor)
+	}
+	if bandwidthFactor <= 0 || bandwidthFactor > 1 {
+		return fmt.Errorf("memsys: tier %q: bandwidth degradation factor %v out of (0,1]", t.cfg.Name, bandwidthFactor)
+	}
+	t.latFactor = latencyFactor
+	t.bwFactor = bandwidthFactor
+	return nil
+}
+
+// Degradation returns the current (latencyFactor, bandwidthFactor)
+// pair; (1, 1) means healthy.
+func (t *Tier) Degradation() (latencyFactor, bandwidthFactor float64) {
+	return t.latFactor, t.bwFactor
+}
+
+// UnloadedLatencyNs returns the effective unloaded latency, including
+// any injected degradation.
+func (t *Tier) UnloadedLatencyNs() float64 {
+	return t.cfg.UnloadedLatencyNs * t.latFactor
+}
 
 // EffectiveCapacity returns the achievable bandwidth (bytes/sec) for the
 // given traffic mix: peak bandwidth derated by the pattern-weighted
@@ -136,11 +171,11 @@ func (t *Tier) EffectiveCapacity(load Load) float64 {
 	if total <= 0 {
 		// With no traffic the mix is irrelevant; use the sequential
 		// ceiling so utilization reads as zero either way.
-		return t.cfg.PeakBandwidth * t.cfg.SeqEfficiency
+		return t.cfg.PeakBandwidth * t.cfg.SeqEfficiency * t.bwFactor
 	}
 	wSeq := load.SeqBytes / total
 	eff := wSeq*t.cfg.SeqEfficiency + (1-wSeq)*t.cfg.RandEfficiency
-	return t.cfg.PeakBandwidth * eff
+	return t.cfg.PeakBandwidth * eff * t.bwFactor
 }
 
 // Utilization returns offered load over effective capacity, capped at
@@ -166,7 +201,7 @@ func (t *Tier) Utilization(load Load) float64 {
 func (t *Tier) LoadedLatencyNs(load Load) float64 {
 	rho := t.Utilization(load)
 	q := t.cfg.QueueLatencyNs * math.Pow(rho, t.cfg.QueueExponent) / (1 - rho)
-	return t.cfg.UnloadedLatencyNs + q
+	return t.UnloadedLatencyNs() + q
 }
 
 // DualSocketXeonDefault returns the default-tier configuration of the

@@ -44,6 +44,38 @@ func MustTopology(cfgs ...TierConfig) *Topology {
 	return tp
 }
 
+// Clone returns an independent copy of the topology: same tier
+// configurations and current degradation state, separate mutable state.
+// The simulator clones a topology before attaching a fault-injecting
+// scenario so that sibling experiment arms sharing the original are not
+// perturbed.
+func (tp *Topology) Clone() *Topology {
+	tiers := make([]*Tier, len(tp.tiers))
+	for i, t := range tp.tiers {
+		cp := *t
+		tiers[i] = &cp
+	}
+	return &Topology{tiers: tiers}
+}
+
+// Degrade injects a fault into the given tier: unloaded latency scales
+// up by latencyFactor (>= 1), achievable bandwidth scales down by
+// bandwidthFactor (in (0, 1]).
+func (tp *Topology) Degrade(id TierID, latencyFactor, bandwidthFactor float64) error {
+	if int(id) < 0 || int(id) >= len(tp.tiers) {
+		return fmt.Errorf("memsys: degrade: no tier %d in %d-tier topology", id, len(tp.tiers))
+	}
+	return tp.tiers[id].SetDegradation(latencyFactor, bandwidthFactor)
+}
+
+// Restore clears any injected degradation on the given tier.
+func (tp *Topology) Restore(id TierID) error {
+	if int(id) < 0 || int(id) >= len(tp.tiers) {
+		return fmt.Errorf("memsys: restore: no tier %d in %d-tier topology", id, len(tp.tiers))
+	}
+	return tp.tiers[id].SetDegradation(1, 1)
+}
+
 // NumTiers returns the number of tiers.
 func (tp *Topology) NumTiers() int { return len(tp.tiers) }
 

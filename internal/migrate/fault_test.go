@@ -1,0 +1,113 @@
+package migrate
+
+import (
+	"errors"
+	"testing"
+
+	"colloid/internal/memsys"
+	"colloid/internal/pages"
+)
+
+func TestInjectFaultTakesEffectNextQuantum(t *testing.T) {
+	as := testSpace(t)
+	e := NewEngine(as, 2, 0) // unlimited budget
+	e.BeginQuantum(0.1)
+	e.InjectFault(FaultStall, 1)
+	if e.FaultActive() {
+		t.Fatal("fault active before the next BeginQuantum")
+	}
+	// The current quantum still migrates normally.
+	if err := e.Move(pageIn(t, as, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	e.BeginQuantum(0.1)
+	if !e.FaultActive() {
+		t.Fatal("fault not active in its window")
+	}
+	e.BeginQuantum(0.1)
+	if e.FaultActive() {
+		t.Fatal("one-quantum fault still active")
+	}
+}
+
+func TestFaultStallRejectsForFree(t *testing.T) {
+	as := testSpace(t)
+	e := NewEngine(as, 2, 100*float64(memsys.MiB))
+	e.InjectFault(FaultStall, 1)
+	e.BeginQuantum(0.1)
+	budget := e.Budget()
+	id := pageIn(t, as, 0)
+	err := e.Move(id, 1)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("stalled move error = %v, want ErrInjected", err)
+	}
+	if as.Tier(id) != 0 {
+		t.Fatal("stalled move relocated the page")
+	}
+	if e.Budget() != budget {
+		t.Fatalf("stall consumed budget: %d -> %d", budget, e.Budget())
+	}
+	if e.QuantumBytes() != 0 {
+		t.Fatalf("stall charged traffic: %d bytes", e.QuantumBytes())
+	}
+	// MoveForced obeys the fault window too: the engine is down, not
+	// merely throttled.
+	if err := e.MoveForced(id, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("forced move during stall = %v, want ErrInjected", err)
+	}
+	failed, partial := e.FaultTotals()
+	if failed != 2 || partial != 0 {
+		t.Fatalf("FaultTotals = (%d, %d), want (2, 0)", failed, partial)
+	}
+}
+
+func TestFaultFailBurnsBudgetAndTraffic(t *testing.T) {
+	as := testSpace(t)
+	e := NewEngine(as, 2, 100*float64(memsys.MiB))
+	e.InjectFault(FaultFail, 1)
+	e.BeginQuantum(0.1)
+	budget := e.Budget()
+	id := pageIn(t, as, 0)
+	if err := e.Move(id, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("failed move error = %v, want ErrInjected", err)
+	}
+	if as.Tier(id) != 0 {
+		t.Fatal("failed move relocated the page")
+	}
+	if got := e.Budget(); got != budget-pages.HugePageBytes {
+		t.Fatalf("budget after aborted copy = %d, want %d", got, budget-pages.HugePageBytes)
+	}
+	// The aborted copy's bytes hit the interconnect on both sides.
+	load := e.TrafficLoad()
+	if load[0].Total() <= 0 || load[1].Total() <= 0 {
+		t.Fatalf("aborted copy left no traffic: %+v", load)
+	}
+	failed, partial := e.FaultTotals()
+	if failed != 1 || partial != pages.HugePageBytes {
+		t.Fatalf("FaultTotals = (%d, %d), want (1, %d)", failed, partial, pages.HugePageBytes)
+	}
+	// The page stayed put, so Totals must not count a completed move.
+	if _, moves, _, _ := e.Totals(); moves != 0 {
+		t.Fatalf("aborted copy counted as %d completed moves", moves)
+	}
+}
+
+func TestInjectFaultClearAndReplace(t *testing.T) {
+	as := testSpace(t)
+	e := NewEngine(as, 2, 0)
+	e.InjectFault(FaultStall, 100)
+	e.InjectFault(FaultStall, 0) // clear before it ever starts
+	e.BeginQuantum(0.1)
+	if e.FaultActive() {
+		t.Fatal("cleared fault still active")
+	}
+	if err := e.Move(pageIn(t, as, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	if FaultStall.String() != "stall" || FaultFail.String() != "fail" {
+		t.Fatalf("FaultKind strings: %q, %q", FaultStall, FaultFail)
+	}
+}

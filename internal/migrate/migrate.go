@@ -22,6 +22,39 @@ var ErrLimit = errors.New("migrate: per-quantum migration limit reached")
 // the caller must demote something first (kswapd-style) or skip.
 var ErrCapacity = errors.New("migrate: destination tier full")
 
+// ErrInjected is returned while an injected fault window is active: the
+// migration machinery is down and the move did not happen. Placement is
+// unchanged, so callers retry naturally on later quanta — against the
+// budget those quanta accrue, exactly like a throttled move.
+var ErrInjected = errors.New("migrate: injected fault active")
+
+// FaultKind selects how an injected migration fault manifests.
+type FaultKind int
+
+const (
+	// FaultStall rejects moves outright: no bytes are copied, no budget
+	// or bandwidth is consumed (the migration thread is descheduled).
+	FaultStall FaultKind = iota
+	// FaultFail lets the copy run and then aborts it mid-flight: the
+	// budget and tier bandwidth are consumed as if the move happened,
+	// but the page stays on its source tier (a Nomad-style failed
+	// transactional migration). The wasted bytes are accounted as
+	// partial-move traffic.
+	FaultFail
+)
+
+// String renders the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultStall:
+		return "stall"
+	case FaultFail:
+		return "fail"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
 // Engine applies migrations against one address space.
 type Engine struct {
 	as *pages.AddressSpace
@@ -45,13 +78,24 @@ type Engine struct {
 	totalPromoted int64 // bytes moved into the default tier
 	totalDemoted  int64 // bytes moved out of the default tier
 
+	// Injected-fault state: faultQuanta quanta of outage remain (the
+	// current one included when faultActive is set by BeginQuantum).
+	faultKind    FaultKind
+	faultQuanta  int
+	faultActive  bool
+	failedMoves  int64 // moves rejected by an injected fault
+	partialBytes int64 // bytes copied then discarded by FaultFail
+
 	// Instrumentation (nil-safe handles; one throttle event per quantum
 	// at most so a starved system can't flood the trace).
 	reg              *obs.Registry
 	mBytes           *obs.Counter
 	mMoves           *obs.Counter
 	mThrottled       *obs.Counter
+	mInjected        *obs.Counter
+	mPartialBytes    *obs.Counter
 	throttledEmitted bool
+	injectedEmitted  bool
 }
 
 // NewEngine returns an engine over as with the given migration rate
@@ -74,6 +118,8 @@ func (e *Engine) SetObs(r *obs.Registry) {
 	e.mBytes = r.Counter("migrate_bytes")
 	e.mMoves = r.Counter("migrate_moves")
 	e.mThrottled = r.Counter("migrate_throttled")
+	e.mInjected = r.Counter("migrate_injected_failures")
+	e.mPartialBytes = r.Counter("migrate_partial_bytes")
 }
 
 // budgetCapSeconds bounds how much unused migration budget can accrue:
@@ -103,6 +149,60 @@ func (e *Engine) BeginQuantum(quantumSec float64) {
 		e.movedTo[i] = 0
 	}
 	e.throttledEmitted = false
+	e.injectedEmitted = false
+	e.faultActive = e.faultQuanta > 0
+	if e.faultQuanta > 0 {
+		e.faultQuanta--
+	}
+}
+
+// InjectFault makes the next quanta quanta of migrations fail with the
+// given kind (fault injection; see FaultKind for semantics). Calling it
+// again replaces any outstanding fault window; quanta <= 0 clears it.
+// The window takes effect at the next BeginQuantum.
+func (e *Engine) InjectFault(kind FaultKind, quanta int) {
+	if quanta < 0 {
+		quanta = 0
+	}
+	e.faultKind = kind
+	e.faultQuanta = quanta
+}
+
+// FaultActive reports whether an injected fault governs this quantum.
+func (e *Engine) FaultActive() bool { return e.faultActive }
+
+// FaultTotals returns cumulative injected-fault accounting: moves
+// rejected by a fault window and bytes copied-then-discarded by
+// FaultFail aborts (partial-move traffic that consumed bandwidth and
+// budget without relocating a page).
+func (e *Engine) FaultTotals() (failedMoves, partialBytes int64) {
+	return e.failedMoves, e.partialBytes
+}
+
+// injectFailure applies the active fault to an attempted move of p to
+// tier to and returns ErrInjected. FaultStall costs nothing; FaultFail
+// burns budget and bandwidth for a copy that is then discarded.
+func (e *Engine) injectFailure(p pages.Page, to memsys.TierID) error {
+	e.failedMoves++
+	e.mInjected.Inc()
+	if e.faultKind == FaultFail {
+		if e.quantumBudget > p.Bytes {
+			e.quantumBudget -= p.Bytes
+		} else {
+			e.quantumBudget = 0
+		}
+		e.movedFrom[p.Tier] += p.Bytes
+		e.movedTo[to] += p.Bytes
+		e.partialBytes += p.Bytes
+		e.mPartialBytes.Add(p.Bytes)
+	}
+	if !e.injectedEmitted {
+		e.injectedEmitted = true
+		e.reg.Emit(obs.EvMigrationStall,
+			obs.F("kind", float64(e.faultKind)),
+			obs.F("remaining_quanta", float64(e.faultQuanta)))
+	}
+	return ErrInjected
 }
 
 // Budget returns the remaining migration byte budget for this quantum.
@@ -123,6 +223,9 @@ func (e *Engine) Move(id pages.PageID, to memsys.TierID) error {
 	}
 	if p.Tier == to {
 		return nil
+	}
+	if e.faultActive {
+		return e.injectFailure(p, to)
 	}
 	if e.quantumBudget < p.Bytes {
 		e.mThrottled.Inc()
@@ -152,6 +255,9 @@ func (e *Engine) MoveForced(id pages.PageID, to memsys.TierID) error {
 	}
 	if p.Tier == to {
 		return nil
+	}
+	if e.faultActive {
+		return e.injectFailure(p, to)
 	}
 	if err := e.as.Move(id, to); err != nil {
 		return fmt.Errorf("%w (%v)", ErrCapacity, err)

@@ -45,6 +45,36 @@ const (
 	// EvDeadbandHold is emitted when the controller enters the deadband
 	// hold region from an active mode (fields: p, lat_default, lat_alt).
 	EvDeadbandHold = "deadband_hold"
+
+	// Fault-injection events (internal/scenario). Every injected fault
+	// and its recovery is visible in the trace so experiment analysis
+	// can correlate controller behaviour with the outage windows.
+
+	// EvTierDegrade is emitted when a tier's service characteristics are
+	// degraded (fields: tier, lat_factor, bw_factor).
+	EvTierDegrade = "tier_degrade"
+	// EvTierRestore is emitted when a degraded tier returns to nominal
+	// (fields: tier).
+	EvTierRestore = "tier_restore"
+	// EvCHADropout is emitted when counter sampling starts being
+	// suppressed (fields: until_sec).
+	EvCHADropout = "cha_dropout"
+	// EvCHARestore is emitted when counter sampling resumes (fields:
+	// dropped_quanta).
+	EvCHARestore = "cha_restore"
+	// EvMigrationStall is emitted (at most once per quantum) when an
+	// injected migration fault rejects a move (fields: kind [0=stall,
+	// 1=fail], remaining_quanta).
+	EvMigrationStall = "migration_stall"
+	// EvCounterStale is emitted by the controller when it first observes
+	// a stale counter snapshot and freezes its estimates (fields: p).
+	EvCounterStale = "counter_stale"
+	// EvCounterRecovered is emitted on the first fresh measurement after
+	// a stale window (fields: stale_observes, p).
+	EvCounterRecovered = "counter_recovered"
+	// EvScenarioEvent is emitted when a scenario timeline event fires
+	// (fields: at_sec, index).
+	EvScenarioEvent = "scenario_event"
 )
 
 // Field is one key/value pair attached to an Event. Values are float64

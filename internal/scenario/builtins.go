@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"colloid/internal/memsys"
+	"colloid/internal/migrate"
+	"colloid/internal/workloads"
+)
+
+// AntagonistSquareWave toggles contention between lo and hi every
+// halfPeriodSec, starting at hi at time halfPeriodSec, until totalSec.
+// This is the canonical "bursty colocated job" disturbance: the
+// controller must chase a moving equilibrium in both directions.
+func AntagonistSquareWave(lo, hi workloads.Intensity, halfPeriodSec, totalSec float64) *Scenario {
+	s := &Scenario{Name: "antagonist-square-wave"}
+	level := hi
+	for at := halfPeriodSec; at < totalSec; at += halfPeriodSec {
+		s.Events = append(s.Events, AntagonistStep{AtSec: at, Intensity: level})
+		if level == hi {
+			level = lo
+		} else {
+			level = hi
+		}
+	}
+	return s
+}
+
+// TierBrownout degrades tier from atSec for forSec seconds: unloaded
+// latency scaled by latFactor, achievable bandwidth by bwFactor, then
+// restored. Models a thermally throttled DIMM or congested CXL link.
+func TierBrownout(tier memsys.TierID, latFactor, bwFactor, atSec, forSec float64) *Scenario {
+	return &Scenario{
+		Name: "tier-brownout",
+		Events: []Event{
+			TierDegrade{AtSec: atSec, Tier: tier, LatencyFactor: latFactor, BandwidthFactor: bwFactor},
+			TierRestore{AtSec: atSec + forSec, Tier: tier},
+		},
+	}
+}
+
+// CHADropoutStorm opens count counter-sampling outages of windowSec
+// each, separated by gapSec of healthy sampling, starting at startSec.
+// The controller must hold through every window and re-converge in the
+// gaps.
+func CHADropoutStorm(startSec, windowSec, gapSec float64, count int) *Scenario {
+	s := &Scenario{Name: "cha-dropout-storm"}
+	at := startSec
+	for i := 0; i < count; i++ {
+		s.Events = append(s.Events, CHADropout{AtSec: at, ForSec: windowSec})
+		at += windowSec + gapSec
+	}
+	return s
+}
+
+// MigrationOutage takes the migration engine down at atSec for the
+// given number of engine quanta with the given fault kind.
+func MigrationOutage(kind migrate.FaultKind, atSec float64, quanta int) *Scenario {
+	return &Scenario{
+		Name: "migration-stall",
+		Events: []Event{
+			MigrationStall{AtSec: atSec, Fault: kind, Quanta: quanta},
+		},
+	}
+}
+
+// builtins maps names to canonical constructions sized for the
+// 60-second scenarios experiment family; constructors return fresh
+// values so callers may mutate their copy.
+var builtins = map[string]func() *Scenario{
+	"antagonist-square-wave": func() *Scenario {
+		return AntagonistSquareWave(workloads.Intensity0x, workloads.Intensity3x, 10, 60)
+	},
+	"tier-brownout": func() *Scenario {
+		// 3x latency, 1/3 bandwidth on the default tier for 20 s.
+		return TierBrownout(memsys.DefaultTier, 3, 1.0/3.0, 20, 20)
+	},
+	"cha-dropout-storm": func() *Scenario {
+		return CHADropoutStorm(15, 2, 3, 6)
+	},
+	"migration-stall": func() *Scenario {
+		// 15 s outage at the default 10 ms engine quantum.
+		return MigrationOutage(migrate.FaultStall, 20, 1500)
+	},
+}
+
+// Builtin returns a fresh copy of the named builtin scenario.
+func Builtin(name string) (*Scenario, error) {
+	mk, okay := builtins[name]
+	if !okay {
+		return nil, fmt.Errorf("scenario: unknown builtin %q (have %v)", name, BuiltinNames())
+	}
+	return mk(), nil
+}
+
+// BuiltinNames lists the builtin scenarios in sorted order.
+func BuiltinNames() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

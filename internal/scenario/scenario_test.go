@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"colloid/internal/migrate"
+	"colloid/internal/pages"
+	"colloid/internal/stats"
+	"colloid/internal/workloads"
+)
+
+func TestValidateJoinsAllProblems(t *testing.T) {
+	s := &Scenario{Events: []Event{
+		nil,
+		AntagonistStep{AtSec: -1, Intensity: workloads.Intensity1x},
+		TierDegrade{AtSec: 5, Tier: 7, LatencyFactor: 2, BandwidthFactor: 1},
+		TierDegrade{AtSec: 5, Tier: 0, LatencyFactor: 0.5, BandwidthFactor: 1},
+		TierDegrade{AtSec: 5, Tier: 0, LatencyFactor: 2, BandwidthFactor: 2},
+		CHADropout{AtSec: 5, ForSec: 0},
+		MigrationStall{AtSec: 5, Fault: migrate.FaultKind(9), Quanta: 10},
+		MigrationStall{AtSec: 5, Fault: migrate.FaultStall, Quanta: 0},
+	}}
+	err := s.Validate(2)
+	if err == nil {
+		t.Fatal("bad scenario validated")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"name required",
+		"event 0 is nil",
+		"negative time",
+		"tier 7 out of range",
+		"latency factor 0.5 < 1",
+		"bandwidth factor 2 out of (0,1]",
+		"non-positive window",
+		"non-positive duration",
+		"unknown fault kind",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestValidateAcceptsGoodScenario(t *testing.T) {
+	s := &Scenario{Name: "okay", Events: []Event{
+		AntagonistStep{AtSec: 1, Intensity: workloads.Intensity3x},
+		ProfileSwitch{AtSec: 2, Profile: workloads.Profile{Name: "p", Cores: 1, Inflight: 1}},
+		WorkloadShift{AtSec: 3, Shift: func(*pages.AddressSpace, *stats.RNG) {}},
+		TierDegrade{AtSec: 4, Tier: 1, LatencyFactor: 2, BandwidthFactor: 0.5},
+		TierRestore{AtSec: 5, Tier: 1},
+		CHADropout{AtSec: 6, ForSec: 1},
+		MigrationStall{AtSec: 7, Fault: migrate.FaultFail, Quanta: 10},
+	}}
+	if err := s.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedStableOnEqualTimes(t *testing.T) {
+	s := &Scenario{Name: "ties", Events: []Event{
+		AntagonistStep{AtSec: 5, Intensity: workloads.Intensity1x},
+		TierRestore{AtSec: 2, Tier: 0},
+		AntagonistStep{AtSec: 5, Intensity: workloads.Intensity2x},
+		CHADropout{AtSec: 5, ForSec: 1},
+	}}
+	got := s.Sorted()
+	if got[0].When() != 2 {
+		t.Fatalf("first sorted event at %gs, want 2", got[0].When())
+	}
+	// The three t=5 events keep declaration order.
+	if got[1].(AntagonistStep).Intensity != workloads.Intensity1x {
+		t.Fatal("equal-time events reordered: 1x step not first")
+	}
+	if got[2].(AntagonistStep).Intensity != workloads.Intensity2x {
+		t.Fatal("equal-time events reordered: 2x step not second")
+	}
+	if _, okay := got[3].(CHADropout); !okay {
+		t.Fatal("equal-time events reordered: dropout not last")
+	}
+	// The receiver's slice is untouched.
+	if s.Events[0].When() != 5 {
+		t.Fatal("Sorted mutated the scenario")
+	}
+}
+
+func TestMutatesTopology(t *testing.T) {
+	plain := &Scenario{Name: "plain", Events: []Event{
+		AntagonistStep{AtSec: 1, Intensity: workloads.Intensity1x},
+		CHADropout{AtSec: 2, ForSec: 1},
+	}}
+	if plain.MutatesTopology() {
+		t.Fatal("non-topology scenario reported as mutating")
+	}
+	for _, ev := range []Event{
+		TierDegrade{AtSec: 1, Tier: 0, LatencyFactor: 2, BandwidthFactor: 1},
+		TierRestore{AtSec: 1, Tier: 0},
+	} {
+		s := &Scenario{Name: "topo", Events: []Event{ev}}
+		if !s.MutatesTopology() {
+			t.Fatalf("%s not reported as mutating topology", ev.Kind())
+		}
+	}
+}
+
+func TestHorizonIncludesWindowedEvents(t *testing.T) {
+	s := &Scenario{Name: "h", Events: []Event{
+		AntagonistStep{AtSec: 30, Intensity: workloads.Intensity1x},
+		CHADropout{AtSec: 25, ForSec: 10}, // trailing edge at 35
+	}}
+	if got := s.Horizon(); got != 35 {
+		t.Fatalf("Horizon = %g, want 35", got)
+	}
+	if got := (&Scenario{Name: "empty"}).Horizon(); got != 0 {
+		t.Fatalf("empty Horizon = %g, want 0", got)
+	}
+}
+
+func TestBuiltinsValidateAndAreFresh(t *testing.T) {
+	names := BuiltinNames()
+	if len(names) == 0 {
+		t.Fatal("no builtin scenarios")
+	}
+	for _, name := range names {
+		sc, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name != name {
+			t.Errorf("builtin %q has Name %q", name, sc.Name)
+		}
+		if err := sc.Validate(2); err != nil {
+			t.Errorf("builtin %q invalid: %v", name, err)
+		}
+		// Each call returns a fresh value; mutating one copy must not
+		// leak into the next.
+		sc.Events = nil
+		again, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Events) == 0 {
+			t.Errorf("builtin %q mutated by a previous caller", name)
+		}
+	}
+	if _, err := Builtin("no-such-scenario"); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+}
+
+func TestAntagonistSquareWaveShape(t *testing.T) {
+	s := AntagonistSquareWave(workloads.Intensity0x, workloads.Intensity3x, 10, 60)
+	if len(s.Events) != 5 { // t=10,20,30,40,50
+		t.Fatalf("square wave has %d steps, want 5", len(s.Events))
+	}
+	for i, ev := range s.Events {
+		step := ev.(AntagonistStep)
+		if want := 10 * float64(i+1); step.AtSec != want {
+			t.Fatalf("step %d at %gs, want %g", i, step.AtSec, want)
+		}
+		want := workloads.Intensity3x
+		if i%2 == 1 {
+			want = workloads.Intensity0x
+		}
+		if step.Intensity != want {
+			t.Fatalf("step %d intensity %v, want %v", i, step.Intensity, want)
+		}
+	}
+}

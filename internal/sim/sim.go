@@ -23,6 +23,7 @@ import (
 	"colloid/internal/migrate"
 	"colloid/internal/obs"
 	"colloid/internal/pages"
+	"colloid/internal/scenario"
 	"colloid/internal/stats"
 	"colloid/internal/workloads"
 )
@@ -217,6 +218,7 @@ type Engine struct {
 
 	rngWorkload *stats.RNG
 	rngSystem   *stats.RNG
+	rngScenario *stats.RNG
 
 	inflightScale float64
 
@@ -231,13 +233,81 @@ type Engine struct {
 	hIters  *obs.Histogram
 }
 
-// New builds an engine. The working set is placed first-fit (default
-// tier fills first); install a workload's weights before running.
-func New(cfg Config) (*Engine, error) {
+// Option configures an Engine at construction. Options replace the old
+// mutate-after-construct setters: an engine built from a Config plus
+// options is fully assembled when New returns, so every arm of an
+// experiment constructs identically and reproducibly.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	system     System
+	profile    *workloads.Profile
+	antagonist *int // resolved core count
+	scenario   *scenario.Scenario
+}
+
+// WithSystem installs the tiering system under test (nil for a
+// static-placement arm is the default and needs no option).
+func WithSystem(s System) Option {
+	return func(o *buildOptions) { o.system = s }
+}
+
+// WithProfile sets the application traffic profile, overriding
+// Config.Profile.
+func WithProfile(p workloads.Profile) Option {
+	return func(o *buildOptions) { o.profile = &p }
+}
+
+// WithAntagonist seeds the contention generator from the paper's 0x-3x
+// intensity scale, overriding Config.AntagonistCores. This is the one
+// place the intensity-to-cores conversion happens; callers never
+// hand-multiply by 5.
+func WithAntagonist(intensity workloads.Intensity) Option {
+	return func(o *buildOptions) {
+		cores := workloads.AntagonistForIntensity(intensity).Cores
+		o.antagonist = &cores
+	}
+}
+
+// WithScenario installs a disturbance timeline: the scenario is
+// validated against the topology and compiled onto the event queue
+// before the first quantum. If the scenario degrades tiers, the
+// topology is cloned first so a Topology value shared across arms is
+// never mutated. A scenario-driven run is bit-identical to a run that
+// hand-schedules the equivalent ScheduleAt calls.
+func WithScenario(sc *scenario.Scenario) Option {
+	return func(o *buildOptions) { o.scenario = sc }
+}
+
+// New builds an engine from the config plus options. The working set is
+// placed first-fit (default tier fills first); install a workload's
+// weights before running.
+func New(cfg Config, opts ...Option) (*Engine, error) {
+	var bo buildOptions
+	for _, opt := range opts {
+		opt(&bo)
+	}
+	if bo.profile != nil {
+		cfg.Profile = *bo.profile
+	}
+	if bo.antagonist != nil {
+		cfg.AntagonistCores = *bo.antagonist
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if bo.scenario != nil {
+		if err := bo.scenario.Validate(cfg.Topology.NumTiers()); err != nil {
+			return nil, err
+		}
+		if bo.scenario.MutatesTopology() {
+			// Clone before the address space is built: the address space
+			// holds the topology reference, and experiment arms routinely
+			// share one Topology value read-only.
+			cfg.Topology = cfg.Topology.Clone()
+		}
+	}
 	as, err := pages.NewAddressSpace(cfg.Topology, cfg.WorkingSetBytes, cfg.PageBytes)
 	if err != nil {
 		return nil, err
@@ -257,12 +327,79 @@ func New(cfg Config) (*Engine, error) {
 		inflightScale: 1,
 	}
 	e.sampler = access.NewSampler(as, root.Split(4))
+	// Split 5 is reserved for scenario randomness so that installing a
+	// scenario never perturbs the workload/system/sampler streams.
+	e.rngScenario = root.Split(5)
+	e.system = bo.system
 	e.migrator.SetObs(cfg.Obs)
 	e.counters.SetObs(cfg.Obs)
 	e.sampler.SetObs(cfg.Obs)
 	e.mQuanta = cfg.Obs.Counter("sim_quanta")
 	e.hIters = cfg.Obs.Histogram("sim_solver_iters")
+	if bo.scenario != nil {
+		e.installScenario(bo.scenario)
+	}
 	return e, nil
+}
+
+// installScenario compiles the scenario onto the event queue. Events
+// are inserted in firing order (stable for equal times), so the queue's
+// equal-time FIFO preserves the scenario's declared order; the trailing
+// edge of a windowed event (dropout end) schedules alongside.
+func (e *Engine) installScenario(sc *scenario.Scenario) {
+	for _, ev := range sc.Sorted() {
+		switch ev := ev.(type) {
+		case scenario.AntagonistStep:
+			cores := workloads.AntagonistForIntensity(ev.Intensity).Cores
+			e.ScheduleAt(ev.AtSec, func(en *Engine) {
+				en.antagonist.Cores = cores
+			})
+		case scenario.ProfileSwitch:
+			e.ScheduleAt(ev.AtSec, func(en *Engine) {
+				en.profile = ev.Profile
+			})
+		case scenario.WorkloadShift:
+			e.ScheduleAt(ev.AtSec, func(en *Engine) {
+				ev.Shift(en.as, en.rngWorkload)
+			})
+		case scenario.TierDegrade:
+			e.ScheduleAt(ev.AtSec, func(en *Engine) {
+				if err := en.topo.Degrade(ev.Tier, ev.LatencyFactor, ev.BandwidthFactor); err != nil {
+					panic(err) // impossible: scenario validated at install
+				}
+				en.cfg.Obs.Emit(obs.EvTierDegrade,
+					obs.F("tier", float64(ev.Tier)),
+					obs.F("lat_factor", ev.LatencyFactor),
+					obs.F("bw_factor", ev.BandwidthFactor))
+			})
+		case scenario.TierRestore:
+			e.ScheduleAt(ev.AtSec, func(en *Engine) {
+				if err := en.topo.Restore(ev.Tier); err != nil {
+					panic(err) // impossible: scenario validated at install
+				}
+				en.cfg.Obs.Emit(obs.EvTierRestore, obs.F("tier", float64(ev.Tier)))
+			})
+		case scenario.CHADropout:
+			until := ev.AtSec + ev.ForSec
+			e.ScheduleAt(ev.AtSec, func(en *Engine) {
+				en.counters.SetDropout(true)
+				en.cfg.Obs.Emit(obs.EvCHADropout, obs.F("until_sec", until))
+			})
+			e.ScheduleAt(until, func(en *Engine) {
+				en.counters.SetDropout(false)
+				en.cfg.Obs.Emit(obs.EvCHARestore,
+					obs.F("dropped_quanta", float64(en.counters.DroppedQuanta())))
+			})
+		case scenario.MigrationStall:
+			e.ScheduleAt(ev.AtSec, func(en *Engine) {
+				en.migrator.InjectFault(ev.Fault, ev.Quanta)
+			})
+		default:
+			// Validate accepted it, so this is a new event type the
+			// compiler doesn't know yet — fail loudly, not silently.
+			panic(fmt.Sprintf("sim: scenario event %T not supported", ev))
+		}
+	}
 }
 
 // AS exposes the address space for workload installation and inspection.
@@ -282,15 +419,32 @@ func (e *Engine) WorkloadRNG() *stats.RNG { return e.rngWorkload }
 // TimeSec returns current simulation time.
 func (e *Engine) TimeSec() float64 { return e.timeSec }
 
+// ScenarioRNG returns the stream reserved for scenario randomness
+// (root split 5; allocated whether or not a scenario is installed, so
+// adding one never perturbs the other streams).
+func (e *Engine) ScenarioRNG() *stats.RNG { return e.rngScenario }
+
 // SetSystem installs the tiering system under test (may be nil for a
 // static-placement run).
+//
+// Deprecated: pass WithSystem to New instead; mutating an engine after
+// construction hides the arm's full definition from the construction
+// site.
 func (e *Engine) SetSystem(s System) { e.system = s }
 
 // SetAntagonist changes the contention intensity immediately.
+//
+// Deprecated: seed contention with WithAntagonist (or
+// Config.AntagonistCores) and express mid-run steps as a
+// scenario.AntagonistStep via WithScenario.
 func (e *Engine) SetAntagonist(cores int) { e.antagonist.Cores = cores }
 
 // SetProfile swaps the application traffic profile (for object-size or
 // phase-change sweeps).
+//
+// Deprecated: set the initial profile with WithProfile (or
+// Config.Profile) and express mid-run switches as a
+// scenario.ProfileSwitch via WithScenario.
 func (e *Engine) SetProfile(p workloads.Profile) { e.profile = p }
 
 // ScheduleAt registers fn to run at simulation time atSec, before the

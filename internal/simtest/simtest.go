@@ -11,6 +11,7 @@ import (
 
 	"colloid/internal/memsys"
 	"colloid/internal/obs"
+	"colloid/internal/scenario"
 	"colloid/internal/sim"
 	"colloid/internal/workloads"
 )
@@ -29,10 +30,10 @@ type Scenario struct {
 	Seconds float64
 	// Seed drives all randomness.
 	Seed uint64
-	// DisturbAtSec, when nonzero, switches the antagonist to
-	// DisturbCores at that time (contention-flip scenarios).
-	DisturbAtSec float64
-	DisturbCores int
+	// DisturbAtSec, when nonzero, steps the antagonist to
+	// DisturbIntensity at that time (contention-flip scenarios).
+	DisturbAtSec     float64
+	DisturbIntensity workloads.Intensity
 	// Obs optionally instruments the run.
 	Obs *obs.Registry
 }
@@ -50,6 +51,15 @@ func Run(tb testing.TB, sys sim.System, sc Scenario) (*sim.Engine, sim.Steady) {
 	if g == nil {
 		g = workloads.DefaultGUPS()
 	}
+	opts := []sim.Option{sim.WithSystem(sys)}
+	if sc.DisturbAtSec > 0 {
+		opts = append(opts, sim.WithScenario(&scenario.Scenario{
+			Name: "simtest-disturb",
+			Events: []scenario.Event{
+				scenario.AntagonistStep{AtSec: sc.DisturbAtSec, Intensity: sc.DisturbIntensity},
+			},
+		}))
+	}
 	e, err := sim.New(sim.Config{
 		Topology:        topo,
 		WorkingSetBytes: g.WorkingSetBytes,
@@ -57,19 +67,12 @@ func Run(tb testing.TB, sys sim.System, sc Scenario) (*sim.Engine, sim.Steady) {
 		AntagonistCores: sc.AntagonistCores,
 		Seed:            sc.Seed,
 		Obs:             sc.Obs,
-	})
+	}, opts...)
 	if err != nil {
 		tb.Fatal(err)
 	}
 	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 		tb.Fatal(err)
-	}
-	e.SetSystem(sys)
-	if sc.DisturbAtSec > 0 {
-		cores := sc.DisturbCores
-		e.ScheduleAt(sc.DisturbAtSec, func(en *sim.Engine) {
-			en.SetAntagonist(cores)
-		})
 	}
 	if err := e.Run(sc.Seconds); err != nil {
 		tb.Fatal(err)

@@ -58,11 +58,12 @@ func (p Profile) OpsPerSec(requestRate float64) float64 {
 }
 
 // baseInflight is the effective per-core memory-level parallelism of a
-// random 64 B access stream on the paper's testbed (calibrated in
-// internal/memsys); prefetchers raise it for larger objects with the
-// (size/64)^0.25 law implied by Figure 8's measurement that 4 KB
-// objects sustain 2.82x more in-flight L3 misses than 64 B objects.
-const baseInflight = 2.8
+// random 64 B access stream on the paper's testbed (canonical value in
+// internal/memsys, calibrated there); prefetchers raise it for larger
+// objects with the (size/64)^0.25 law implied by Figure 8's measurement
+// that 4 KB objects sustain 2.82x more in-flight L3 misses than 64 B
+// objects.
+const baseInflight = memsys.GUPSInflight
 
 // InflightForObjectSize returns the effective per-core in-flight
 // request count for the given object size.
@@ -209,19 +210,38 @@ type Antagonist struct {
 	Cores int
 }
 
-// antagonistInflight is the per-core in-flight request count of the
-// streaming antagonist (prefetchers keep the pipeline full); calibrated
-// in internal/memsys so that 5/10/15 cores consume ~51%/65%/70% of the
-// default tier's theoretical peak in isolation.
-const antagonistInflight = 23
+// Intensity is the paper's antagonist contention scale (Section 2.1):
+// 0x through 3x, each step adding CoresPerIntensity streaming cores.
+type Intensity int
 
-// AntagonistForIntensity maps the paper's 0x-3x intensity scale to core
-// counts (5 cores per step).
-func AntagonistForIntensity(intensity int) Antagonist {
-	if intensity < 0 {
-		intensity = 0
+// The four intensities evaluated in the paper.
+const (
+	Intensity0x Intensity = 0
+	Intensity1x Intensity = 1
+	Intensity2x Intensity = 2
+	Intensity3x Intensity = 3
+)
+
+// CoresPerIntensity is the antagonist core count added per intensity
+// step (5 cores: 1x/2x/3x run 5/10/15 cores).
+const CoresPerIntensity = 5
+
+// Cores returns the antagonist core count for the intensity; negative
+// intensities clamp to zero.
+func (i Intensity) Cores() int {
+	if i < 0 {
+		return 0
 	}
-	return Antagonist{Cores: 5 * intensity}
+	return CoresPerIntensity * int(i)
+}
+
+// String renders the intensity in the paper's Nx notation.
+func (i Intensity) String() string { return fmt.Sprintf("%dx", int(i)) }
+
+// AntagonistForIntensity maps the paper's 0x-3x intensity scale to an
+// antagonist (5 cores per step).
+func AntagonistForIntensity(intensity Intensity) Antagonist {
+	return Antagonist{Cores: intensity.Cores()}
 }
 
 // Source renders the antagonist as a solver source pinned to the
@@ -229,13 +249,7 @@ func AntagonistForIntensity(intensity int) Antagonist {
 func (a Antagonist) Source(numTiers int) memsys.Source {
 	share := make([]float64, numTiers)
 	share[memsys.DefaultTier] = 1
-	return memsys.Source{
-		Name:            "antagonist",
-		Cores:           a.Cores,
-		Inflight:        antagonistInflight,
-		TierShare:       share,
-		SeqFraction:     1,
-		WriteFraction:   1,
-		BytesPerRequest: memsys.CachelineBytes,
-	}
+	src := memsys.AntagonistSource(a.Cores)
+	src.TierShare = share
+	return src
 }

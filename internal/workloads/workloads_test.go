@@ -155,7 +155,7 @@ func TestProfileSourceAndOps(t *testing.T) {
 }
 
 func TestAntagonistIntensityMapping(t *testing.T) {
-	for intensity, cores := range map[int]int{0: 0, 1: 5, 2: 10, 3: 15} {
+	for intensity, cores := range map[Intensity]int{0: 0, 1: 5, 2: 10, 3: 15} {
 		if got := AntagonistForIntensity(intensity).Cores; got != cores {
 			t.Errorf("intensity %d -> %d cores, want %d", intensity, got, cores)
 		}
