@@ -6,10 +6,10 @@ GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 STATICCHECK := $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: ci verify vet staticcheck race bench bench-smoke clean
+.PHONY: ci verify vet staticcheck race bench bench-smoke bench-scale clean
 
 # Everything CI gates on.
-ci: verify vet staticcheck race bench-smoke
+ci: verify vet staticcheck race bench-smoke bench-scale
 
 # Tier-1: the whole tree must build and every test must pass.
 verify:
@@ -44,6 +44,14 @@ bench:
 # benchstat-quality measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=ObsOverhead -benchtime=1x .
+
+# One-iteration smoke of the page-granularity scaling pipeline: the
+# quantum-step benchmark at 10^4 pages plus the quick scale experiment
+# through the standard runner. For real numbers use
+# `go test -bench=ScaleQuantumStep -benchtime=30x .` (10^6-page arm
+# included).
+bench-scale:
+	$(GO) test -run '^$$' -bench='ScaleQuantumStep/pages=10000$$|^BenchmarkScale$$' -benchtime=1x .
 
 clean:
 	rm -f BENCH_*.json

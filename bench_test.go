@@ -273,3 +273,33 @@ func BenchmarkObsOverhead(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkScaleQuantumStep measures one quantum of the
+// page-granularity hot path (hot-set drift, tier-share read, PEBS
+// sample batch, batched promote/demote pass) at production page counts,
+// after a split/coalesce churn warm-up. ns/op is the per-quantum cost;
+// slots vs live shows the effect of free-slot reuse:
+//
+//	go test -bench=ScaleQuantumStep -benchtime=30x .
+func BenchmarkScaleQuantumStep(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run("pages="+strconv.Itoa(n), func(b *testing.B) {
+			p, err := experiments.NewScalePipeline(n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Step()
+			}
+			b.ReportMetric(float64(p.Slots()), "slots")
+			b.ReportMetric(float64(p.Live()), "live")
+		})
+	}
+}
+
+// BenchmarkScale regenerates the scale experiment family end to end
+// (quick arm sizes) through the standard runner.
+func BenchmarkScale(b *testing.B) {
+	runExperiment(b, "scale")
+}

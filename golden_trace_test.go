@@ -1,0 +1,90 @@
+package colloid
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"colloid/internal/core"
+	"colloid/internal/hemem"
+	"colloid/internal/memtis"
+	"colloid/internal/pages"
+	"colloid/internal/sim"
+	"colloid/internal/simtest"
+	"colloid/internal/tpp"
+)
+
+// TestGoldenPlacementTraces pins a checksum over the full sample trace
+// and final page placement of a short contended GUPS run for every
+// tiering system. The scale refactor (live-page index, free-slot reuse,
+// batched migration) must be behaviour-preserving: any change to a
+// placement decision, a sample, or iteration order shows up here as a
+// checksum mismatch. If a hash changes on purpose (an intentional
+// semantic fix), update the golden to the printed actual value and say
+// why in the commit message.
+func TestGoldenPlacementTraces(t *testing.T) {
+	golden := map[string]uint64{
+		"hemem":          0xedecbe41f9196929,
+		"hemem+colloid":  0xb6d39d4a3494081d,
+		"tpp":            0xb2ed98fc88698975,
+		"tpp+colloid":    0x5342c7cab5d7c6ed,
+		"memtis":         0x1b3e72cc001f543f,
+		"memtis+colloid": 0x251dbb62625142a0,
+	}
+	systems := map[string]func() sim.System{
+		"hemem":          func() sim.System { return hemem.New(hemem.Config{}) },
+		"hemem+colloid":  func() sim.System { return hemem.New(hemem.Config{Colloid: &core.Options{}}) },
+		"tpp":            func() sim.System { return tpp.New(tpp.Config{}) },
+		"tpp+colloid":    func() sim.System { return tpp.New(tpp.Config{Colloid: &core.Options{}}) },
+		"memtis":         func() sim.System { return memtis.New(memtis.Config{}) },
+		"memtis+colloid": func() sim.System { return memtis.New(memtis.Config{Colloid: &core.Options{}}) },
+	}
+	for name, mk := range systems {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			e, _ := simtest.Run(t, mk(), simtest.Scenario{
+				AntagonistCores: 15,
+				Seconds:         5,
+				Seed:            42,
+			})
+			got := traceChecksum(e)
+			if got != golden[name] {
+				t.Fatalf("trace checksum = %#x, golden %#x — placement or sample trace changed", got, golden[name])
+			}
+		})
+	}
+}
+
+// traceChecksum folds every sample and the final placement into one
+// FNV-1a hash; any bit-level difference in the run's observable
+// behaviour changes it.
+func traceChecksum(e *sim.Engine) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wf := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, s := range e.Samples() {
+		wf(s.TimeSec)
+		wf(s.OpsPerSec)
+		wf(s.MigrationBytesPerSec)
+		for _, vs := range [][]float64{s.LatencyNs, s.AppShare, s.AppBytesPerSec, s.TotalBytesPerSec} {
+			for _, v := range vs {
+				wf(v)
+			}
+		}
+	}
+	e.AS().ForEachLive(func(p pages.Page) {
+		wi(int64(p.ID))
+		wi(int64(p.Tier))
+		wi(p.Bytes)
+		wf(p.Weight)
+	})
+	return h.Sum64()
+}

@@ -151,12 +151,14 @@ func (h *HintFaultScanner) scan(nowSec, quantumSec float64) {
 	h.cursor = (h.cursor + examined) % len(ids)
 }
 
-// liveIDs caches the live page list across quanta; the address-space
-// version invalidates it when pages split or coalesce.
+// liveIDs caches the live page list across quanta; the liveness-only
+// version invalidates it when pages split or coalesce. Keying on
+// LiveVersion rather than Version means pure weight updates (which
+// happen every quantum under hot-set drift) don't force a rebuild.
 func (h *HintFaultScanner) liveIDs() []pages.PageID {
-	if !h.idsValid || h.idsVersion != h.as.Version() {
+	if !h.idsValid || h.idsVersion != h.as.LiveVersion() {
 		h.idsCache = h.as.LiveIDs()
-		h.idsVersion = h.as.Version()
+		h.idsVersion = h.as.LiveVersion()
 		h.idsValid = true
 	}
 	return h.idsCache

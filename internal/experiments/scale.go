@@ -1,0 +1,222 @@
+package experiments
+
+// The scale family measures the page-granularity hot path — live-page
+// iteration, sampler CDF rebuilds, TierShare, and batched migration —
+// at 10^4..10^6 pages. It exists to keep the pipeline honest at the
+// page counts HeMem/TPP/MEMTIS manage in production (millions of 4 KB
+// or 2 MB pages), not to reproduce a paper figure: the table reports
+// deterministic placement/migration totals, and the per-arm wall-clock
+// timings land in BENCH_scale.json via the standard runner.
+
+import (
+	"fmt"
+
+	"colloid/internal/access"
+	"colloid/internal/memsys"
+	"colloid/internal/migrate"
+	"colloid/internal/pages"
+	"colloid/internal/stats"
+)
+
+// ScalePipeline drives one quantum of the page-granularity pipeline the
+// tiering systems exercise every step: hot-set drift (weight updates),
+// the per-quantum tier-share read, a PEBS-style sample batch, and a
+// budget-limited batched promote/demote pass. It is exported so the
+// root bench_test.go can benchmark exactly what the scale experiment
+// runs.
+type ScalePipeline struct {
+	as      *pages.AddressSpace
+	sampler *access.Sampler
+	mig     *migrate.Engine
+	rng     *stats.RNG
+	ids     []pages.PageID
+
+	sampleBuf []pages.PageID
+	shareBuf  []float64
+	demotes   []migrate.Request
+	promotes  []migrate.Request
+
+	quantum int
+	sink    float64
+}
+
+// NewScalePipeline builds a pipeline over nPages huge pages, a third of
+// which fit in the default tier, with a skewed weight distribution (the
+// first tenth of pages carries 90% of the access mass) and a
+// split/coalesce churn warm-up of one cycle per 32 pages — the long-run
+// huge-page management traffic a MEMTIS-style system generates, which
+// is what stresses live-page indexing and slot reuse.
+func NewScalePipeline(nPages int, seed uint64) (*ScalePipeline, error) {
+	total := int64(nPages) * pages.HugePageBytes
+	def := memsys.DualSocketXeonDefault()
+	def.CapacityBytes = (total/3/pages.HugePageBytes + 1) * pages.HugePageBytes
+	alt := memsys.DualSocketXeonRemote()
+	alt.CapacityBytes = total
+	topo, err := memsys.NewTopology(def, alt)
+	if err != nil {
+		return nil, err
+	}
+	as, err := pages.NewAddressSpace(topo, total, pages.HugePageBytes)
+	if err != nil {
+		return nil, err
+	}
+	root := stats.NewRNG(seed)
+	p := &ScalePipeline{
+		as:      as,
+		sampler: access.NewSampler(as, root.Split(4)),
+		mig:     migrate.NewEngine(as, topo.NumTiers(), 2.5e9),
+		rng:     root.Split(3),
+		ids:     as.LiveIDs(),
+	}
+	hot := len(p.ids) / 10
+	if hot == 0 {
+		hot = 1
+	}
+	for i, id := range p.ids {
+		w := 0.1 / float64(len(p.ids)-hot)
+		if i < hot {
+			w = 0.9 / float64(hot)
+		}
+		as.SetWeight(id, w)
+	}
+	cycles := nPages / 32
+	for c := 0; c < cycles; c++ {
+		id := p.ids[c%len(p.ids)]
+		children, err := as.Split(id, 512)
+		if err != nil {
+			return nil, err
+		}
+		if err := as.Coalesce(id, children); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Step advances one 10 ms quantum.
+func (p *ScalePipeline) Step() {
+	p.mig.BeginQuantum(0.01)
+	n := len(p.ids)
+	// Hot-set drift: swap the weights of 64 pages, which bumps the
+	// address-space version and forces the sampler CDF rebuild that
+	// dominates the per-quantum cost at scale.
+	for k := 0; k < 32; k++ {
+		a := p.ids[(p.quantum*64+2*k)%n]
+		c := p.ids[(p.quantum*64+2*k+1)%n]
+		wa, wc := p.as.Weight(a), p.as.Weight(c)
+		p.as.SetWeight(a, wc)
+		p.as.SetWeight(c, wa)
+	}
+	p.shareBuf = p.as.TierShareInto(p.shareBuf)
+	p.sink += p.shareBuf[0]
+	p.sampleBuf = p.sampler.SampleN(p.sampleBuf[:0], 1024)
+	// Pick up to 16 demotions (sampled default-tier pages) and 16
+	// promotions (sampled alternate-tier pages) and apply each set as
+	// one batch under the migration budget, demotions first.
+	p.demotes, p.promotes = p.demotes[:0], p.promotes[:0]
+	for _, id := range p.sampleBuf {
+		if p.as.Tier(id) == memsys.DefaultTier {
+			if len(p.demotes) < 16 {
+				p.demotes = append(p.demotes, migrate.Request{ID: id, To: 1})
+			}
+		} else if len(p.promotes) < 16 {
+			p.promotes = append(p.promotes, migrate.Request{ID: id, To: memsys.DefaultTier})
+		}
+	}
+	p.mig.MoveBatch(p.demotes, nil)
+	p.mig.MoveBatch(p.promotes, nil)
+	p.quantum++
+	p.sink += float64(len(p.sampleBuf))
+}
+
+// Live and Slots expose address-space occupancy for reporting.
+func (p *ScalePipeline) Live() int  { return p.as.LivePages() }
+func (p *ScalePipeline) Slots() int { return p.as.NumPages() }
+
+// Totals returns cumulative migrated bytes and move count.
+func (p *ScalePipeline) Totals() (bytes int64, moves int64) {
+	b, m, _, _ := p.mig.Totals()
+	return b, m
+}
+
+func init() {
+	register("scale", &Experiment{
+		Title:    "page-granularity hot-path scaling",
+		Arms:     scaleArms,
+		Assemble: scaleAssemble,
+	})
+}
+
+// scalePageCounts are the per-arm page counts; quick mode keeps the
+// same decade spread at CI-friendly sizes.
+func scalePageCounts(o Options) []int {
+	if o.Quick {
+		return []int{1_000, 10_000}
+	}
+	return []int{10_000, 100_000, 1_000_000}
+}
+
+func scaleQuanta(o Options) int { return int(o.scale(200, 50)) }
+
+type scaleResult struct {
+	pages  int
+	live   int
+	slots  int
+	quanta int
+	moves  int64
+	bytes  int64
+}
+
+func scaleArms(o Options) ([]Arm, error) {
+	var arms []Arm
+	for _, n := range scalePageCounts(o) {
+		n := n
+		arms = append(arms, Arm{
+			Name: fmt.Sprintf("pages=%d", n),
+			Run: func(ctx ArmContext) (any, error) {
+				p, err := NewScalePipeline(n, ctx.Seed)
+				if err != nil {
+					return nil, err
+				}
+				quanta := scaleQuanta(ctx.Options)
+				for q := 0; q < quanta; q++ {
+					p.Step()
+				}
+				bytes, moves := p.Totals()
+				return scaleResult{
+					pages:  n,
+					live:   p.Live(),
+					slots:  p.Slots(),
+					quanta: quanta,
+					moves:  moves,
+					bytes:  bytes,
+				}, nil
+			},
+		})
+	}
+	return arms, nil
+}
+
+func scaleAssemble(o Options, results []any) (*Table, error) {
+	t := &Table{
+		ID:      "scale",
+		Title:   "page-granularity hot-path scaling",
+		Columns: []string{"pages", "live", "slots", "quanta", "moves", "migrated"},
+		Notes: []string{
+			"slots counts page slots ever allocated; slot reuse keeps it near live under split/coalesce churn;",
+			"per-arm wall-clock timings are in BENCH_scale.json when the runner's BenchDir is set",
+		},
+	}
+	for _, r := range results {
+		res := r.(scaleResult)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", res.pages),
+			fmt.Sprintf("%d", res.live),
+			fmt.Sprintf("%d", res.slots),
+			fmt.Sprintf("%d", res.quanta),
+			fmt.Sprintf("%d", res.moves),
+			fmt.Sprintf("%.2fGiB", float64(res.bytes)/float64(memsys.GiB)),
+		})
+	}
+	return t, nil
+}

@@ -122,30 +122,42 @@ func (a *Arena) Touch(r Ref) {
 }
 
 // TouchRange records an access covering bytes of the allocation,
-// charging every page the range spans.
+// charging every page the range spans. The range is clamped to the
+// allocation's size, and a zero-byte access still charges the first
+// page, matching Touch: on hardware, resolving the address faults the
+// page regardless of how many bytes the instruction then reads.
 func (a *Arena) TouchRange(r Ref, bytes int64) {
-	if !r.Valid() {
-		return
-	}
-	start := int64(r.Page)*int64(a.pageBytes) + int64(r.Off)
-	end := start + bytes
-	for p := start / int64(a.pageBytes); p*int64(a.pageBytes) < end; p++ {
-		if int(p) < len(a.counts) {
-			atomic.AddInt64(&a.counts[p], 1)
-		}
-	}
+	a.TouchRangeAt(r, 0, bytes)
 }
 
 // TouchRangeAt records an access to bytes starting offsetBytes into
 // the allocation (for instrumenting slices of large arrays, e.g. one
-// vertex's edge list within a CSR edge array).
+// vertex's edge list within a CSR edge array). The offset and length
+// are clamped to the allocation, and a zero-byte access charges the
+// page the offset resolves to.
 func (a *Arena) TouchRangeAt(r Ref, offsetBytes, bytes int64) {
-	if !r.Valid() || bytes <= 0 {
+	if !r.Valid() {
 		return
 	}
-	start := int64(r.Page)*int64(a.pageBytes) + int64(r.Off) + offsetBytes
-	end := start + bytes
-	for p := start / int64(a.pageBytes); p*int64(a.pageBytes) < end; p++ {
+	size := int64(r.Size)
+	if offsetBytes < 0 {
+		offsetBytes = 0
+	} else if offsetBytes > size-1 {
+		offsetBytes = size - 1
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	if offsetBytes+bytes > size {
+		bytes = size - offsetBytes
+	}
+	pb := int64(a.pageBytes)
+	start := int64(r.Page)*pb + int64(r.Off) + offsetBytes
+	last := start // zero-byte access: the page holding the address
+	if bytes > 0 {
+		last = start + bytes - 1
+	}
+	for p := start / pb; p <= last/pb; p++ {
 		if int(p) < len(a.counts) {
 			atomic.AddInt64(&a.counts[p], 1)
 		}

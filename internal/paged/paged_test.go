@@ -94,6 +94,78 @@ func TestTouchRangeSpansPages(t *testing.T) {
 	}
 }
 
+// TestTouchRangeZeroBytes: a zero-byte range access must count exactly
+// like Touch — one access to the first page — instead of vanishing.
+func TestTouchRangeZeroBytes(t *testing.T) {
+	a := NewArena(4096)
+	r, _ := a.Alloc(64)
+	a.TouchRange(r, 0)
+	a.TouchRangeAt(r, 0, 0)
+	a.TouchRangeAt(r, 0, -5) // negative length counts like zero
+	if got := a.Profile()[0]; got != 3 {
+		t.Fatalf("zero-byte touches on page 0 = %v, want 3", got)
+	}
+	if a.TotalTouches() != 3 {
+		t.Fatalf("total = %d, want 3", a.TotalTouches())
+	}
+}
+
+// TestTouchRangeClampsToAllocation: a length past r.Size must not charge
+// pages belonging to neighboring allocations.
+func TestTouchRangeClampsToAllocation(t *testing.T) {
+	a := NewArena(4096)
+	r, _ := a.Alloc(4096) // page 0, exactly
+	a.Alloc(4096)         // page 1: the neighbor that must stay untouched
+	a.TouchRange(r, 1<<20)
+	prof := a.Profile()
+	if prof[0] != 1 {
+		t.Fatalf("profile[0] = %v, want 1", prof[0])
+	}
+	if prof[1] != 0 {
+		t.Fatalf("overlong range leaked onto neighbor page: profile[1] = %v", prof[1])
+	}
+}
+
+// TestTouchRangeAtClamps: offset and offset+length past the allocation
+// clamp to its last byte instead of charging pages beyond it.
+func TestTouchRangeAtClamps(t *testing.T) {
+	a := NewArena(4096)
+	r, _ := a.Alloc(10000) // pages 0..2 (last byte on page 2)
+	a.Alloc(4096)          // page 3: neighbor
+
+	a.TouchRangeAt(r, 9000, 5000) // tail clamped to byte 9999
+	prof := a.Profile()
+	if prof[2] != 1 || prof[3] != 0 {
+		t.Fatalf("tail clamp: profile[2..3] = %v %v, want 1 0", prof[2], prof[3])
+	}
+
+	a.ResetCounts()
+	a.TouchRangeAt(r, 1<<20, 64) // offset past the end: last byte's page
+	prof = a.Profile()
+	if prof[2] != 1 || prof[3] != 0 {
+		t.Fatalf("offset clamp: profile[2..3] = %v %v, want 1 0", prof[2], prof[3])
+	}
+
+	a.ResetCounts()
+	a.TouchRangeAt(r, -100, 10) // negative offset: start of allocation
+	prof = a.Profile()
+	if prof[0] != 1 {
+		t.Fatalf("negative offset: profile[0] = %v, want 1", prof[0])
+	}
+}
+
+// TestTouchRangeAtSpansPages: an in-bounds slice still charges exactly
+// the pages it covers.
+func TestTouchRangeAtSpansPages(t *testing.T) {
+	a := NewArena(4096)
+	r, _ := a.Alloc(10000)
+	a.TouchRangeAt(r, 4000, 200) // bytes 4000..4199: pages 0 and 1
+	prof := a.Profile()
+	if prof[0] != 1 || prof[1] != 1 || prof[2] != 0 {
+		t.Fatalf("profile[0..2] = %v %v %v, want 1 1 0", prof[0], prof[1], prof[2])
+	}
+}
+
 func TestResetCounts(t *testing.T) {
 	a := NewArena(4096)
 	r, _ := a.Alloc(64)

@@ -59,6 +59,18 @@ type AddressSpace struct {
 	liveWeight float64
 	liveCount  int
 	version    uint64
+	// liveVersion tracks only liveness changes (Split, Coalesce);
+	// version additionally bumps on every SetWeight.
+	liveVersion uint64
+	// live is the ID-ordered live-page index; rebuilt lazily after a
+	// Split or Coalesce marks it dirty, so steady-state iteration is
+	// O(live) rather than O(ever-allocated).
+	live      []PageID
+	liveDirty bool
+	// freeSlots holds coalesced-child slots available for reuse by
+	// Split. Dead split parents are never recycled — Coalesce revives
+	// them in place — so only child slots ever land here.
+	freeSlots []PageID
 }
 
 // Version increments whenever the weight distribution or the set of
@@ -66,6 +78,19 @@ type AddressSpace struct {
 // cache derived structures across quanta; placement moves do not bump
 // it because they do not change what the PMU would sample.
 func (as *AddressSpace) Version() uint64 { return as.version }
+
+// LiveVersion increments only when the set of live pages changes
+// (Split, Coalesce). Callers that cache the live-ID list — but not
+// weights — key on it so pure weight updates don't force a rebuild.
+func (as *AddressSpace) LiveVersion() uint64 { return as.liveVersion }
+
+// check panics with a descriptive message when id does not name a page
+// slot (NoPage or out of range). Dead pages pass: callers inspect Dead.
+func (as *AddressSpace) check(id PageID, op string) {
+	if int(id) < 0 || int(id) >= len(as.pages) {
+		panic(fmt.Sprintf("pages: %s of out-of-range page id %d (valid ids are [0,%d))", op, id, len(as.pages)))
+	}
+}
 
 // NewAddressSpace allocates an address space over topo with
 // totalBytes/pageBytes pages of size pageBytes, all initially weight 0
@@ -95,6 +120,7 @@ func NewAddressSpace(topo *memsys.Topology, totalBytes, pageBytes int64) (*Addre
 		as.pages[i] = Page{ID: PageID(i), Bytes: pageBytes, Parent: NoPage}
 	}
 	as.liveCount = int(n)
+	as.liveDirty = true
 	// Place first-fit: fill the default tier, then spill to alternates,
 	// mimicking first-touch allocation under Linux.
 	idx := 0
@@ -120,13 +146,16 @@ func (as *AddressSpace) NumPages() int { return len(as.pages) }
 // LivePages returns the number of live placement units.
 func (as *AddressSpace) LivePages() int { return as.liveCount }
 
-// Get returns a copy of the page with the given ID.
+// Get returns a copy of the page with the given ID. It panics on
+// NoPage or an out-of-range ID.
 func (as *AddressSpace) Get(id PageID) Page {
+	as.check(id, "Get")
 	return as.pages[id]
 }
 
 // SetWeight updates the page's access probability mass.
 func (as *AddressSpace) SetWeight(id PageID, w float64) {
+	as.check(id, "SetWeight")
 	p := &as.pages[id]
 	if p.Dead {
 		panic(fmt.Sprintf("pages: SetWeight on dead page %d", id))
@@ -141,11 +170,19 @@ func (as *AddressSpace) SetWeight(id PageID, w float64) {
 	as.version++
 }
 
-// Weight returns the page's current weight.
-func (as *AddressSpace) Weight(id PageID) float64 { return as.pages[id].Weight }
+// Weight returns the page's current weight. It panics on NoPage or an
+// out-of-range ID.
+func (as *AddressSpace) Weight(id PageID) float64 {
+	as.check(id, "Weight")
+	return as.pages[id].Weight
+}
 
-// Tier returns the page's current tier.
-func (as *AddressSpace) Tier(id PageID) memsys.TierID { return as.pages[id].Tier }
+// Tier returns the page's current tier. It panics on NoPage or an
+// out-of-range ID.
+func (as *AddressSpace) Tier(id PageID) memsys.TierID {
+	as.check(id, "Tier")
+	return as.pages[id].Tier
+}
 
 // NumTiers returns the number of tiers the space spans.
 func (as *AddressSpace) NumTiers() int { return len(as.tierBytes) }
@@ -162,14 +199,25 @@ func (as *AddressSpace) FreeBytes(t memsys.TierID) int64 {
 // served by pages resident there (the p vector). Returns zeros if no
 // page has weight.
 func (as *AddressSpace) TierShare() []float64 {
-	out := make([]float64, len(as.tierWeight))
-	if as.liveWeight <= 0 {
-		return out
+	return as.TierShareInto(nil)
+}
+
+// TierShareInto is TierShare writing into buf, which is grown if
+// needed and returned; per-quantum callers reuse one buffer and stay
+// allocation-free.
+func (as *AddressSpace) TierShareInto(buf []float64) []float64 {
+	if cap(buf) < len(as.tierWeight) {
+		buf = make([]float64, len(as.tierWeight))
 	}
+	buf = buf[:len(as.tierWeight)]
 	for i, w := range as.tierWeight {
-		out[i] = w / as.liveWeight
+		if as.liveWeight <= 0 {
+			buf[i] = 0
+		} else {
+			buf[i] = w / as.liveWeight
+		}
 	}
-	return out
+	return buf
 }
 
 // DefaultShare returns the p scalar for two-tier discussions: the share
@@ -182,7 +230,12 @@ func (as *AddressSpace) DefaultShare() float64 {
 }
 
 // Move relocates a page to tier to, enforcing destination capacity.
+// Unlike the accessors it returns an error on a bad ID: movers handle
+// errors anyway, and a policy racing a split should not crash the sim.
 func (as *AddressSpace) Move(id PageID, to memsys.TierID) error {
+	if int(id) < 0 || int(id) >= len(as.pages) {
+		return fmt.Errorf("pages: move of out-of-range page id %d (valid ids are [0,%d))", id, len(as.pages))
+	}
 	p := &as.pages[id]
 	if p.Dead {
 		return fmt.Errorf("pages: move of dead page %d", id)
@@ -207,8 +260,14 @@ func (as *AddressSpace) Move(id PageID, to memsys.TierID) error {
 // Split replaces a huge page with parts equal base-sized children in
 // the same tier, dividing its weight evenly (the splitter has no
 // sub-page access information at split time; subsequent sampling
-// refines the children's weights). Returns the child IDs.
+// refines the children's weights). Returns the child IDs. Children
+// reuse slots freed by earlier Coalesce calls when available, so the
+// slot count stays O(live) under split/coalesce churn; a stale ID held
+// across a Coalesce may therefore name a different live page later.
 func (as *AddressSpace) Split(id PageID, parts int) ([]PageID, error) {
+	if int(id) < 0 || int(id) >= len(as.pages) {
+		return nil, fmt.Errorf("pages: split of out-of-range page id %d (valid ids are [0,%d))", id, len(as.pages))
+	}
 	p := &as.pages[id]
 	if p.Dead {
 		return nil, fmt.Errorf("pages: split of dead page %d", id)
@@ -232,14 +291,23 @@ func (as *AddressSpace) Split(id PageID, parts int) ([]PageID, error) {
 	as.liveCount--
 	children := make([]PageID, parts)
 	for i := 0; i < parts; i++ {
-		cid := PageID(len(as.pages))
-		as.pages = append(as.pages, Page{
-			ID:     cid,
+		child := Page{
 			Bytes:  childBytes,
 			Tier:   tier,
 			Weight: childWeight,
 			Parent: parentID,
-		})
+		}
+		var cid PageID
+		if n := len(as.freeSlots); n > 0 {
+			cid = as.freeSlots[n-1]
+			as.freeSlots = as.freeSlots[:n-1]
+			child.ID = cid
+			as.pages[cid] = child
+		} else {
+			cid = PageID(len(as.pages))
+			child.ID = cid
+			as.pages = append(as.pages, child)
+		}
 		as.tierBytes[tier] += childBytes
 		as.tierWeight[tier] += childWeight
 		as.liveWeight += childWeight
@@ -247,6 +315,8 @@ func (as *AddressSpace) Split(id PageID, parts int) ([]PageID, error) {
 		children[i] = cid
 	}
 	as.version++
+	as.liveVersion++
+	as.liveDirty = true
 	return children, nil
 }
 
@@ -254,6 +324,9 @@ func (as *AddressSpace) Split(id PageID, parts int) ([]PageID, error) {
 // All children must be live, share the parent, and sit in the same
 // tier. The parent is revived with the summed weight; children die.
 func (as *AddressSpace) Coalesce(parent PageID, children []PageID) error {
+	if int(parent) < 0 || int(parent) >= len(as.pages) {
+		return fmt.Errorf("pages: coalesce into out-of-range page id %d (valid ids are [0,%d))", parent, len(as.pages))
+	}
 	pp := &as.pages[parent]
 	if !pp.Dead {
 		return fmt.Errorf("pages: coalesce target %d is not a split parent", parent)
@@ -263,6 +336,11 @@ func (as *AddressSpace) Coalesce(parent PageID, children []PageID) error {
 	}
 	var bytes int64
 	var weight float64
+	for _, cid := range children {
+		if int(cid) < 0 || int(cid) >= len(as.pages) {
+			return fmt.Errorf("pages: coalesce of out-of-range child id %d (valid ids are [0,%d))", cid, len(as.pages))
+		}
+	}
 	tier := as.pages[children[0]].Tier
 	for _, cid := range children {
 		c := &as.pages[cid]
@@ -286,6 +364,7 @@ func (as *AddressSpace) Coalesce(parent PageID, children []PageID) error {
 		c.Dead = true
 		c.Weight = 0
 		as.liveCount--
+		as.freeSlots = append(as.freeSlots, cid)
 	}
 	pp.Dead = false
 	pp.Tier = tier
@@ -295,26 +374,40 @@ func (as *AddressSpace) Coalesce(parent PageID, children []PageID) error {
 	as.liveWeight += weight
 	as.liveCount++
 	as.version++
+	as.liveVersion++
+	as.liveDirty = true
 	return nil
 }
 
-// ForEachLive calls fn for every live page. fn must not mutate the
-// address space.
-func (as *AddressSpace) ForEachLive(fn func(p Page)) {
+// ensureLive rebuilds the ID-ordered live index if a Split or Coalesce
+// invalidated it. The rebuild scans every slot, but slot reuse keeps
+// that O(live); once clean, iteration costs nothing extra.
+func (as *AddressSpace) ensureLive() {
+	if !as.liveDirty {
+		return
+	}
+	as.live = as.live[:0]
 	for i := range as.pages {
 		if !as.pages[i].Dead {
-			fn(as.pages[i])
+			as.live = append(as.live, as.pages[i].ID)
 		}
+	}
+	as.liveDirty = false
+}
+
+// ForEachLive calls fn for every live page, in ID order. fn must not
+// mutate the address space.
+func (as *AddressSpace) ForEachLive(fn func(p Page)) {
+	as.ensureLive()
+	for _, id := range as.live {
+		fn(as.pages[id])
 	}
 }
 
 // LiveIDs returns the IDs of all live pages, in ID order.
 func (as *AddressSpace) LiveIDs() []PageID {
-	out := make([]PageID, 0, as.liveCount)
-	for i := range as.pages {
-		if !as.pages[i].Dead {
-			out = append(out, as.pages[i].ID)
-		}
-	}
+	as.ensureLive()
+	out := make([]PageID, len(as.live))
+	copy(out, as.live)
 	return out
 }

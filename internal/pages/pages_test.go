@@ -2,6 +2,9 @@ package pages
 
 import (
 	"math"
+	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -192,6 +195,203 @@ func TestSplitErrors(t *testing.T) {
 		t.Fatal("split of dead page accepted")
 	}
 	_ = children
+}
+
+// mustPanicPages asserts fn panics with a "pages:"-prefixed message —
+// the contract for accessors fed NoPage or an out-of-range ID.
+func mustPanicPages(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "pages:") {
+			t.Fatalf("%s panicked with %v, want pages:-prefixed message", what, r)
+		}
+	}()
+	fn()
+}
+
+func TestBadIDAccessors(t *testing.T) {
+	as := testSpace(t, 4)
+	outOfRange := PageID(as.NumPages())
+	for _, id := range []PageID{NoPage, outOfRange} {
+		id := id
+		mustPanicPages(t, "Get", func() { as.Get(id) })
+		mustPanicPages(t, "Tier", func() { as.Tier(id) })
+		mustPanicPages(t, "Weight", func() { as.Weight(id) })
+		mustPanicPages(t, "SetWeight", func() { as.SetWeight(id, 0.5) })
+		if err := as.Move(id, 1); err == nil || !strings.Contains(err.Error(), "pages:") {
+			t.Fatalf("Move(%d) = %v, want descriptive error", id, err)
+		}
+		if _, err := as.Split(id, 2); err == nil {
+			t.Fatalf("Split(%d) accepted", id)
+		}
+		if err := as.Coalesce(id, []PageID{0}); err == nil {
+			t.Fatalf("Coalesce(%d) accepted", id)
+		}
+		if err := as.Coalesce(0, []PageID{id}); err == nil {
+			t.Fatalf("Coalesce with child %d accepted", id)
+		}
+	}
+}
+
+func TestSplitReusesCoalescedSlots(t *testing.T) {
+	as := testSpace(t, 4)
+	ids := as.LiveIDs()
+	slots := as.NumPages()
+	first, err := as.Split(ids[0], 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.NumPages() != slots+512 {
+		t.Fatalf("slots after first split = %d, want %d", as.NumPages(), slots+512)
+	}
+	if err := as.Coalesce(ids[0], first); err != nil {
+		t.Fatal(err)
+	}
+	// Every subsequent split/coalesce cycle must recycle the freed
+	// child slots instead of growing the slot array.
+	for i := 1; i < 20; i++ {
+		children, err := as.Split(ids[i], 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Coalesce(ids[i], children); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if as.NumPages() != slots+512 {
+		t.Fatalf("slots after churn = %d, want %d (free slots not reused)", as.NumPages(), slots+512)
+	}
+}
+
+func TestLiveVersionTracksOnlyLiveness(t *testing.T) {
+	as := testSpace(t, 4)
+	id := as.LiveIDs()[0]
+	v, lv := as.Version(), as.LiveVersion()
+	as.SetWeight(id, 0.5)
+	if as.Version() == v {
+		t.Fatal("SetWeight did not bump Version")
+	}
+	if as.LiveVersion() != lv {
+		t.Fatal("SetWeight bumped LiveVersion")
+	}
+	children, err := as.Split(id, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.LiveVersion() == lv {
+		t.Fatal("Split did not bump LiveVersion")
+	}
+	lv = as.LiveVersion()
+	if err := as.Coalesce(id, children); err != nil {
+		t.Fatal(err)
+	}
+	if as.LiveVersion() == lv {
+		t.Fatal("Coalesce did not bump LiveVersion")
+	}
+}
+
+func TestTierShareInto(t *testing.T) {
+	as := testSpace(t, 4)
+	ids := as.LiveIDs()
+	as.SetWeight(ids[0], 0.75)
+	buf := make([]float64, 0, as.NumTiers())
+	got := as.TierShareInto(buf)
+	want := as.TierShare()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("share[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("TierShareInto did not reuse the caller's buffer")
+	}
+}
+
+// TestChurnConservation drives 10³ random split/move/coalesce cycles
+// and asserts the incrementally-maintained aggregates (liveWeight,
+// per-tier bytes and weights, LivePages) match a from-scratch recount,
+// that LiveIDs stays ID-ordered, and that slot reuse bounds the slot
+// array.
+func TestChurnConservation(t *testing.T) {
+	as := testSpace(t, 8)
+	ids := as.LiveIDs()
+	rng := rand.New(rand.NewSource(1))
+	for _, id := range ids {
+		as.SetWeight(id, rng.Float64()/float64(len(ids)))
+	}
+	slots := as.NumPages()
+	parts := []int{2, 8, 512}
+	for cycle := 0; cycle < 1000; cycle++ {
+		id := ids[rng.Intn(len(ids))]
+		n := parts[rng.Intn(len(parts))]
+		children, err := as.Split(id, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scatter some children across tiers, then herd them all to the
+		// alternate tier (always has room at this working-set size) so
+		// the coalesce is legal.
+		for i := 0; i < 4; i++ {
+			c := children[rng.Intn(len(children))]
+			_ = as.Move(c, memsys.TierID(rng.Intn(as.NumTiers())))
+		}
+		for _, c := range children {
+			if err := as.Move(c, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := as.Coalesce(id, children); err != nil {
+			t.Fatal(err)
+		}
+		// Random whole-page move to keep tier aggregates churning too.
+		_ = as.Move(ids[rng.Intn(len(ids))], memsys.TierID(rng.Intn(as.NumTiers())))
+	}
+	if as.NumPages() > slots+512 {
+		t.Fatalf("slot array grew to %d (started at %d); free slots not reused", as.NumPages(), slots)
+	}
+	// Recount everything from scratch and compare with the maintained
+	// aggregates.
+	var weight float64
+	tierBytes := make([]int64, as.NumTiers())
+	tierWeight := make([]float64, as.NumTiers())
+	count := 0
+	prev := PageID(-1)
+	as.ForEachLive(func(p Page) {
+		if p.ID <= prev {
+			t.Fatalf("ForEachLive out of ID order: %d after %d", p.ID, prev)
+		}
+		prev = p.ID
+		weight += p.Weight
+		tierBytes[p.Tier] += p.Bytes
+		tierWeight[p.Tier] += p.Weight
+		count++
+	})
+	if count != as.LivePages() {
+		t.Fatalf("LivePages = %d, recount = %d", as.LivePages(), count)
+	}
+	if math.Abs(weight-as.liveWeight) > 1e-6 {
+		t.Fatalf("liveWeight = %v, recount = %v", as.liveWeight, weight)
+	}
+	for tier := range tierBytes {
+		if tierBytes[tier] != as.TierBytes(memsys.TierID(tier)) {
+			t.Fatalf("tier %d bytes = %d, recount = %d", tier, as.TierBytes(memsys.TierID(tier)), tierBytes[tier])
+		}
+		if math.Abs(tierWeight[tier]-as.tierWeight[tier]) > 1e-6 {
+			t.Fatalf("tier %d weight = %v, recount = %v", tier, as.tierWeight[tier], tierWeight[tier])
+		}
+	}
+	live := as.LiveIDs()
+	if !sort.SliceIsSorted(live, func(i, j int) bool { return live[i] < live[j] }) {
+		t.Fatal("LiveIDs not ID-ordered after churn")
+	}
 }
 
 // Property: for any sequence of weight updates and legal moves, the sum

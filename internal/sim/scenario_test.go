@@ -152,8 +152,7 @@ func TestScenarioRunBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		e, _ := gupsEngineOpts(t, 15, nil, WithScenario(sc))
-		e.SetSystem(&demoter{})
+		e, _ := gupsEngineOpts(t, 15, nil, WithScenario(sc), WithSystem(&demoter{}))
 		if err := e.Run(25); err != nil {
 			t.Fatal(err)
 		}
@@ -290,8 +289,7 @@ func TestScenarioMigrationStallBlocksSystemMoves(t *testing.T) {
 	reg.EnableTrace(0)
 	run := func(opts ...Option) (moved int, failed int64) {
 		d := &demoter{}
-		e, _ := gupsEngineOpts(t, 19, reg, opts...)
-		e.SetSystem(d)
+		e, _ := gupsEngineOpts(t, 19, reg, append(opts, WithSystem(d))...)
 		if err := e.Run(1); err != nil {
 			t.Fatal(err)
 		}

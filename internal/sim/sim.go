@@ -228,6 +228,10 @@ type Engine struct {
 	samples     []Sample
 	lastSampled float64
 	lastEq      *memsys.Equilibrium
+	// shareBuf is the per-quantum TierShare scratch buffer; Step is the
+	// only writer and every consumer copies, so one allocation serves
+	// the whole run.
+	shareBuf []float64
 
 	mQuanta *obs.Counter
 	hIters  *obs.Histogram
@@ -471,7 +475,8 @@ func (e *Engine) Step() error {
 	migLoad := e.migrator.TrafficLoad()
 	migBytes := e.migrator.QuantumBytes()
 
-	share := e.as.TierShare()
+	e.shareBuf = e.as.TierShareInto(e.shareBuf)
+	share := e.shareBuf
 	appSrc := e.profile.Source(share)
 	appSrc.Inflight *= e.inflightScale
 	srcs := []memsys.Source{

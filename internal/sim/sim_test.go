@@ -10,7 +10,7 @@ import (
 	"colloid/internal/workloads"
 )
 
-func gupsEngine(t *testing.T, antagonistCores int, seed uint64) (*Engine, *workloads.GUPS) {
+func gupsEngine(t *testing.T, antagonistCores int, seed uint64, opts ...Option) (*Engine, *workloads.GUPS) {
 	t.Helper()
 	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
 	g := workloads.DefaultGUPS()
@@ -20,7 +20,7 @@ func gupsEngine(t *testing.T, antagonistCores int, seed uint64) (*Engine, *workl
 		Profile:         g.Profile(),
 		AntagonistCores: antagonistCores,
 		Seed:            seed,
-	})
+	}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,9 +155,8 @@ func (d *demoter) Step(ctx *Context) {
 }
 
 func TestSystemReceivesContextAndMigrates(t *testing.T) {
-	e, _ := gupsEngine(t, 0, 5)
 	d := &demoter{}
-	e.SetSystem(d)
+	e, _ := gupsEngine(t, 0, 5, WithSystem(d))
 	pBefore := e.AS().DefaultShare()
 	if err := e.Run(5); err != nil {
 		t.Fatal(err)
@@ -171,8 +170,7 @@ func TestSystemReceivesContextAndMigrates(t *testing.T) {
 }
 
 func TestMigrationTrafficAppearsInLoad(t *testing.T) {
-	e, _ := gupsEngine(t, 0, 6)
-	e.SetSystem(&demoter{})
+	e, _ := gupsEngine(t, 0, 6, WithSystem(&demoter{}))
 	if err := e.Run(2); err != nil {
 		t.Fatal(err)
 	}
@@ -189,8 +187,7 @@ func TestMigrationTrafficAppearsInLoad(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	run := func() []float64 {
-		e, _ := gupsEngine(t, 5, 42)
-		e.SetSystem(&demoter{})
+		e, _ := gupsEngine(t, 5, 42, WithSystem(&demoter{}))
 		if err := e.Run(3); err != nil {
 			t.Fatal(err)
 		}
