@@ -6,10 +6,10 @@ GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 STATICCHECK := $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: ci verify vet staticcheck race bench bench-smoke bench-scale clean
+.PHONY: ci verify vet staticcheck lint race bench bench-smoke bench-scale clean
 
 # Everything CI gates on.
-ci: verify vet staticcheck race bench-smoke bench-scale
+ci: verify vet staticcheck lint race bench-smoke bench-scale
 
 # Tier-1: the whole tree must build and every test must pass.
 verify:
@@ -29,11 +29,22 @@ staticcheck:
 		echo "staticcheck: module proxy unreachable, skipping (pin: $(STATICCHECK_VERSION))"; \
 	fi
 
+# In-tree static analysis (internal/lint via cmd/colloidlint): enforces
+# the determinism and convention contracts — no wall clocks, global
+# math/rand, env reads or unsorted map iteration on simulation paths,
+# "<pkg>: " diagnostic prefixes, stats.RNG-only seed flow. Stdlib-only,
+# so unlike staticcheck it runs even with no module proxy. Suppress a
+# finding with `//colloid:allow <check> <reason>` (reason mandatory).
+lint:
+	$(GO) run ./cmd/colloidlint ./...
+
 # Race-detector pass over the parallel experiment runner, the engine,
-# and the scenario/fault-injection subsystem. -short skips the long
-# shape tests but not the runner's parallel-vs-serial determinism tests.
+# the scenario/fault-injection subsystem, and (since the PR-4 batched
+# hot paths) the migration engine and the page index. -short skips the
+# long shape tests but not the runner's parallel-vs-serial determinism
+# tests.
 race:
-	$(GO) test -race -short ./internal/experiments/ ./internal/sim/ ./internal/scenario/
+	$(GO) test -race -short ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/migrate/ ./internal/pages/
 
 # Headline figure metrics as benchmarks.
 bench:

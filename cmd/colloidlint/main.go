@@ -1,0 +1,104 @@
+// Command colloidlint runs the repo's in-tree static-analysis suite
+// (internal/lint): stdlib-only analyzers that enforce the simulator's
+// determinism and convention contracts. It needs no module proxy, so it
+// runs in CI environments where staticcheck's offline gate skips.
+//
+// Usage:
+//
+//	colloidlint [-list] [-checks determinism,maprange] [./...]
+//
+// Each argument is a directory tree to lint ("dir/..." and "dir" are
+// equivalent; both walk recursively, skipping testdata, vendor and
+// hidden directories). With no arguments it lints ./... — the whole
+// repository when run from the root, which is how `make lint` invokes
+// it. Findings print as
+//
+//	file:line: [check] message
+//
+// and any unsuppressed finding makes the exit status nonzero. A finding
+// is suppressed by a `//colloid:allow <check> <reason>` comment on the
+// offending line or alone on the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"colloid/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("colloidlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the registered checks and exit")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+	checks, err := selectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "colloidlint:", err)
+		return 2
+	}
+	roots := fs.Args()
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	total := 0
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" || root == "." {
+			root = "."
+		}
+		findings, err := lint.TreeChecks(root, checks)
+		if err != nil {
+			fmt.Fprintln(stderr, "colloidlint:", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(stderr, "colloidlint: %d finding(s)\n", total)
+		return 1
+	}
+	return 0
+}
+
+// selectChecks resolves the -checks flag against the registry.
+func selectChecks(flagValue string) ([]*lint.Check, error) {
+	all := lint.Checks()
+	if flagValue == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Check, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []*lint.Check
+	for _, name := range strings.Split(flagValue, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (have %s)", name, strings.Join(lint.CheckNames(), ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

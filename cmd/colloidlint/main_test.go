@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListChecks(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d (stderr %q)", code, errOut.String())
+	}
+	for _, name := range []string{"determinism", "maprange", "msgprefix", "seedflow"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownCheckRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-checks", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown -checks exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown check "nope"`) {
+		t.Errorf("stderr %q does not name the unknown check", errOut.String())
+	}
+}
+
+// TestExitStatus drives the binary's contract: nonzero with findings
+// (a known-bad fixture placed in-tree), zero on a clean tree.
+func TestExitStatus(t *testing.T) {
+	dirty := t.TempDir()
+	bad, err := os.ReadFile(filepath.Join("..", "..", "internal", "lint", "testdata", "src", "internal", "simbad", "bad_determinism.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dirty, "internal", "simbad"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirty, "internal", "simbad", "bad.go"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{dirty + "/..."}, &out, &errOut); code != 1 {
+		t.Fatalf("dirty tree exited %d, want 1 (stdout %q, stderr %q)", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[determinism]") {
+		t.Errorf("findings missing determinism hit:\n%s", out.String())
+	}
+
+	clean := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(clean, "internal", "ok"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package ok\n\n// V is fixture data.\nvar V = 1\n"
+	if err := os.WriteFile(filepath.Join(clean, "internal", "ok", "ok.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{clean + "/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("clean tree exited %d (stdout %q, stderr %q)", code, out.String(), errOut.String())
+	}
+}
+
+// TestChecksSubset confirms -checks restricts the suite: a file that
+// trips determinism passes when only msgprefix runs.
+func TestChecksSubset(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "internal", "p"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package p\n\nimport \"time\"\n\n// Now reads the clock.\nfunc Now() float64 { return float64(time.Now().UnixNano()) }\n"
+	if err := os.WriteFile(filepath.Join(root, "internal", "p", "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-checks", "msgprefix", root + "/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("msgprefix-only run exited %d (stdout %q)", code, out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-checks", "determinism", root + "/..."}, &out, &errOut); code != 1 {
+		t.Fatalf("determinism-only run exited %d, want 1", code)
+	}
+}

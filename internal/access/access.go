@@ -133,7 +133,7 @@ func (f *FreqTracker) Cool() {
 			continue
 		}
 		f.counts[id] = c
-		total += uint64(c)
+		total += uint64(c) //colloid:allow maprange uint64 sum commutes across iteration orders
 	}
 	f.total = total
 	f.cools++

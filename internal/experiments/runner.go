@@ -172,7 +172,7 @@ func (r *Runner) runArms(id string, arms []Arm, o Options) ([]any, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //colloid:allow determinism bench wall-clock timing only; never feeds simulation state
 	results := make([]any, len(arms))
 	errs := make([]error, len(arms))
 	// Per-arm registries keep the obs fast path lock-free; they are
@@ -206,13 +206,13 @@ func (r *Runner) runArms(id string, arms []Arm, o Options) ([]any, error) {
 				if regs != nil {
 					ctx.Obs = regs[i]
 				}
-				armStart := time.Now()
+				armStart := time.Now() //colloid:allow determinism bench wall-clock timing only; never feeds simulation state
 				results[i], errs[i] = runArm(arms[i], ctx)
 				rec := armRecord{
 					Name:        arms[i].Name,
 					Index:       i,
 					Seed:        ctx.Seed,
-					WallSeconds: time.Since(armStart).Seconds(),
+					WallSeconds: time.Since(armStart).Seconds(), //colloid:allow determinism per-arm wall time reported in BENCH json, not simulation input
 					Metrics:     ctx.Obs.Values(),
 				}
 				if errs[i] != nil {
@@ -228,12 +228,13 @@ func (r *Runner) runArms(id string, arms []Arm, o Options) ([]any, error) {
 			o.Metrics.Merge(reg)
 		}
 	}
+	//colloid:allow determinism total wall time reported in BENCH json, not simulation input
 	if err := bench.finish(time.Since(start).Seconds()); err != nil {
 		return nil, err
 	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("arm %d (%s): %w", i, arms[i].Name, err)
+			return nil, fmt.Errorf("experiments: arm %d (%s): %w", i, arms[i].Name, err)
 		}
 	}
 	return results, nil
@@ -244,6 +245,7 @@ func (r *Runner) runArms(id string, arms []Arm, o Options) ([]any, error) {
 func runArm(a Arm, ctx ArmContext) (result any, err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			//colloid:allow msgprefix wrapped by the prefixed "experiments: arm ..." error at the call site
 			err = fmt.Errorf("panic: %v", p)
 		}
 	}()

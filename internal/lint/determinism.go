@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// determinismAllowedPrefixes lists the package-path prefixes where the
+// determinism check does not run: command-line drivers legitimately
+// read the wall clock for elapsed-time UI, and nothing under cmd/ sits
+// on a simulation path. Everything else — including the experiment
+// runner, whose bench timing carries per-site //colloid:allow
+// suppressions instead — is held to the contract.
+var determinismAllowedPrefixes = []string{"cmd/"}
+
+// DeterminismAllowed reports whether the determinism check skips the
+// package at the given root-relative path.
+func DeterminismAllowed(pkgPath string) bool {
+	for _, prefix := range determinismAllowedPrefixes {
+		if strings.HasPrefix(pkgPath+"/", prefix) || strings.HasPrefix(pkgPath, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand entry points seedflow owns;
+// determinism leaves them alone so each misuse is reported exactly
+// once, by the check whose message explains the right fix.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// forbiddenEnvFuncs are the os package's environment reads: simulation
+// behaviour must never depend on ambient process state.
+var forbiddenEnvFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+func init() {
+	Register(&Check{
+		Name: "determinism",
+		Doc:  "forbid wall-clock reads (time.Now/Since), global math/rand and environment reads in simulation-path packages (cmd/ is allowlisted)",
+		Run:  runDeterminism,
+	})
+}
+
+func runDeterminism(p *Package) []Finding {
+	if DeterminismAllowed(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		timeName := importName(file, "time")
+		osName := importName(file, "os")
+		randName := importName(file, "math/rand")
+		randV2Name := importName(file, "math/rand/v2")
+		if timeName == "" && osName == "" && randName == "" && randV2Name == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgSelector(sel, timeName); ok {
+				if name == "Now" || name == "Since" || name == "Until" {
+					out = append(out, p.finding("determinism", n,
+						fmt.Sprintf("time.%s reads the wall clock; simulation-path code must use simulated time (sim quantum / Context time)", name)))
+				}
+				return true
+			}
+			if name, ok := pkgSelector(sel, osName); ok {
+				if forbiddenEnvFuncs[name] {
+					out = append(out, p.finding("determinism", n,
+						fmt.Sprintf("os.%s makes behaviour depend on ambient process state; thread configuration through Config values instead", name)))
+				}
+				return true
+			}
+			for _, rn := range []string{randName, randV2Name} {
+				if name, ok := pkgSelector(sel, rn); ok && !randConstructors[name] {
+					out = append(out, p.finding("determinism", n,
+						fmt.Sprintf("global math/rand (rand.%s) is seeded outside the experiment's control; draw from a stats.RNG stream instead", name)))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

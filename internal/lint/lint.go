@@ -1,0 +1,356 @@
+// Package lint is colloid's in-tree static-analysis framework: a
+// stdlib-only (go/parser, go/ast, go/token — no module proxy, no
+// go/packages) analyzer harness that enforces the simulator's
+// determinism and convention contracts at `make ci` time.
+//
+// The whole value of this reproduction rests on bit-identical
+// determinism: parallel==serial runner identity, scenario replay
+// identity and the golden placement-trace checksums all assume that no
+// simulation-path code ever consults wall clocks, global math/rand, the
+// process environment, or Go's randomized map-iteration order. Those
+// invariants used to be enforced only by convention and by
+// after-the-fact golden tests; the checks registered here catch
+// violations at lint time, on every PR, instead of when a golden
+// checksum mysteriously drifts.
+//
+// A finding can be suppressed in-source with
+//
+//	//colloid:allow <check> <reason>
+//
+// either trailing the offending line or alone on the line directly
+// above it. The reason string is mandatory: a bare suppression is
+// itself reported (as check "suppression"), so every exemption carries
+// its rationale next to the code it exempts.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit: a position, the check that fired and a
+// human-readable message.
+type Finding struct {
+	// Pos locates the offending node (file path as parsed, 1-based
+	// line).
+	Pos token.Position
+	// Check names the analyzer that produced the finding.
+	Check string
+	// Msg explains the violation.
+	Msg string
+}
+
+// String renders the canonical `file:line: [check] message` form the
+// driver prints and the golden test asserts.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// Package is one parsed, non-test Go package handed to each check.
+type Package struct {
+	// Path is the slash-separated directory path relative to the lint
+	// root ("internal/core", "cmd/colloidsim"). Checks use it for
+	// package allowlists.
+	Path string
+	// Name is the package clause name ("core").
+	Name string
+	// Fset positions every node in Files.
+	Fset *token.FileSet
+	// Files holds the parsed non-test files, sorted by file name.
+	Files []*ast.File
+}
+
+// Check is one registered analyzer.
+type Check struct {
+	// Name tags findings and is the token suppression comments refer
+	// to.
+	Name string
+	// Doc is a one-line description for `colloidlint -list`.
+	Doc string
+	// Run inspects one package and returns its findings.
+	Run func(p *Package) []Finding
+}
+
+// registry holds the built-in checks in registration order.
+var registry []*Check
+
+// Register adds a check to the suite run by Lint. It panics on a
+// duplicate name so a copy-pasted check cannot silently shadow another.
+func Register(c *Check) {
+	for _, have := range registry {
+		if have.Name == c.Name {
+			panic("lint: duplicate check " + c.Name)
+		}
+	}
+	registry = append(registry, c)
+}
+
+// Checks returns the registered checks sorted by name.
+func Checks() []*Check {
+	out := append([]*Check(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CheckNames returns the registered check names, sorted.
+func CheckNames() []string {
+	names := make([]string, 0, len(registry))
+	for _, c := range registry {
+		names = append(names, c.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SuppressionCheck is the pseudo-check name used for findings about the
+// suppression comments themselves (bare allow without a reason, unknown
+// check name). It cannot be suppressed.
+const SuppressionCheck = "suppression"
+
+// allowDirective is the comment prefix that suppresses a finding.
+const allowDirective = "//colloid:allow"
+
+// suppression is one parsed //colloid:allow comment.
+type suppression struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   bool
+}
+
+// parseSuppressions extracts every //colloid:allow directive from a
+// parsed file, keyed by the line it applies to. A directive applies to
+// its own line when it trails code, and to the following line when it
+// stands alone.
+func parseSuppressions(fset *token.FileSet, file *ast.File, known map[string]bool) (bySite map[string][]*suppression, problems []Finding) {
+	bySite = make(map[string][]*suppression)
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text := c.Text
+			if !strings.HasPrefix(text, allowDirective) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(text, allowDirective)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				// "//colloid:allowed" or similar — not ours.
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				problems = append(problems, Finding{
+					Pos:   pos,
+					Check: SuppressionCheck,
+					Msg:   "colloid:allow without a check name (want //colloid:allow <check> <reason>)",
+				})
+				continue
+			}
+			check := fields[0]
+			if !known[check] {
+				problems = append(problems, Finding{
+					Pos:   pos,
+					Check: SuppressionCheck,
+					Msg: fmt.Sprintf("colloid:allow names unknown check %q (have %s)",
+						check, strings.Join(sortedKeys(known), ", ")),
+				})
+				continue
+			}
+			if len(fields) == 1 {
+				problems = append(problems, Finding{
+					Pos:   pos,
+					Check: SuppressionCheck,
+					Msg: fmt.Sprintf("colloid:allow %s has no reason; every exemption must say why (//colloid:allow %s <reason>)",
+						check, check),
+				})
+				continue
+			}
+			s := &suppression{pos: pos, check: check, reason: strings.Join(fields[1:], " ")}
+			// A trailing comment suppresses its own line; a standalone
+			// comment suppresses the next line. Registering both sites
+			// covers either placement without tracking code layout.
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				key := siteKey(pos.Filename, line)
+				bySite[key] = append(bySite[key], s)
+			}
+		}
+	}
+	return bySite, problems
+}
+
+func siteKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tree lints every non-test package under root (skipping testdata,
+// hidden directories and vendor) with the registered checks and returns
+// the surviving findings sorted by position. Paths in the findings are
+// relative to root.
+func Tree(root string) ([]Finding, error) {
+	return TreeChecks(root, Checks())
+}
+
+// TreeChecks is Tree with an explicit check list (used by tests and by
+// the driver's -checks flag).
+func TreeChecks(root string, checks []*Check) ([]Finding, error) {
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, dir := range dirs {
+		pkg, err := load(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		all = append(all, lintPackage(pkg, checks)...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+// lintPackage runs the checks over one package, applies suppressions
+// and appends findings about the suppression comments themselves.
+func lintPackage(pkg *Package, checks []*Check) []Finding {
+	known := make(map[string]bool, len(registry))
+	for _, c := range registry {
+		known[c.Name] = true
+	}
+	bySite := make(map[string][]*suppression)
+	var out []Finding
+	for _, file := range pkg.Files {
+		sites, problems := parseSuppressions(pkg.Fset, file, known)
+		for k, v := range sites {
+			bySite[k] = append(bySite[k], v...)
+		}
+		out = append(out, problems...)
+	}
+	for _, c := range checks {
+		for _, f := range c.Run(pkg) {
+			if suppressed(bySite, f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a matching //colloid:allow covers the
+// finding's line, marking the directive used.
+func suppressed(bySite map[string][]*suppression, f Finding) bool {
+	for _, s := range bySite[siteKey(f.Pos.Filename, f.Pos.Line)] {
+		if s.check == f.Check {
+			s.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// packageDirs walks root and returns every directory that may hold a
+// lintable package, in sorted order.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// load parses dir's non-test Go files into a Package (nil when the
+// directory holds none). File paths in the returned fileset are
+// relative to root so findings print stably regardless of the working
+// directory.
+func load(root, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		Path: filepath.ToSlash(rel),
+		Fset: token.NewFileSet(),
+	}
+	if pkg.Path == "." {
+		pkg.Path = ""
+	}
+	for _, n := range names {
+		relFile := filepath.ToSlash(filepath.Join(pkg.Path, n))
+		src, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(pkg.Fset, relFile, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if pkg.Name == "" {
+			pkg.Name = file.Name.Name
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	return pkg, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+}

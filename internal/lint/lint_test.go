@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes rel->content files under a fresh temp root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// lintTree lints a temp tree and returns the findings' String forms.
+func lintTree(t *testing.T, files map[string]string) []string {
+	t.Helper()
+	findings, err := Tree(writeTree(t, files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// TestGoldenFixtures pins the exact file:line: [check] message output
+// over the known-bad/known-good fixture tree.
+func TestGoldenFixtures(t *testing.T) {
+	findings, err := Tree(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, f := range findings {
+		lines = append(lines, f.String())
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	wantBytes, err := os.ReadFile(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := string(wantBytes); got != want {
+		t.Errorf("fixture findings diverge from testdata/golden.txt\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRepoLintClean runs the full suite over the real repository: the
+// merged tree must stay free of unsuppressed findings, which is the
+// contract `make lint` enforces in CI.
+func TestRepoLintClean(t *testing.T) {
+	findings, err := Tree(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("repo not lint-clean: %s", f)
+	}
+}
+
+// TestInjectedWallClockCaught is the acceptance probe: a time.Now()
+// dropped into internal/core is caught by name of the determinism
+// check.
+func TestInjectedWallClockCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/core/bad.go": `package core
+
+import "time"
+
+func Quantum() float64 { return float64(time.Now().UnixNano()) }
+`,
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "[determinism]") || !strings.Contains(got[0], "time.Now") {
+		t.Fatalf("injected time.Now in internal/core not caught by determinism, got %q", got)
+	}
+}
+
+// TestInjectedMapRangeSinkCaught is the second acceptance probe: an
+// unsorted map-range feeding a trace sink dropped into internal/obs is
+// caught by name of the maprange check.
+func TestInjectedMapRangeSinkCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/obs/bad.go": `package obs
+
+type Trace struct{}
+
+func (t *Trace) Emit(kind string) {}
+
+func Dump(m map[string]float64, tr *Trace) {
+	for k := range m {
+		tr.Emit(k)
+	}
+}
+`,
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "[maprange]") || !strings.Contains(got[0], "Emit") {
+		t.Fatalf("injected map-range sink in internal/obs not caught by maprange, got %q", got)
+	}
+}
+
+// TestDeterminismPackageAllowlist covers the allowlist predicate and
+// its end-to-end effect: cmd/ trees are skipped, internal/ trees are
+// not, and the other checks still apply under cmd/.
+func TestDeterminismPackageAllowlist(t *testing.T) {
+	cases := map[string]bool{
+		"cmd/colloidsim":   true,
+		"cmd/colloidlint":  true,
+		"cmd":              true,
+		"cmdline":          false,
+		"internal/core":    false,
+		"internal/sim":     false,
+		"examples/gupsrun": false,
+	}
+	for path, want := range cases {
+		if got := DeterminismAllowed(path); got != want {
+			t.Errorf("DeterminismAllowed(%q) = %v, want %v", path, got, want)
+		}
+	}
+
+	src := `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`
+	if got := lintTree(t, map[string]string{"cmd/tool/main.go": src}); len(got) != 0 {
+		t.Errorf("determinism fired under allowlisted cmd/: %q", got)
+	}
+	if got := lintTree(t, map[string]string{"internal/tool/main.go": src}); len(got) != 1 {
+		t.Errorf("determinism did not fire outside the allowlist: %q", got)
+	}
+
+	// The allowlist is determinism-specific: seedflow still guards cmd/.
+	got := lintTree(t, map[string]string{
+		"cmd/tool/main.go": `package main
+
+import "math/rand"
+
+func main() { _ = rand.New(rand.NewSource(1)) }
+`,
+	})
+	var seedflow int
+	for _, line := range got {
+		if strings.Contains(line, "[seedflow]") {
+			seedflow++
+		}
+	}
+	if seedflow == 0 {
+		t.Errorf("seedflow skipped cmd/ package: %q", got)
+	}
+}
+
+// TestSuppression covers the //colloid:allow placement rules and the
+// reason requirement end to end.
+func TestSuppression(t *testing.T) {
+	t.Run("trailing comment suppresses its line", func(t *testing.T) {
+		got := lintTree(t, map[string]string{
+			"internal/p/p.go": `package p
+
+import "time"
+
+func Now() float64 {
+	return float64(time.Now().UnixNano()) //colloid:allow determinism test fixture reason
+}
+`,
+		})
+		if len(got) != 0 {
+			t.Errorf("trailing suppression ignored: %q", got)
+		}
+	})
+	t.Run("standalone comment suppresses the next line", func(t *testing.T) {
+		got := lintTree(t, map[string]string{
+			"internal/p/p.go": `package p
+
+import "time"
+
+func Now() float64 {
+	//colloid:allow determinism test fixture reason
+	return float64(time.Now().UnixNano())
+}
+`,
+		})
+		if len(got) != 0 {
+			t.Errorf("standalone suppression ignored: %q", got)
+		}
+	})
+	t.Run("wrong check name does not suppress", func(t *testing.T) {
+		got := lintTree(t, map[string]string{
+			"internal/p/p.go": `package p
+
+import "time"
+
+func Now() float64 {
+	return float64(time.Now().UnixNano()) //colloid:allow maprange wrong check
+}
+`,
+		})
+		if len(got) != 1 || !strings.Contains(got[0], "[determinism]") {
+			t.Errorf("mismatched suppression hid the finding: %q", got)
+		}
+	})
+	t.Run("bare suppression is itself a finding and suppresses nothing", func(t *testing.T) {
+		got := lintTree(t, map[string]string{
+			"internal/p/p.go": `package p
+
+import "time"
+
+func Now() float64 {
+	return float64(time.Now().UnixNano()) //colloid:allow determinism
+}
+`,
+		})
+		if len(got) != 2 {
+			t.Fatalf("want suppression + determinism findings, got %q", got)
+		}
+		joined := strings.Join(got, "\n")
+		for _, want := range []string{"[suppression]", "no reason", "[determinism]"} {
+			if !strings.Contains(joined, want) {
+				t.Errorf("missing %q in %q", want, got)
+			}
+		}
+	})
+	t.Run("distant comment does not suppress", func(t *testing.T) {
+		got := lintTree(t, map[string]string{
+			"internal/p/p.go": `package p
+
+import "time"
+
+//colloid:allow determinism too far away to apply
+
+func Now() float64 {
+	return float64(time.Now().UnixNano())
+}
+`,
+		})
+		if len(got) != 1 || !strings.Contains(got[0], "[determinism]") {
+			t.Errorf("distant suppression leaked: %q", got)
+		}
+	})
+}
+
+// TestCheckRegistry pins the suite composition so a dropped init() is
+// noticed.
+func TestCheckRegistry(t *testing.T) {
+	want := []string{"determinism", "maprange", "msgprefix", "seedflow"}
+	got := CheckNames()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("registered checks = %v, want %v", got, want)
+	}
+}

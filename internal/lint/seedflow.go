@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+)
+
+// seedflow enforces the repo's single-source-of-randomness rule:
+// outside internal/stats (which owns the splittable generator), RNG
+// values must originate from stats.RNG's Split/SplitString APIs, never
+// from rand.New/rand.NewSource directly. Hierarchical splitting is what
+// keeps experiment arms bit-stable when unrelated subsystems add or
+// remove draws; a stray rand.New(rand.NewSource(seed)) reintroduces
+// ordering coupling between subsystems sharing one linear stream.
+//
+// The check flags both the math/rand import itself and each constructor
+// call, so a violating file gets an actionable finding even when the
+// constructor hides behind a helper.
+func init() {
+	Register(&Check{
+		Name: "seedflow",
+		Doc:  "RNGs outside internal/stats must come from stats.RNG Split APIs, not rand.New/rand.NewSource",
+		Run:  runSeedFlow,
+	})
+}
+
+func runSeedFlow(p *Package) []Finding {
+	if p.Path == "internal/stats" {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, p.finding("seedflow", imp,
+					fmt.Sprintf("import of %s outside internal/stats; derive randomness from a stats.RNG stream (Split/SplitString)", path)))
+			}
+		}
+		for _, rn := range []string{importName(file, "math/rand"), importName(file, "math/rand/v2")} {
+			if rn == "" {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := pkgSelector(sel, rn); ok && randConstructors[name] {
+					out = append(out, p.finding("seedflow", sel,
+						fmt.Sprintf("rand.%s builds an RNG outside the stats.RNG split hierarchy; take a *stats.RNG (or a Split of one) instead", name)))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// Command faketool proves the determinism package allowlist: wall-clock
+// reads under cmd/ are UI, not simulation state, and produce no
+// findings.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,17 @@
+// Package badallow exercises the suppression-comment diagnostics: a
+// suppression must name a registered check and carry a reason.
+package badallow
+
+import "time"
+
+// Tick has three defective suppressions — bare (no reason), unknown
+// check name, and missing check name — none of which suppress the
+// underlying determinism finding.
+func Tick() time.Time {
+	//colloid:allow determinism
+	t := time.Now()
+	//colloid:allow detrminism typo never registers
+	t = time.Now()
+	//colloid:allow
+	return t
+}

@@ -1,0 +1,20 @@
+// Package simbad is a known-bad fixture package: every file trips one
+// analyzer. The golden test pins the exact findings.
+package simbad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// StepBad consults every forbidden ambient-state source on the
+// simulation path.
+func StepBad() float64 {
+	start := time.Now()
+	if os.Getenv("COLLOID_FAST") != "" {
+		return 0
+	}
+	jitter := rand.Float64()
+	return time.Since(start).Seconds() + jitter
+}

@@ -1,0 +1,20 @@
+package simbad
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fail raises diagnostics that forget the package prefix.
+func Fail(n int) error {
+	if n < 0 {
+		panic("negative n")
+	}
+	if n == 0 {
+		return errors.New("n must not be zero")
+	}
+	if n > 10 {
+		panic(fmt.Sprintf("n %d out of range", n))
+	}
+	return fmt.Errorf("odd n %d", n)
+}

@@ -1,0 +1,10 @@
+package simbad
+
+import mrand "math/rand"
+
+// Roll builds a private linear-stream RNG instead of splitting the
+// experiment's stats.RNG.
+func Roll(seed int64) int {
+	r := mrand.New(mrand.NewSource(seed))
+	return r.Intn(6)
+}

@@ -1,0 +1,77 @@
+// Package simgood is the known-good fixture package: every site here
+// uses a deterministic idiom or a properly justified suppression, so
+// the golden findings file contains nothing from this package.
+package simgood
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Sink stands in for an obs/trace handle.
+type Sink struct{}
+
+// Emit writes one record.
+func (s *Sink) Emit(kind string) {}
+
+// Keys returns m's keys via the canonical collect-then-sort idiom.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Drain emits in sorted order: the range is over a slice, not the map.
+func Drain(m map[string]int, sink *Sink) {
+	for _, k := range Keys(m) {
+		sink.Emit(k)
+	}
+}
+
+// Invert writes per-key into another map; such writes commute across
+// iteration orders.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Clear uses the delete-while-ranging idiom, which is order-free.
+func Clear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// CountEntries accumulates an int, which commutes; the suppression
+// carries its rationale as required.
+func CountEntries(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ //colloid:allow maprange integer count is iteration-order independent
+	}
+	return n
+}
+
+// Fail raises properly prefixed diagnostics.
+func Fail(n int) error {
+	if n < 0 {
+		panic("simgood: negative n")
+	}
+	if n == 0 {
+		return errors.New("simgood: n must not be zero")
+	}
+	return fmt.Errorf("simgood: odd n %d", n)
+}
+
+// Wrap passes an inner error through; the prefix rides in with %w, so
+// msgprefix leaves it alone.
+func Wrap(err error) error {
+	return fmt.Errorf("%w (while refreshing)", err)
+}

@@ -381,18 +381,21 @@ func (r *Registry) Values() map[string]float64 {
 // Merge folds other's metrics into r: counters add, histograms merge,
 // gauges take other's value when other has observed one. Events are not
 // merged (traces are per-run artifacts). Either side may be nil.
+// Iteration is over sorted names so the merged registry's creation
+// order — and anything downstream that walks it — never inherits Go's
+// randomized map order.
 func (r *Registry) Merge(other *Registry) {
 	if r == nil || other == nil {
 		return
 	}
-	for name, c := range other.counters {
-		r.Counter(name).Add(c.v)
+	for _, name := range sortedNames(other.counters) {
+		r.Counter(name).Add(other.counters[name].v)
 	}
-	for name, g := range other.gauges {
-		r.Gauge(name).Set(g.v)
+	for _, name := range sortedNames(other.gauges) {
+		r.Gauge(name).Set(other.gauges[name].v)
 	}
-	for name, h := range other.histograms {
-		r.Histogram(name).merge(h)
+	for _, name := range sortedNames(other.histograms) {
+		r.Histogram(name).merge(other.histograms[name])
 	}
 }
 

@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"sort"
+	"testing"
+
+	"colloid/internal/memsys"
+	"colloid/internal/migrate"
+	"colloid/internal/pages"
+	"colloid/internal/stats"
+	"colloid/internal/workloads"
+)
+
+// eventFromBytes decodes one fuzz record into a typed event. The
+// decoder is total: any 5 bytes produce some event, valid or not, so
+// the fuzzer explores both acceptance and rejection paths.
+func eventFromBytes(kind, t, a, b, c byte) Event {
+	// Spread times over negatives, zeros, duplicates and fractions.
+	at := float64(int8(t)) / 4
+	switch kind % 7 {
+	case 0:
+		return AntagonistStep{AtSec: at, Intensity: workloads.Intensity(int8(a))}
+	case 1:
+		return ProfileSwitch{AtSec: at, Profile: workloads.Profile{
+			Name: "fuzz", Cores: int(int8(a)), Inflight: float64(int8(b)) / 2,
+		}}
+	case 2:
+		var shift func(as *pages.AddressSpace, rng *stats.RNG)
+		if a%2 == 0 {
+			shift = func(as *pages.AddressSpace, rng *stats.RNG) {}
+		}
+		return WorkloadShift{AtSec: at, Shift: shift}
+	case 3:
+		return TierDegrade{
+			AtSec:           at,
+			Tier:            memsys.TierID(int8(a)),
+			LatencyFactor:   float64(int8(b)) / 8,
+			BandwidthFactor: float64(int8(c)) / 64,
+		}
+	case 4:
+		return TierRestore{AtSec: at, Tier: memsys.TierID(int8(a))}
+	case 5:
+		return CHADropout{AtSec: at, ForSec: float64(int8(a)) / 4}
+	default:
+		return MigrationStall{
+			AtSec:  at,
+			Fault:  migrate.FaultKind(int8(a)),
+			Quanta: int(int8(b)),
+		}
+	}
+}
+
+// FuzzScenarioValidate round-trips arbitrary event timelines through
+// Validate, Sorted, MutatesTopology and Horizon: the dynamic complement
+// to the static determinism pass. None of them may panic on hostile
+// input, Sorted must be a permutation in nondecreasing time order that
+// leaves the receiver untouched, and a timeline that passes Validate
+// must keep its horizon at or beyond every event.
+func FuzzScenarioValidate(f *testing.F) {
+	f.Add(3, []byte{})
+	f.Add(3, []byte{0, 10, 1, 0, 0, 3, 20, 1, 16, 32})
+	f.Add(1, []byte{5, 200, 8, 0, 0, 6, 40, 0, 3, 0, 2, 40, 1, 0, 0})
+	f.Add(0, []byte{4, 128, 255, 0, 0})
+	f.Fuzz(func(t *testing.T, numTiers int, data []byte) {
+		var events []Event
+		for i := 0; i+5 <= len(data); i += 5 {
+			events = append(events, eventFromBytes(data[i], data[i+1], data[i+2], data[i+3], data[i+4]))
+		}
+		// A nil hole exercises Validate's nil-event branch.
+		if len(data) > 0 && data[0]%5 == 0 {
+			events = append(events, nil)
+		}
+		s := &Scenario{Name: "fuzz", Events: events}
+		if len(data) > 0 && data[0]%3 == 0 {
+			s.Name = "" // must be reported, not panicked over
+		}
+
+		err := s.Validate(numTiers)
+		hasNil := false
+		for _, ev := range s.Events {
+			if ev == nil {
+				hasNil = true
+			}
+		}
+		if hasNil && err == nil {
+			t.Fatal("Validate accepted a nil event")
+		}
+		if s.Name == "" && err == nil {
+			t.Fatal("Validate accepted an unnamed scenario")
+		}
+		if hasNil {
+			// Sorted/Horizon document validated (nil-free) timelines;
+			// Validate rejecting the hole above is the contract.
+			return
+		}
+
+		before := append([]Event(nil), s.Events...)
+		sorted := s.Sorted()
+		if len(sorted) != len(s.Events) {
+			t.Fatalf("Sorted changed length: %d != %d", len(sorted), len(s.Events))
+		}
+		for i, ev := range s.Events {
+			if !sameEventPos(before[i], ev) {
+				t.Fatalf("Sorted mutated the receiver at %d", i)
+			}
+		}
+		times := make([]float64, 0, len(sorted))
+		for i, ev := range sorted {
+			if ev == nil {
+				continue
+			}
+			times = append(times, ev.When())
+			if i > 0 && sorted[i-1] != nil && sorted[i-1].When() > ev.When() {
+				t.Fatalf("Sorted order violated at %d: %g > %g", i, sorted[i-1].When(), ev.When())
+			}
+		}
+		// The When multiset must be preserved.
+		inputTimes := make([]float64, 0, len(before))
+		for _, ev := range before {
+			if ev != nil {
+				inputTimes = append(inputTimes, ev.When())
+			}
+		}
+		sort.Float64s(inputTimes)
+		sort.Float64s(times)
+		for i := range times {
+			if times[i] != inputTimes[i] {
+				t.Fatalf("Sorted dropped or invented times: %v vs %v", times, inputTimes)
+			}
+		}
+
+		_ = s.MutatesTopology()
+		h := s.Horizon()
+		if err == nil {
+			for _, ev := range s.Events {
+				if ev.When() > h {
+					t.Fatalf("Horizon %g below event at %g", h, ev.When())
+				}
+			}
+		}
+	})
+}
+
+// sameEventPos compares two events by identity-relevant fields without
+// requiring comparability (WorkloadShift holds a func value).
+func sameEventPos(a, b Event) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Kind() == b.Kind() && a.When() == b.When()
+}
