@@ -39,12 +39,14 @@ lint:
 	$(GO) run ./cmd/colloidlint ./...
 
 # Race-detector pass over the parallel experiment runner, the engine,
-# the scenario/fault-injection subsystem, and (since the PR-4 batched
-# hot paths) the migration engine and the page index. -short skips the
-# long shape tests but not the runner's parallel-vs-serial determinism
-# tests.
+# the scenario/fault-injection subsystem, the migration engine, the
+# page index, and (since the sharded per-quantum pipeline) the access
+# sampler/tracker, the shard harness, and the root sharded golden and
+# churn tests. -short skips the long shape tests but not the runner's
+# parallel-vs-serial determinism tests or the sharded-step path.
 race:
-	$(GO) test -race -short ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/migrate/ ./internal/pages/
+	$(GO) test -race -short ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/migrate/ ./internal/pages/ ./internal/access/ ./internal/shard/
+	$(GO) test -race -short -run 'TestShardedChurnBitIdentical|TestGoldenPlacementTraces' .
 
 # Headline figure metrics as benchmarks.
 bench:
@@ -57,12 +59,13 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench=ObsOverhead -benchtime=1x .
 
 # One-iteration smoke of the page-granularity scaling pipeline: the
-# quantum-step benchmark at 10^4 pages plus the quick scale experiment
-# through the standard runner. For real numbers use
+# quantum-step benchmark at 10^4 pages swept across the sharded worker
+# axis, plus the quick scale experiment through the standard runner.
+# For real numbers use
 # `go test -bench=ScaleQuantumStep -benchtime=30x .` (10^6-page arm
 # included).
 bench-scale:
-	$(GO) test -run '^$$' -bench='ScaleQuantumStep/pages=10000$$|^BenchmarkScale$$' -benchtime=1x .
+	$(GO) test -run '^$$' -bench='ScaleQuantumStep/pages=10000/|^BenchmarkScale$$' -benchtime=1x .
 
 clean:
 	rm -f BENCH_*.json

@@ -42,6 +42,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		csvDir   = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
 		parallel = flag.Int("parallel", 0, "arm workers per experiment (0 = GOMAXPROCS, 1 = serial)")
+		shardW   = flag.Int("shard-workers", 0, "per-quantum page-pipeline workers inside each simulation (0 = serial; results are identical at any value)")
 		benchDir = flag.String("bench", ".", "directory for BENCH_<id>.json timing reports (empty = off)")
 		metrics  = flag.String("metrics", "", "write the merged obs metric summary JSON here")
 		scName   = flag.String("scenario", "", "run one builtin fault-injection scenario by name (see -list)")
@@ -95,16 +96,17 @@ func main() {
 		}
 	}
 
-	if err := validateFlags(ids, *parallel); err != nil {
+	if err := validateFlags(ids, *parallel, *shardW); err != nil {
 		fmt.Fprintln(os.Stderr, "colloidsim:", err)
 		os.Exit(2)
 	}
 
 	opts := experiments.Options{
-		Quick:       *quick,
-		Seed:        *seed,
-		Parallelism: *parallel,
-		BenchDir:    *benchDir,
+		Quick:        *quick,
+		Seed:         *seed,
+		Parallelism:  *parallel,
+		BenchDir:     *benchDir,
+		ShardWorkers: *shardW,
 	}
 	if *metrics != "" {
 		opts.Metrics = obs.NewRegistry()
@@ -141,7 +143,7 @@ func main() {
 // validateFlags reports every bad flag at once (experiment ids are
 // checked against the registry; the sim configs themselves are
 // validated by sim.New inside each arm).
-func validateFlags(ids []string, parallel int) error {
+func validateFlags(ids []string, parallel, shardWorkers int) error {
 	var errs []error
 	known := make(map[string]bool, len(experiments.List()))
 	for _, id := range experiments.List() {
@@ -154,6 +156,9 @@ func validateFlags(ids []string, parallel int) error {
 	}
 	if parallel < 0 {
 		errs = append(errs, fmt.Errorf("negative -parallel %d", parallel))
+	}
+	if shardWorkers < 0 {
+		errs = append(errs, fmt.Errorf("negative -shard-workers %d", shardWorkers))
 	}
 	return errors.Join(errs...)
 }

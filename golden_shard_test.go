@@ -1,0 +1,86 @@
+package colloid
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"colloid/internal/experiments"
+	"colloid/internal/memsys"
+	"colloid/internal/pages"
+)
+
+// placementChecksum folds the full live placement (IDs, tiers, sizes,
+// weights, in iteration order) into one FNV-1a hash.
+func placementChecksum(as *pages.AddressSpace) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	as.ForEachLive(func(p pages.Page) {
+		w(uint64(p.ID))
+		w(uint64(p.Tier))
+		w(uint64(p.Bytes))
+		w(math.Float64bits(p.Weight))
+	})
+	return h.Sum64()
+}
+
+// TestShardedChurnBitIdentical runs the scale pipeline with huge-page
+// split/coalesce churn interleaved between sharded steps — pages
+// appearing and dying while the sharded decay, CDF rebuild, and
+// aggregate recomputation are stepping over them — and requires the
+// final placement and cumulative migration totals to be bit-identical
+// at every worker count. This is the churn variant of the golden
+// worker sweep: shard ranges shift as the live index grows and
+// shrinks, and none of it may leak into results.
+func TestShardedChurnBitIdentical(t *testing.T) {
+	run := func(workers int) (uint64, int64, int64) {
+		p, err := experiments.NewScalePipeline(4096, 7, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as := p.AS()
+		ids := as.LiveIDs()
+		alt := as.NumTiers() - 1
+		for q := 0; q < 30; q++ {
+			// Split a page, step the sharded pipeline over the enlarged
+			// live set, then coalesce it back — the page count at each
+			// step differs from the previous one, so shard ranges shift.
+			id := ids[(q*37)%len(ids)]
+			children, err := as.Split(id, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Step()
+			// The step may have migrated some children; gather them on
+			// the (uncapped) alternate tier so they can coalesce. The
+			// address-space state is worker-invariant, so these fix-up
+			// moves are too.
+			for _, cid := range children {
+				if int(as.Tier(cid)) != alt {
+					if err := as.Move(cid, memsys.TierID(alt)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := as.Coalesce(id, children); err != nil {
+				t.Fatal(err)
+			}
+			p.Step()
+		}
+		bytes, moves := p.Totals()
+		return placementChecksum(as), bytes, moves
+	}
+	sum1, bytes1, moves1 := run(1)
+	for _, w := range []int{2, 4, 7} {
+		sum, bytes, moves := run(w)
+		if sum != sum1 || bytes != bytes1 || moves != moves1 {
+			t.Fatalf("workers=%d diverged from serial: checksum %#x vs %#x, bytes %d vs %d, moves %d vs %d",
+				w, sum, sum1, bytes, bytes1, moves, moves1)
+		}
+	}
+}

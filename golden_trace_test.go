@@ -2,6 +2,7 @@ package colloid
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"math"
 	"testing"
@@ -17,12 +18,15 @@ import (
 
 // TestGoldenPlacementTraces pins a checksum over the full sample trace
 // and final page placement of a short contended GUPS run for every
-// tiering system. The scale refactor (live-page index, free-slot reuse,
-// batched migration) must be behaviour-preserving: any change to a
-// placement decision, a sample, or iteration order shows up here as a
-// checksum mismatch. If a hash changes on purpose (an intentional
-// semantic fix), update the golden to the printed actual value and say
-// why in the commit message.
+// tiering system, swept across sharded-pipeline worker counts. The
+// scale refactors (live-page index, free-slot reuse, batched migration,
+// sharded per-quantum pipeline) must be behaviour-preserving: any
+// change to a placement decision, a sample, or iteration order shows up
+// here as a checksum mismatch, and a worker-dependent result shows up
+// as one worker count disagreeing with the rest. There is ONE golden
+// per system, not one per worker count — that is the point. If a hash
+// changes on purpose (an intentional semantic fix), update the golden
+// to the printed actual value and say why in the commit message.
 func TestGoldenPlacementTraces(t *testing.T) {
 	golden := map[string]uint64{
 		"hemem":          0xedecbe41f9196929,
@@ -40,19 +44,28 @@ func TestGoldenPlacementTraces(t *testing.T) {
 		"memtis":         func() sim.System { return memtis.New(memtis.Config{}) },
 		"memtis+colloid": func() sim.System { return memtis.New(memtis.Config{Colloid: &core.Options{}}) },
 	}
+	// 7 deliberately does not divide the 16 logical shards evenly.
+	workerCounts := []int{1, 2, 4, 7}
+	if testing.Short() {
+		workerCounts = []int{1, 4}
+	}
 	for name, mk := range systems {
 		name, mk := name, mk
-		t.Run(name, func(t *testing.T) {
-			e, _ := simtest.Run(t, mk(), simtest.Scenario{
-				AntagonistCores: 15,
-				Seconds:         5,
-				Seed:            42,
+		for _, w := range workerCounts {
+			w := w
+			t.Run(fmt.Sprintf("%s/workers=%d", name, w), func(t *testing.T) {
+				e, _ := simtest.Run(t, mk(), simtest.Scenario{
+					AntagonistCores: 15,
+					Seconds:         5,
+					Seed:            42,
+					Workers:         w,
+				})
+				got := traceChecksum(e)
+				if got != golden[name] {
+					t.Fatalf("trace checksum = %#x, golden %#x — placement or sample trace changed (workers=%d)", got, golden[name], w)
+				}
 			})
-			got := traceChecksum(e)
-			if got != golden[name] {
-				t.Fatalf("trace checksum = %#x, golden %#x — placement or sample trace changed", got, golden[name])
-			}
-		})
+		}
 	}
 }
 

@@ -3,23 +3,37 @@
 // PMU samples memory accesses in proportion to their true rates), a
 // frequency tracker with HeMem-style cooling, and a page-table
 // scan / hint-fault model for TPP.
+//
+// The two per-quantum hot paths here — the sampler's CDF rebuild and
+// the tracker's cooling pass — shard by contiguous range over a fixed
+// shard count (shard.DefaultShards) with partials reduced in shard
+// index order, so their results are identical at every worker count.
 package access
 
 import (
+	"fmt"
 	"sort"
 
 	"colloid/internal/obs"
 	"colloid/internal/pages"
+	"colloid/internal/shard"
 	"colloid/internal/stats"
 )
 
 // Sampler draws page IDs distributed according to the address space's
 // true page weights — exactly what PEBS sampling of memory accesses
 // observes. The cumulative distribution is cached and rebuilt only when
-// the weight distribution changes (AddressSpace.Version).
+// the weight distribution changes (AddressSpace.Version). The rebuild
+// is the dominant cost of a quantum at 10^6 pages, so it runs in three
+// sharded passes: per-shard nonzero counts and weight totals, a serial
+// ordered reduce into per-shard offsets, then a parallel fill of the
+// flat cum/ids arrays. The per-shard prefix sums seed from the reduced
+// offsets in shard index order, making the CDF bytes independent of the
+// worker count.
 type Sampler struct {
 	as      *pages.AddressSpace
 	rng     *stats.RNG
+	workers int
 	version uint64
 	built   bool
 	cum     []float64
@@ -32,7 +46,7 @@ type Sampler struct {
 
 // NewSampler returns a sampler over as using rng.
 func NewSampler(as *pages.AddressSpace, rng *stats.RNG) *Sampler {
-	return &Sampler{as: as, rng: rng}
+	return &Sampler{as: as, rng: rng, workers: 1}
 }
 
 // SetObs installs the metrics registry (nil disables instrumentation).
@@ -41,20 +55,72 @@ func (s *Sampler) SetObs(r *obs.Registry) {
 	s.mRebuilds = r.Counter("sampler_rebuilds")
 }
 
+// SetWorkers sets the fan-out for the CDF rebuild. Values below 1
+// clamp to 1. Worker count never changes the sampled sequence.
+func (s *Sampler) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	s.workers = w
+}
+
 func (s *Sampler) rebuild() {
 	s.mRebuilds.Inc()
-	s.cum = s.cum[:0]
-	s.ids = s.ids[:0]
-	acc := 0.0
-	s.as.ForEachLive(func(p pages.Page) {
-		if p.Weight <= 0 {
-			return
+	v := s.as.LiveView()
+	plan := shard.NewPlan(len(v.Live))
+	// Pass 1: per-shard count of weighted pages and local weight total.
+	var counts [shard.DefaultShards]int
+	var totals [shard.DefaultShards]float64
+	shard.Run(s.workers, plan.Shards, func(sh int) {
+		lo, hi := plan.Range(sh)
+		n := 0
+		acc := 0.0
+		for _, id := range v.Live[lo:hi] {
+			if w := v.Weight[id]; w > 0 {
+				n++
+				acc += w
+			}
 		}
-		acc += p.Weight
-		s.cum = append(s.cum, acc)
-		s.ids = append(s.ids, p.ID)
+		counts[sh] = n
+		totals[sh] = acc
 	})
-	s.total = acc
+	// Ordered reduce: per-shard start index and starting prefix weight.
+	var offs [shard.DefaultShards]int
+	var base [shard.DefaultShards]float64
+	n := 0
+	acc := 0.0
+	for sh := 0; sh < plan.Shards; sh++ {
+		offs[sh] = n
+		base[sh] = acc
+		n += counts[sh]
+		acc += totals[sh]
+	}
+	if cap(s.cum) < n {
+		s.cum = make([]float64, n)
+		s.ids = make([]pages.PageID, n)
+	}
+	s.cum = s.cum[:n]
+	s.ids = s.ids[:n]
+	// Pass 2: fill each shard's slice of the CDF from its own offset.
+	shard.Run(s.workers, plan.Shards, func(sh int) {
+		lo, hi := plan.Range(sh)
+		k := offs[sh]
+		acc := base[sh]
+		for _, id := range v.Live[lo:hi] {
+			w := v.Weight[id]
+			if w <= 0 {
+				continue
+			}
+			acc += w
+			s.cum[k] = acc
+			s.ids[k] = id
+			k++
+		}
+	})
+	s.total = 0
+	if n > 0 {
+		s.total = s.cum[n-1]
+	}
 	s.version = s.as.Version()
 	s.built = true
 }
@@ -90,14 +156,19 @@ func (s *Sampler) SampleN(dst []pages.PageID, n int) []pages.PageID {
 // FreqTracker maintains per-page access frequency counts with HeMem's
 // cooling rule: when any page's count reaches CoolThreshold, every
 // count is halved. Access probabilities are estimated as a page's
-// count divided by the total count.
+// count divided by the total count. Counts are stored densely, indexed
+// by PageID, so the cooling pass and candidate scans are contiguous
+// range sweeps that shard cleanly; the per-shard totals are exact
+// integer sums, so the sharded cool is bit-identical to the serial one.
 type FreqTracker struct {
 	// CoolThreshold is HeMem's COOLING_THRESHOLD.
 	CoolThreshold uint32
 
-	counts map[pages.PageID]uint32
-	total  uint64
-	cools  int
+	counts  []uint32 // indexed by PageID; zero = untracked
+	total   uint64
+	tracked int
+	cools   int
+	workers int
 }
 
 // NewFreqTracker returns a tracker with the given cooling threshold.
@@ -105,16 +176,37 @@ func NewFreqTracker(coolThreshold uint32) *FreqTracker {
 	if coolThreshold < 2 {
 		panic("access: cooling threshold must be at least 2")
 	}
-	return &FreqTracker{
-		CoolThreshold: coolThreshold,
-		counts:        make(map[pages.PageID]uint32),
+	return &FreqTracker{CoolThreshold: coolThreshold, workers: 1}
+}
+
+// SetWorkers sets the fan-out for the cooling pass. Values below 1
+// clamp to 1. Worker count never changes counts or totals.
+func (f *FreqTracker) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
 	}
+	f.workers = w
 }
 
 // Touch records one sampled access to id and cools if the threshold is
 // reached.
 func (f *FreqTracker) Touch(id pages.PageID) {
+	if id < 0 {
+		panic(fmt.Sprintf("access: Touch of invalid page id %d", id))
+	}
+	if int(id) >= len(f.counts) {
+		n := int(id) + 1
+		if n < 2*len(f.counts) {
+			n = 2 * len(f.counts)
+		}
+		grown := make([]uint32, n)
+		copy(grown, f.counts)
+		f.counts = grown
+	}
 	c := f.counts[id] + 1
+	if c == 1 {
+		f.tracked++
+	}
 	f.counts[id] = c
 	f.total++
 	if c >= f.CoolThreshold {
@@ -123,24 +215,57 @@ func (f *FreqTracker) Touch(id pages.PageID) {
 }
 
 // Cool halves every count (dropping zeros), as HeMem does when a page
-// hits the cooling threshold.
+// hits the cooling threshold. The sweep shards by slot range; per-shard
+// totals are integer sums reduced in shard index order, so the result
+// is exactly the serial one at any worker count.
 func (f *FreqTracker) Cool() {
-	var total uint64
-	for id, c := range f.counts {
-		c /= 2
-		if c == 0 {
-			delete(f.counts, id)
-			continue
+	plan := shard.NewPlan(len(f.counts))
+	var totals [shard.DefaultShards]uint64
+	var dropped [shard.DefaultShards]int
+	shard.Run(f.workers, plan.Shards, func(s int) {
+		lo, hi := plan.Range(s)
+		var tot uint64
+		d := 0
+		for i := lo; i < hi; i++ {
+			c := f.counts[i]
+			if c == 0 {
+				continue
+			}
+			c /= 2
+			f.counts[i] = c
+			if c == 0 {
+				d++
+			} else {
+				tot += uint64(c)
+			}
 		}
-		f.counts[id] = c
-		total += uint64(c) //colloid:allow maprange uint64 sum commutes across iteration orders
+		totals[s] = tot
+		dropped[s] = d
+	})
+	var total uint64
+	drop := 0
+	for s := 0; s < plan.Shards; s++ {
+		total += totals[s]
+		drop += dropped[s]
 	}
 	f.total = total
+	f.tracked -= drop
 	f.cools++
 }
 
 // Count returns the frequency count of id.
-func (f *FreqTracker) Count(id pages.PageID) uint32 { return f.counts[id] }
+func (f *FreqTracker) Count(id pages.PageID) uint32 {
+	if int(id) < 0 || int(id) >= len(f.counts) {
+		return 0
+	}
+	return f.counts[id]
+}
+
+// CountsView returns the dense count slice, indexed by PageID; IDs at
+// or beyond its length have count zero. It aliases the tracker's
+// storage: shard workers may scan it concurrently between mutations,
+// but must not write through it.
+func (f *FreqTracker) CountsView() []uint32 { return f.counts }
 
 // Total returns the cumulative count across pages.
 func (f *FreqTracker) Total() uint64 { return f.total }
@@ -154,32 +279,28 @@ func (f *FreqTracker) Probability(id pages.PageID) float64 {
 	if f.total == 0 {
 		return 0
 	}
-	return float64(f.counts[id]) / float64(f.total)
+	return float64(f.Count(id)) / float64(f.total)
 }
 
 // Tracked returns the number of pages with a nonzero count.
-func (f *FreqTracker) Tracked() int { return len(f.counts) }
+func (f *FreqTracker) Tracked() int { return f.tracked }
 
-// ForEach visits every (page, count) pair in unspecified order.
+// ForEach visits every (page, count) pair with a nonzero count, in
+// ascending page-ID order.
 func (f *FreqTracker) ForEach(fn func(id pages.PageID, count uint32)) {
-	for id, c := range f.counts {
-		fn(id, c)
+	for i, c := range f.counts {
+		if c > 0 {
+			fn(pages.PageID(i), c)
+		}
 	}
 }
 
 // ForEachSorted visits every (page, count) pair in ascending page-ID
-// order. Map iteration order is randomized in Go, so policies whose
-// migration choices depend on visit order (rate-limit cutoffs hit
-// different pages) must use this to keep simulations reproducible.
+// order. With dense storage this is the natural scan order; the name
+// survives from the map era, when policies whose migration choices
+// depend on visit order needed an explicit sort to stay reproducible.
 func (f *FreqTracker) ForEachSorted(fn func(id pages.PageID, count uint32)) {
-	ids := make([]pages.PageID, 0, len(f.counts))
-	for id := range f.counts {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		fn(id, f.counts[id])
-	}
+	f.ForEach(fn)
 }
 
 // ForEachHottest visits every (page, count) pair in descending count
@@ -195,13 +316,14 @@ func (f *FreqTracker) ForEachHottest(fn func(id pages.PageID, count uint32) (sto
 		}
 	}
 	buckets := make([][]pages.PageID, maxCount+1)
-	for id, c := range f.counts {
-		buckets[c] = append(buckets[c], id)
+	for i, c := range f.counts {
+		if c > 0 {
+			buckets[c] = append(buckets[c], pages.PageID(i))
+		}
 	}
+	// The dense scan fills each bucket in ascending ID order already.
 	for c := int(maxCount); c >= 1; c-- {
-		ids := buckets[c]
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
+		for _, id := range buckets[c] {
 			if fn(id, uint32(c)) {
 				return
 			}
@@ -211,8 +333,12 @@ func (f *FreqTracker) ForEachHottest(fn func(id pages.PageID, count uint32) (sto
 
 // Forget drops a page's count (page died in a split/coalesce).
 func (f *FreqTracker) Forget(id pages.PageID) {
-	if c, ok := f.counts[id]; ok {
+	if int(id) < 0 || int(id) >= len(f.counts) {
+		return
+	}
+	if c := f.counts[id]; c > 0 {
 		f.total -= uint64(c)
-		delete(f.counts, id)
+		f.counts[id] = 0
+		f.tracked--
 	}
 }

@@ -71,14 +71,16 @@ func paperTopology(latencyScale, bandwidthScale float64) *memsys.Topology {
 
 // gupsConfig assembles the standard GUPS simulation at the given
 // contention intensity; reg (usually ArmContext.Obs, may be nil)
-// receives the run's instrumentation.
-func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity workloads.Intensity, seed uint64, reg *obs.Registry) sim.Config {
+// receives the run's instrumentation. workers is the sharded
+// page-pipeline worker count (0 = serial); it never changes results.
+func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity workloads.Intensity, seed uint64, workers int, reg *obs.Registry) sim.Config {
 	return sim.Config{
 		Topology:        topo,
 		WorkingSetBytes: g.WorkingSetBytes,
 		Profile:         g.Profile(),
 		AntagonistCores: workloads.AntagonistForIntensity(intensity).Cores,
 		Seed:            seed,
+		Workers:         workers,
 		Obs:             reg,
 	}
 }
@@ -132,7 +134,7 @@ func runSteadyOn(topo *memsys.Topology, g *workloads.GUPS, system string, withCo
 	if err != nil {
 		return nil, sim.Steady{}, err
 	}
-	e, err := sim.New(gupsConfig(topo, g, intensity, seed, reg), sim.WithSystem(sys))
+	e, err := sim.New(gupsConfig(topo, g, intensity, seed, o.ShardWorkers, reg), sim.WithSystem(sys))
 	if err != nil {
 		return nil, sim.Steady{}, err
 	}
@@ -165,7 +167,7 @@ func bestCase(intensity workloads.Intensity, o Options) (*oracle.Result, error) 
 		return r, nil
 	}
 	g := workloads.DefaultGUPS()
-	cfg := gupsConfig(paperTopology(0, 0), g, intensity, o.Seed, nil)
+	cfg := gupsConfig(paperTopology(0, 0), g, intensity, o.Seed, o.ShardWorkers, nil)
 	r, err := oracle.BestCase(oracle.Config{Sim: cfg, Workload: g})
 	if err == nil {
 		bestMu.Lock()

@@ -32,6 +32,13 @@ type Options struct {
 	// arm runs against its own registry (no cross-arm locking) and the
 	// runner merges them here after all arms finish.
 	Metrics *obs.Registry
+	// ShardWorkers is the per-quantum page-pipeline worker count threaded
+	// into every simulation (sim.Config.Workers): 0 defaults to 1
+	// (serial). Results are bit-identical at any setting — sharded
+	// reductions are ordered and per-shard RNG streams are derived from
+	// the shard index, never the worker — so this is purely a wall-clock
+	// knob. It also overrides the scale experiment's worker-count axis.
+	ShardWorkers int
 }
 
 func (o Options) withDefaults() Options {

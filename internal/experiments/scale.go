@@ -15,21 +15,30 @@ import (
 	"colloid/internal/memsys"
 	"colloid/internal/migrate"
 	"colloid/internal/pages"
+	"colloid/internal/shard"
 	"colloid/internal/stats"
 )
 
 // ScalePipeline drives one quantum of the page-granularity pipeline the
 // tiering systems exercise every step: hot-set drift (weight updates),
-// the per-quantum tier-share read, a PEBS-style sample batch, and a
-// budget-limited batched promote/demote pass. It is exported so the
-// root bench_test.go can benchmark exactly what the scale experiment
-// runs.
+// weight decay, the per-quantum tier-share read, a PEBS-style sample
+// batch, and a budget-limited batched promote/demote pass. It is
+// exported so the root bench_test.go can benchmark exactly what the
+// scale experiment runs.
 type ScalePipeline struct {
 	as      *pages.AddressSpace
 	sampler *access.Sampler
 	mig     *migrate.Engine
-	rng     *stats.RNG
 	ids     []pages.PageID
+	workers int
+	// streams are the per-shard RNG streams driving hot-set drift; each
+	// shard draws only from its own stream, so the drift is bit-identical
+	// at any worker count.
+	streams []*stats.RNG
+	// swaps is the per-shard drift scratch: each quantum shard s picks
+	// swapsPerShard index pairs inside its own range in parallel, and
+	// the swaps apply serially in shard order.
+	swaps [shard.DefaultShards][swapsPerShard][2]int
 
 	sampleBuf []pages.PageID
 	shareBuf  []float64
@@ -40,13 +49,23 @@ type ScalePipeline struct {
 	sink    float64
 }
 
+// swapsPerShard keeps the historical 32-swaps-per-quantum drift volume:
+// 16 shards x 2 swaps.
+const swapsPerShard = 2
+
 // NewScalePipeline builds a pipeline over nPages huge pages, a third of
 // which fit in the default tier, with a skewed weight distribution (the
 // first tenth of pages carries 90% of the access mass) and a
 // split/coalesce churn warm-up of one cycle per 32 pages — the long-run
 // huge-page management traffic a MEMTIS-style system generates, which
 // is what stresses live-page indexing and slot reuse.
-func NewScalePipeline(nPages int, seed uint64) (*ScalePipeline, error) {
+//
+// workers is the sharded-pipeline worker count (clamped up to 1); it
+// changes only wall-clock time, never results.
+func NewScalePipeline(nPages int, seed uint64, workers int) (*ScalePipeline, error) {
+	if workers < 1 {
+		workers = 1
+	}
 	total := int64(nPages) * pages.HugePageBytes
 	def := memsys.DualSocketXeonDefault()
 	def.CapacityBytes = (total/3/pages.HugePageBytes + 1) * pages.HugePageBytes
@@ -60,13 +79,17 @@ func NewScalePipeline(nPages int, seed uint64) (*ScalePipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	as.SetWorkers(workers)
 	root := stats.NewRNG(seed)
+	sampler := access.NewSampler(as, root.Split(4))
+	sampler.SetWorkers(workers)
 	p := &ScalePipeline{
 		as:      as,
-		sampler: access.NewSampler(as, root.Split(4)),
+		sampler: sampler,
 		mig:     migrate.NewEngine(as, topo.NumTiers(), 2.5e9),
-		rng:     root.Split(3),
 		ids:     as.LiveIDs(),
+		workers: workers,
+		streams: shard.Streams(root.Split(3), shard.DefaultShards),
 	}
 	hot := len(p.ids) / 10
 	if hot == 0 {
@@ -96,17 +119,48 @@ func NewScalePipeline(nPages int, seed uint64) (*ScalePipeline, error) {
 // Step advances one 10 ms quantum.
 func (p *ScalePipeline) Step() {
 	p.mig.BeginQuantum(0.01)
-	n := len(p.ids)
 	// Hot-set drift: swap the weights of 64 pages, which bumps the
 	// address-space version and forces the sampler CDF rebuild that
-	// dominates the per-quantum cost at scale.
-	for k := 0; k < 32; k++ {
-		a := p.ids[(p.quantum*64+2*k)%n]
-		c := p.ids[(p.quantum*64+2*k+1)%n]
-		wa, wc := p.as.Weight(a), p.as.Weight(c)
-		p.as.SetWeight(a, wc)
-		p.as.SetWeight(c, wa)
+	// dominates the per-quantum cost at scale. Each shard draws its swap
+	// picks from its own stream inside its own index range (in parallel),
+	// and the swaps apply serially in shard order — the sharding
+	// discipline every hot loop follows, so the drift is bit-identical at
+	// any worker count.
+	plan := shard.NewPlan(len(p.ids))
+	shard.Run(p.workers, shard.DefaultShards, func(s int) {
+		lo, hi := plan.Range(s)
+		rng := p.streams[s]
+		for k := 0; k < swapsPerShard; k++ {
+			if hi == lo {
+				p.swaps[s][k] = [2]int{-1, -1}
+				continue
+			}
+			a := lo + int(rng.Uint64n(uint64(hi-lo)))
+			c := lo + int(rng.Uint64n(uint64(hi-lo)))
+			p.swaps[s][k] = [2]int{a, c}
+		}
+	})
+	for s := 0; s < shard.DefaultShards; s++ {
+		for k := 0; k < swapsPerShard; k++ {
+			pick := p.swaps[s][k]
+			if pick[0] < 0 {
+				continue
+			}
+			a, c := p.ids[pick[0]], p.ids[pick[1]]
+			// Callers may churn (split/coalesce) between steps, so a
+			// picked page can be dead this quantum; skipping it is
+			// deterministic because the address-space state is itself
+			// worker-invariant.
+			if p.as.Get(a).Dead || p.as.Get(c).Dead {
+				continue
+			}
+			wa, wc := p.as.Weight(a), p.as.Weight(c)
+			p.as.SetWeight(a, wc)
+			p.as.SetWeight(c, wa)
+		}
 	}
+	// Per-quantum weight decay, sharded inside the address space.
+	p.as.DecayWeights(0.999)
 	p.shareBuf = p.as.TierShareInto(p.shareBuf)
 	p.sink += p.shareBuf[0]
 	p.sampleBuf = p.sampler.SampleN(p.sampleBuf[:0], 1024)
@@ -133,6 +187,10 @@ func (p *ScalePipeline) Step() {
 func (p *ScalePipeline) Live() int  { return p.as.LivePages() }
 func (p *ScalePipeline) Slots() int { return p.as.NumPages() }
 
+// AS exposes the pipeline's address space so tests can churn it
+// (split/coalesce) between steps and checksum the final placement.
+func (p *ScalePipeline) AS() *pages.AddressSpace { return p.as }
+
 // Totals returns cumulative migrated bytes and move count.
 func (p *ScalePipeline) Totals() (bytes int64, moves int64) {
 	b, m, _, _ := p.mig.Totals()
@@ -158,41 +216,63 @@ func scalePageCounts(o Options) []int {
 
 func scaleQuanta(o Options) int { return int(o.scale(200, 50)) }
 
+// scaleWorkerCounts is the worker-count axis: every page count runs at
+// each worker count, and the deterministic columns must agree row-for-
+// row across workers (the table is itself a determinism check; timings
+// in BENCH_scale.json are where workers show up). ShardWorkers pins the
+// axis to a single value.
+func scaleWorkerCounts(o Options) []int {
+	if o.ShardWorkers > 0 {
+		return []int{o.ShardWorkers}
+	}
+	if o.Quick {
+		return []int{1, 2}
+	}
+	return []int{1, 8}
+}
+
 type scaleResult struct {
-	pages  int
-	live   int
-	slots  int
-	quanta int
-	moves  int64
-	bytes  int64
+	pages   int
+	workers int
+	live    int
+	slots   int
+	quanta  int
+	moves   int64
+	bytes   int64
 }
 
 func scaleArms(o Options) ([]Arm, error) {
 	var arms []Arm
 	for _, n := range scalePageCounts(o) {
-		n := n
-		arms = append(arms, Arm{
-			Name: fmt.Sprintf("pages=%d", n),
-			Run: func(ctx ArmContext) (any, error) {
-				p, err := NewScalePipeline(n, ctx.Seed)
-				if err != nil {
-					return nil, err
-				}
-				quanta := scaleQuanta(ctx.Options)
-				for q := 0; q < quanta; q++ {
-					p.Step()
-				}
-				bytes, moves := p.Totals()
-				return scaleResult{
-					pages:  n,
-					live:   p.Live(),
-					slots:  p.Slots(),
-					quanta: quanta,
-					moves:  moves,
-					bytes:  bytes,
-				}, nil
-			},
-		})
+		for _, w := range scaleWorkerCounts(o) {
+			n, w := n, w
+			arms = append(arms, Arm{
+				Name: fmt.Sprintf("pages=%d/workers=%d", n, w),
+				Run: func(ctx ArmContext) (any, error) {
+					// Base seed, not the per-arm ctx.Seed: arms differing
+					// only in worker count must run the same pipeline so
+					// their deterministic columns are comparable.
+					p, err := NewScalePipeline(n, ctx.Options.Seed, w)
+					if err != nil {
+						return nil, err
+					}
+					quanta := scaleQuanta(ctx.Options)
+					for q := 0; q < quanta; q++ {
+						p.Step()
+					}
+					bytes, moves := p.Totals()
+					return scaleResult{
+						pages:   n,
+						workers: w,
+						live:    p.Live(),
+						slots:   p.Slots(),
+						quanta:  quanta,
+						moves:   moves,
+						bytes:   bytes,
+					}, nil
+				},
+			})
+		}
 	}
 	return arms, nil
 }
@@ -201,9 +281,10 @@ func scaleAssemble(o Options, results []any) (*Table, error) {
 	t := &Table{
 		ID:      "scale",
 		Title:   "page-granularity hot-path scaling",
-		Columns: []string{"pages", "live", "slots", "quanta", "moves", "migrated"},
+		Columns: []string{"pages", "workers", "live", "slots", "quanta", "moves", "migrated"},
 		Notes: []string{
 			"slots counts page slots ever allocated; slot reuse keeps it near live under split/coalesce churn;",
+			"rows differing only in workers must agree in every other column (sharding is a wall-clock knob);",
 			"per-arm wall-clock timings are in BENCH_scale.json when the runner's BenchDir is set",
 		},
 	}
@@ -211,6 +292,7 @@ func scaleAssemble(o Options, results []any) (*Table, error) {
 		res := r.(scaleResult)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", res.pages),
+			fmt.Sprintf("%d", res.workers),
 			fmt.Sprintf("%d", res.live),
 			fmt.Sprintf("%d", res.slots),
 			fmt.Sprintf("%d", res.quanta),

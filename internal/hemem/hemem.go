@@ -125,6 +125,11 @@ func (s *System) Step(ctx *sim.Context) {
 		}
 		s.colloid = core.NewController(ctx.Topo.NumTiers(), opts)
 	}
+	// HeMem's per-quantum cost concentrates in the tracker's cooling
+	// sweeps and the engine sampler's CDF rebuilds, both of which shard
+	// internally; the hot/cold bins stay serial because they are
+	// insertion-ordered sets whose order is part of the policy.
+	s.tracker.SetWorkers(ctx.Workers)
 	s.samplePEBS(ctx)
 	if !s.started {
 		s.started = true

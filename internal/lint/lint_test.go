@@ -111,6 +111,38 @@ func Dump(m map[string]float64, tr *Trace) {
 	}
 }
 
+// TestInjectedSharedStreamCaught is the sharding acceptance probe: a
+// shard.Run callback drawing from a captured stream, and a goroutine
+// appending to a shared slice, are both caught by name of the shardrng
+// check.
+func TestInjectedSharedStreamCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/access/bad.go": `package access
+
+import (
+	"colloid/internal/shard"
+	"colloid/internal/stats"
+)
+
+func Scan(rng *stats.RNG, out []float64) []float64 {
+	shard.Run(4, 16, func(s int) {
+		out = append(out, rng.Float64())
+	})
+	return out
+}
+`,
+	})
+	if len(got) != 2 {
+		t.Fatalf("want captured-draw + shared-append findings, got %q", got)
+	}
+	joined := strings.Join(got, "\n")
+	for _, want := range []string{"[shardrng]", "Float64", `append to "out"`} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+}
+
 // TestDeterminismPackageAllowlist covers the allowlist predicate and
 // its end-to-end effect: cmd/ trees are skipped, internal/ trees are
 // not, and the other checks still apply under cmd/.
@@ -255,7 +287,7 @@ func Now() float64 {
 // TestCheckRegistry pins the suite composition so a dropped init() is
 // noticed.
 func TestCheckRegistry(t *testing.T) {
-	want := []string{"determinism", "maprange", "msgprefix", "seedflow"}
+	want := []string{"determinism", "maprange", "msgprefix", "seedflow", "shardrng"}
 	got := CheckNames()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Errorf("registered checks = %v, want %v", got, want)

@@ -1,0 +1,34 @@
+package simbad
+
+import (
+	"colloid/internal/shard"
+	"colloid/internal/stats"
+)
+
+// badShard violates both halves of the sharded-concurrency contract:
+// it draws from a captured stream and appends to a shared slice inside
+// concurrent bodies.
+func badShard(rng *stats.RNG, streams []*stats.RNG) []int {
+	var out []int
+	shard.Run(4, 16, func(s int) {
+		v := int(rng.Uint64n(10))
+		out = append(out, v)
+	})
+	go func() {
+		_ = rng.Float64()
+	}()
+	goodShard(streams)
+	return out
+}
+
+// goodShard is the sanctioned pattern: per-shard stream bound locally
+// by index, per-shard slot reduction.
+func goodShard(streams []*stats.RNG) {
+	var buf [16][]int
+	shard.Run(4, 16, func(s int) {
+		rng := streams[s]
+		local := buf[s][:0]
+		local = append(local, int(rng.Uint64n(10)))
+		buf[s] = local
+	})
+}

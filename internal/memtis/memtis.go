@@ -28,6 +28,7 @@ import (
 	"colloid/internal/memsys"
 	"colloid/internal/migrate"
 	"colloid/internal/pages"
+	"colloid/internal/shard"
 	"colloid/internal/sim"
 )
 
@@ -122,6 +123,12 @@ type System struct {
 	demoteReqs   []migrate.Request
 	demoteChosen map[pages.PageID]bool
 	demoteSpill  []int64
+
+	// Per-shard candidate-assembly scratch for the sharded hot-list
+	// scans; shards write only their own slot, and partials concatenate
+	// in shard index order so results match the serial scan exactly.
+	shardCands [shard.DefaultShards][]core.Candidate
+	shardIDs   [shard.DefaultShards][]pages.PageID
 }
 
 // New returns a MEMTIS instance.
@@ -162,6 +169,7 @@ func (s *System) Step(ctx *sim.Context) {
 		}
 		s.colloid = core.NewController(ctx.Topo.NumTiers(), opts)
 	}
+	s.tracker.SetWorkers(ctx.Workers)
 	s.samplePEBS(ctx)
 	if !s.started {
 		s.started = true
@@ -227,19 +235,36 @@ func (s *System) updateDynamicRate() {
 
 // computeHotThreshold sizes the hot set to the default tier: the
 // smallest count c such that pages with count >= c fit in the default
-// tier's capacity (MEMTIS derives this from its access histogram).
+// tier's capacity (MEMTIS derives this from its access histogram). The
+// histogram builds from per-shard partial histograms over the dense
+// count array; the partials are integer sums reduced in shard index
+// order, so the result is exactly the serial scan's at any worker
+// count.
 func (s *System) computeHotThreshold(ctx *sim.Context) uint32 {
-	var bytesAt [maxCount + 1]int64
-	s.tracker.ForEach(func(id pages.PageID, count uint32) {
-		p := ctx.AS.Get(id)
-		if p.Dead {
-			return
+	counts := s.tracker.CountsView()
+	v := ctx.AS.LiveView()
+	plan := shard.NewPlan(len(counts))
+	var partial [shard.DefaultShards][maxCount + 1]int64
+	shard.Run(ctx.Workers, plan.Shards, func(sh int) {
+		lo, hi := plan.Range(sh)
+		h := &partial[sh]
+		for i := lo; i < hi; i++ {
+			count := counts[i]
+			if count == 0 || v.Dead[i] {
+				continue
+			}
+			if count > maxCount {
+				count = maxCount
+			}
+			h[count] += v.Bytes[i]
 		}
-		if count > maxCount {
-			count = maxCount
-		}
-		bytesAt[count] += p.Bytes
 	})
+	var bytesAt [maxCount + 1]int64
+	for sh := 0; sh < plan.Shards; sh++ {
+		for c := 1; c <= maxCount; c++ {
+			bytesAt[c] += partial[sh][c]
+		}
+	}
 	capacity := ctx.Topo.Capacity(memsys.DefaultTier)
 	var cum int64
 	for c := maxCount; c >= 1; c-- {
@@ -252,15 +277,18 @@ func (s *System) computeHotThreshold(ctx *sim.Context) uint32 {
 }
 
 // alternateKmigratedVanilla promotes hot pages from alternate tiers
-// into the default tier (packing policy).
+// into the default tier (packing policy). Candidate assembly — the
+// count-threshold filter over the whole tracker — shards by ID range;
+// the moves (which mutate placement and draw victim probes from the
+// shared RNG) then apply serially in ID order, exactly the order the
+// single-threaded scan used. Collection reads only tracker counts, so
+// deferring the placement checks to the apply loop changes nothing.
 func (s *System) alternateKmigratedVanilla(ctx *sim.Context) {
-	s.tracker.ForEachSorted(func(id pages.PageID, count uint32) {
-		if count < s.hotThreshold {
-			return
-		}
+	hot := s.collectHotIDs(ctx)
+	for _, id := range hot {
 		p := ctx.AS.Get(id)
 		if p.Dead || p.Tier == memsys.DefaultTier {
-			return
+			continue
 		}
 		if ctx.AS.FreeBytes(memsys.DefaultTier) < p.Bytes {
 			if !s.demoteColdFromDefault(ctx, p.Bytes) {
@@ -268,7 +296,72 @@ func (s *System) alternateKmigratedVanilla(ctx *sim.Context) {
 			}
 		}
 		_ = ctx.Migrator.Move(id, memsys.DefaultTier)
+	}
+}
+
+// collectHotIDs returns, in ascending ID order, every tracked page with
+// count >= hotThreshold. Shards scan disjoint ranges of the dense count
+// array into private buffers that concatenate in shard index order —
+// ascending ID order overall, identical at any worker count.
+func (s *System) collectHotIDs(ctx *sim.Context) []pages.PageID {
+	counts := s.tracker.CountsView()
+	threshold := s.hotThreshold
+	if threshold < 1 {
+		threshold = 1
+	}
+	plan := shard.NewPlan(len(counts))
+	shard.Run(ctx.Workers, plan.Shards, func(sh int) {
+		lo, hi := plan.Range(sh)
+		buf := s.shardIDs[sh][:0]
+		for i := lo; i < hi; i++ {
+			if counts[i] >= threshold {
+				buf = append(buf, pages.PageID(i))
+			}
+		}
+		s.shardIDs[sh] = buf
 	})
+	var out []pages.PageID
+	for sh := 0; sh < plan.Shards; sh++ {
+		out = append(out, s.shardIDs[sh]...)
+	}
+	return out
+}
+
+// collectCandidates assembles the Colloid hot-list candidates resident
+// in fromTier, in ascending ID order, capped at limit entries. Each
+// shard fills a private buffer (itself capped — a shard can never
+// contribute more than the global cap); the ordered concatenation
+// truncated to limit equals the serial scan's "first limit hot pages
+// by ID".
+func (s *System) collectCandidates(ctx *sim.Context, fromTier memsys.TierID, limit int) []core.Candidate {
+	counts := s.tracker.CountsView()
+	v := ctx.AS.LiveView()
+	threshold := s.hotThreshold
+	if threshold < 1 {
+		threshold = 1
+	}
+	plan := shard.NewPlan(len(counts))
+	shard.Run(ctx.Workers, plan.Shards, func(sh int) {
+		lo, hi := plan.Range(sh)
+		buf := s.shardCands[sh][:0]
+		for i := lo; i < hi && len(buf) < limit; i++ {
+			if counts[i] < threshold || v.Dead[i] || v.Tier[i] != fromTier {
+				continue
+			}
+			id := pages.PageID(i)
+			buf = append(buf, core.Candidate{ID: id, Probability: s.tracker.Probability(id), Bytes: v.Bytes[i]})
+		}
+		s.shardCands[sh] = buf
+	})
+	var cands []core.Candidate
+	for sh := 0; sh < plan.Shards && len(cands) < limit; sh++ {
+		take := s.shardCands[sh]
+		if len(cands)+len(take) > limit {
+			take = take[:limit-len(cands)]
+		}
+		cands = append(cands, take...)
+	}
+	return cands
 }
 
 // alternateKmigratedColloid runs Algorithm 1 on the alternate tier's
@@ -291,18 +384,13 @@ func (s *System) alternateKmigratedColloid(ctx *sim.Context) {
 	}
 	// Scan the hot list for candidates in the source tier (Section 4.2:
 	// "we scan the corresponding tier's hot list and pick pages until
-	// either deltaP is satisfied or the migration limit is hit").
-	var cands []core.Candidate
-	s.tracker.ForEachSorted(func(id pages.PageID, count uint32) {
-		if count < s.hotThreshold || len(cands) >= 8192 {
-			return
-		}
-		p := ctx.AS.Get(id)
-		if p.Dead || p.Tier != fromTier {
-			return
-		}
-		cands = append(cands, core.Candidate{ID: id, Probability: s.tracker.Probability(id), Bytes: p.Bytes})
-	})
+	// either deltaP is satisfied or the migration limit is hit"). The
+	// scan is pure reads (counts, placement, probabilities), so it
+	// shards by ID range; per-shard buffers concatenate in shard index
+	// order and truncate to the serial scan's 8192 cap, yielding the
+	// same first-8192-by-ID candidate list at any worker count.
+	const candCap = 8192
+	cands := s.collectCandidates(ctx, fromTier, candCap)
 	picked := core.PickPages(cands, d.DeltaP, limitBytes, 0)
 	if ctx.Migrator.FaultActive() {
 		// Injected failures make outcomes unpredictable; apply one move
@@ -510,24 +598,46 @@ func (s *System) splitHotHugePages(ctx *sim.Context) {
 		s.splitting = false
 		return
 	}
+	// Candidate assembly shards by ID range — pure reads of the count
+	// array, the split set, and the address-space view — with per-shard
+	// buffers concatenated in shard index order and truncated to the
+	// serial scan's 4096 cap.
 	type cand struct {
 		id    pages.PageID
 		count uint32
 	}
-	var best []cand
-	s.tracker.ForEachSorted(func(id pages.PageID, count uint32) {
-		if count < s.hotThreshold || len(best) >= 4096 {
-			return
+	const splitCap = 4096
+	counts := s.tracker.CountsView()
+	v := ctx.AS.LiveView()
+	threshold := s.hotThreshold
+	if threshold < 1 {
+		threshold = 1
+	}
+	plan := shard.NewPlan(len(counts))
+	var shardBest [shard.DefaultShards][]cand
+	shard.Run(ctx.Workers, plan.Shards, func(sh int) {
+		lo, hi := plan.Range(sh)
+		var buf []cand
+		for i := lo; i < hi && len(buf) < splitCap; i++ {
+			if counts[i] < threshold || v.Dead[i] || v.Bytes[i] != pages.HugePageBytes {
+				continue
+			}
+			id := pages.PageID(i)
+			if s.split.Contains(id) {
+				continue
+			}
+			buf = append(buf, cand{id, counts[i]})
 		}
-		if s.split.Contains(id) {
-			return
-		}
-		p := ctx.AS.Get(id)
-		if p.Dead || p.Bytes != pages.HugePageBytes {
-			return
-		}
-		best = append(best, cand{id, count})
+		shardBest[sh] = buf
 	})
+	var best []cand
+	for sh := 0; sh < plan.Shards && len(best) < splitCap; sh++ {
+		take := shardBest[sh]
+		if len(best)+len(take) > splitCap {
+			take = take[:splitCap-len(best)]
+		}
+		best = append(best, take...)
+	}
 	// Partial selection: take the hottest few without a full sort.
 	for i := 0; i < s.cfg.SplitsPerQuantum && i < len(best); i++ {
 		maxJ := i

@@ -106,6 +106,107 @@ func TestInjectFaultClearAndReplace(t *testing.T) {
 	}
 }
 
+// Clearing a fault mid-quantum takes effect immediately: the rest of
+// the quantum migrates normally and FaultTotals stops growing. It used
+// to leave faultActive set until the next BeginQuantum, so a "cleared"
+// outage kept rejecting moves — and the rejects leaked into the next
+// batch's accounting.
+func TestInjectFaultClearMidQuantum(t *testing.T) {
+	as := testSpace(t)
+	e := NewEngine(as, 2, 0)
+	e.InjectFault(FaultStall, 3)
+	e.BeginQuantum(0.1)
+	if !e.FaultActive() {
+		t.Fatal("fault not active in its window")
+	}
+	id := pageIn(t, as, 0)
+	if err := e.Move(id, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("move in fault window = %v, want ErrInjected", err)
+	}
+	e.InjectFault(FaultStall, 0) // outage repaired mid-quantum
+	if e.FaultActive() {
+		t.Fatal("cleared fault still active in the same quantum")
+	}
+	if err := e.Move(id, 1); err != nil {
+		t.Fatalf("move after mid-quantum clear: %v", err)
+	}
+	if failed, _ := e.FaultTotals(); failed != 1 {
+		t.Fatalf("FaultTotals.failed = %d, want 1 (clear must stop the count)", failed)
+	}
+	// The cleared window is gone for good, not merely suspended.
+	e.BeginQuantum(0.1)
+	if e.FaultActive() {
+		t.Fatal("cleared fault resurrected by the next BeginQuantum")
+	}
+}
+
+// A mid-quantum stall expiry must not leak into the next quantum's
+// batch accounting: the batch after the repair applies every request
+// and reports zero injected outcomes.
+func TestFaultExpiryDoesNotLeakIntoNextBatch(t *testing.T) {
+	as := testSpace(t)
+	e := NewEngine(as, 2, 0)
+	var reqs []Request
+	as.ForEachLive(func(p pages.Page) {
+		if p.Tier == 0 && len(reqs) < 4 {
+			reqs = append(reqs, Request{ID: p.ID, To: 1})
+		}
+	})
+	e.InjectFault(FaultStall, 1)
+	e.BeginQuantum(0.1)
+	outcomes := make([]error, len(reqs))
+	if res := e.MoveBatch(reqs, outcomes); res.Applied != 0 {
+		t.Fatalf("batch in fault window applied %d moves", res.Applied)
+	}
+	e.InjectFault(FaultStall, 0) // repair mid-quantum
+	e.BeginQuantum(0.1)
+	res := e.MoveBatch(reqs, outcomes)
+	if res.Applied != len(reqs) || res.Err != nil {
+		t.Fatalf("post-repair batch = %+v, want all %d applied", res, len(reqs))
+	}
+	for i, err := range outcomes {
+		if err != nil {
+			t.Fatalf("post-repair outcome[%d] = %v", i, err)
+		}
+	}
+	if failed, _ := e.FaultTotals(); failed != int64(len(reqs)) {
+		t.Fatalf("FaultTotals.failed = %d, want %d (only the faulted batch)", failed, len(reqs))
+	}
+}
+
+// FaultFail burns proactive budget for aborted proactive copies only:
+// a forced (capacity-pressure) move never consumes the budget, so its
+// aborted copy must not drain it either — though the wasted bytes still
+// hit the interconnect and FaultTotals.
+func TestFaultFailForcedMoveKeepsBudget(t *testing.T) {
+	as := testSpace(t)
+	e := NewEngine(as, 2, 100*float64(memsys.MiB))
+	e.InjectFault(FaultFail, 1)
+	e.BeginQuantum(0.1)
+	budget := e.Budget()
+	id := pageIn(t, as, 0)
+	if err := e.MoveForced(id, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("forced move during FaultFail = %v, want ErrInjected", err)
+	}
+	if got := e.Budget(); got != budget {
+		t.Fatalf("aborted forced copy drained budget: %d -> %d", budget, got)
+	}
+	res := e.MoveBatchForced([]Request{{ID: id, To: 1}})
+	if !errors.Is(res.Err, ErrInjected) || res.Applied != 0 {
+		t.Fatalf("forced batch during FaultFail = %+v, want ErrInjected stop", res)
+	}
+	if got := e.Budget(); got != budget {
+		t.Fatalf("aborted forced batch drained budget: %d -> %d", budget, got)
+	}
+	failed, partial := e.FaultTotals()
+	if failed != 2 || partial != 2*pages.HugePageBytes {
+		t.Fatalf("FaultTotals = (%d, %d), want (2, %d)", failed, partial, 2*pages.HugePageBytes)
+	}
+	if e.QuantumBytes() == 0 {
+		t.Fatal("aborted forced copies left no interconnect traffic")
+	}
+}
+
 func TestFaultKindString(t *testing.T) {
 	if FaultStall.String() != "stall" || FaultFail.String() != "fail" {
 		t.Fatalf("FaultKind strings: %q, %q", FaultStall, FaultFail)

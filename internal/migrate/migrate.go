@@ -161,13 +161,18 @@ func (e *Engine) BeginQuantum(quantumSec float64) {
 // InjectFault makes the next quanta quanta of migrations fail with the
 // given kind (fault injection; see FaultKind for semantics). Calling it
 // again replaces any outstanding fault window; quanta <= 0 clears it.
-// The window takes effect at the next BeginQuantum.
+// The window takes effect at the next BeginQuantum, but clearing takes
+// effect immediately: a cleared fault must not keep rejecting moves —
+// and inflating FaultTotals — for the rest of the current quantum.
 func (e *Engine) InjectFault(kind FaultKind, quanta int) {
 	if quanta < 0 {
 		quanta = 0
 	}
 	e.faultKind = kind
 	e.faultQuanta = quanta
+	if quanta == 0 {
+		e.faultActive = false
+	}
 }
 
 // FaultActive reports whether an injected fault governs this quantum.
@@ -183,15 +188,20 @@ func (e *Engine) FaultTotals() (failedMoves, partialBytes int64) {
 
 // injectFailure applies the active fault to an attempted move of p to
 // tier to and returns ErrInjected. FaultStall costs nothing; FaultFail
-// burns budget and bandwidth for a copy that is then discarded.
-func (e *Engine) injectFailure(p pages.Page, to memsys.TierID) error {
+// burns bandwidth for a copy that is then discarded — and budget too,
+// but only for proactive moves: forced (capacity-pressure) moves never
+// consume the proactive budget, so their aborted copies must not drain
+// it either.
+func (e *Engine) injectFailure(p pages.Page, to memsys.TierID, forced bool) error {
 	e.failedMoves++
 	e.mInjected.Inc()
 	if e.faultKind == FaultFail {
-		if e.quantumBudget > p.Bytes {
-			e.quantumBudget -= p.Bytes
-		} else {
-			e.quantumBudget = 0
+		if !forced {
+			if e.quantumBudget > p.Bytes {
+				e.quantumBudget -= p.Bytes
+			} else {
+				e.quantumBudget = 0
+			}
 		}
 		e.movedFrom[p.Tier] += p.Bytes
 		e.movedTo[to] += p.Bytes
@@ -227,7 +237,7 @@ func (e *Engine) Move(id pages.PageID, to memsys.TierID) error {
 		return nil
 	}
 	if e.faultActive {
-		return e.injectFailure(p, to)
+		return e.injectFailure(p, to, false)
 	}
 	if e.quantumBudget < p.Bytes {
 		e.mThrottled.Inc()
@@ -263,7 +273,7 @@ func (e *Engine) MoveForced(id pages.PageID, to memsys.TierID) error {
 		return nil
 	}
 	if e.faultActive {
-		return e.injectFailure(p, to)
+		return e.injectFailure(p, to, true)
 	}
 	if err := e.as.Move(id, to); err != nil {
 		return fmt.Errorf("%w (%v)", ErrCapacity, err)
@@ -356,7 +366,7 @@ func (e *Engine) MoveBatch(reqs []Request, outcomes []error) BatchResult {
 			continue
 		}
 		if e.faultActive {
-			set(i, e.injectFailure(p, r.To))
+			set(i, e.injectFailure(p, r.To, false))
 			continue
 		}
 		if e.quantumBudget < p.Bytes {
@@ -405,7 +415,7 @@ func (e *Engine) MoveBatchForced(reqs []Request) BatchResult {
 		case p.Tier == r.To:
 			continue
 		case e.faultActive:
-			err = e.injectFailure(p, r.To)
+			err = e.injectFailure(p, r.To, true)
 		default:
 			if mvErr := e.as.Move(r.ID, r.To); mvErr != nil {
 				err = fmt.Errorf("%w (%v)", ErrCapacity, mvErr)

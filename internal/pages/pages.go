@@ -7,12 +7,19 @@
 // Pages default to 2 MB (the granularity HeMem and THP-mode TPP manage);
 // MEMTIS's dynamic page-size determination is modeled with Split and
 // Coalesce, which exchange a huge page for base pages and back.
+//
+// Hot per-page fields live in parallel slices (structure-of-arrays)
+// indexed by PageID, so the sharded per-quantum pipeline can scan a
+// contiguous address range without dragging cold fields through the
+// cache. The Page struct remains the unit of the public API; Get
+// assembles one from the slices.
 package pages
 
 import (
 	"fmt"
 
 	"colloid/internal/memsys"
+	"colloid/internal/shard"
 )
 
 // PageID identifies a page within an AddressSpace. IDs are stable for
@@ -49,11 +56,20 @@ type Page struct {
 }
 
 // AddressSpace tracks all pages, their placement, and per-tier
-// aggregates. It is not safe for concurrent use; the simulator steps
-// systems sequentially within a quantum.
+// aggregates. Mutators are not safe for concurrent use; the simulator
+// steps systems sequentially within a quantum. The read-only View is
+// safe to scan from shard workers between mutations.
 type AddressSpace struct {
-	topo       *memsys.Topology
-	pages      []Page
+	topo *memsys.Topology
+	// Per-page fields, SoA, indexed by PageID. weight/tier/dead are the
+	// hot trio every per-quantum scan touches; bytes and parent ride
+	// along for Split/Coalesce and capacity checks.
+	weight []float64
+	tier   []memsys.TierID
+	dead   []bool
+	bytes  []int64
+	parent []PageID
+
 	tierBytes  []int64
 	tierWeight []float64
 	liveWeight float64
@@ -71,6 +87,12 @@ type AddressSpace struct {
 	// Split. Dead split parents are never recycled — Coalesce revives
 	// them in place — so only child slots ever land here.
 	freeSlots []PageID
+	// workers is the fan-out for sharded scans (live-index rebuild,
+	// aggregate recomputation, weight decay). 1 = serial. The result of
+	// every sharded operation is identical at any worker count: shard
+	// boundaries are fixed (shard.DefaultShards) and partials reduce in
+	// shard index order.
+	workers int
 }
 
 // Version increments whenever the weight distribution or the set of
@@ -87,8 +109,8 @@ func (as *AddressSpace) LiveVersion() uint64 { return as.liveVersion }
 // check panics with a descriptive message when id does not name a page
 // slot (NoPage or out of range). Dead pages pass: callers inspect Dead.
 func (as *AddressSpace) check(id PageID, op string) {
-	if int(id) < 0 || int(id) >= len(as.pages) {
-		panic(fmt.Sprintf("pages: %s of out-of-range page id %d (valid ids are [0,%d))", op, id, len(as.pages)))
+	if int(id) < 0 || int(id) >= len(as.weight) {
+		panic(fmt.Sprintf("pages: %s of out-of-range page id %d (valid ids are [0,%d))", op, id, len(as.weight)))
 	}
 }
 
@@ -112,36 +134,51 @@ func NewAddressSpace(topo *memsys.Topology, totalBytes, pageBytes int64) (*Addre
 	}
 	as := &AddressSpace{
 		topo:       topo,
-		pages:      make([]Page, n),
+		weight:     make([]float64, n),
+		tier:       make([]memsys.TierID, n),
+		dead:       make([]bool, n),
+		bytes:      make([]int64, n),
+		parent:     make([]PageID, n),
 		tierBytes:  make([]int64, topo.NumTiers()),
 		tierWeight: make([]float64, topo.NumTiers()),
+		workers:    1,
 	}
-	for i := range as.pages {
-		as.pages[i] = Page{ID: PageID(i), Bytes: pageBytes, Parent: NoPage}
+	for i := range as.bytes {
+		as.bytes[i] = pageBytes
+		as.parent[i] = NoPage
 	}
 	as.liveCount = int(n)
 	as.liveDirty = true
 	// Place first-fit: fill the default tier, then spill to alternates,
 	// mimicking first-touch allocation under Linux.
 	idx := 0
-	for t := 0; t < topo.NumTiers() && idx < len(as.pages); t++ {
+	for t := 0; t < topo.NumTiers() && idx < int(n); t++ {
 		free := topo.Capacity(memsys.TierID(t))
-		for idx < len(as.pages) && free >= pageBytes {
-			as.pages[idx].Tier = memsys.TierID(t)
+		for idx < int(n) && free >= pageBytes {
+			as.tier[idx] = memsys.TierID(t)
 			as.tierBytes[t] += pageBytes
 			free -= pageBytes
 			idx++
 		}
 	}
-	if idx < len(as.pages) {
-		return nil, fmt.Errorf("pages: could not place all pages (placed %d of %d)", idx, len(as.pages))
+	if idx < int(n) {
+		return nil, fmt.Errorf("pages: could not place all pages (placed %d of %d)", idx, n)
 	}
 	return as, nil
 }
 
+// SetWorkers sets the fan-out for sharded scans. Values below 1 clamp
+// to 1 (serial). Worker count never changes results, only wall-clock.
+func (as *AddressSpace) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	as.workers = w
+}
+
 // NumPages returns the number of page slots ever allocated, including
 // dead (split) pages; iterate with Get and check Dead.
-func (as *AddressSpace) NumPages() int { return len(as.pages) }
+func (as *AddressSpace) NumPages() int { return len(as.weight) }
 
 // LivePages returns the number of live placement units.
 func (as *AddressSpace) LivePages() int { return as.liveCount }
@@ -150,23 +187,29 @@ func (as *AddressSpace) LivePages() int { return as.liveCount }
 // NoPage or an out-of-range ID.
 func (as *AddressSpace) Get(id PageID) Page {
 	as.check(id, "Get")
-	return as.pages[id]
+	return Page{
+		ID:     id,
+		Bytes:  as.bytes[id],
+		Tier:   as.tier[id],
+		Weight: as.weight[id],
+		Parent: as.parent[id],
+		Dead:   as.dead[id],
+	}
 }
 
 // SetWeight updates the page's access probability mass.
 func (as *AddressSpace) SetWeight(id PageID, w float64) {
 	as.check(id, "SetWeight")
-	p := &as.pages[id]
-	if p.Dead {
+	if as.dead[id] {
 		panic(fmt.Sprintf("pages: SetWeight on dead page %d", id))
 	}
 	if w < 0 {
 		panic("pages: negative weight")
 	}
-	delta := w - p.Weight
-	as.tierWeight[p.Tier] += delta
+	delta := w - as.weight[id]
+	as.tierWeight[as.tier[id]] += delta
 	as.liveWeight += delta
-	p.Weight = w
+	as.weight[id] = w
 	as.version++
 }
 
@@ -174,14 +217,14 @@ func (as *AddressSpace) SetWeight(id PageID, w float64) {
 // out-of-range ID.
 func (as *AddressSpace) Weight(id PageID) float64 {
 	as.check(id, "Weight")
-	return as.pages[id].Weight
+	return as.weight[id]
 }
 
 // Tier returns the page's current tier. It panics on NoPage or an
 // out-of-range ID.
 func (as *AddressSpace) Tier(id PageID) memsys.TierID {
 	as.check(id, "Tier")
-	return as.pages[id].Tier
+	return as.tier[id]
 }
 
 // NumTiers returns the number of tiers the space spans.
@@ -233,27 +276,27 @@ func (as *AddressSpace) DefaultShare() float64 {
 // Unlike the accessors it returns an error on a bad ID: movers handle
 // errors anyway, and a policy racing a split should not crash the sim.
 func (as *AddressSpace) Move(id PageID, to memsys.TierID) error {
-	if int(id) < 0 || int(id) >= len(as.pages) {
-		return fmt.Errorf("pages: move of out-of-range page id %d (valid ids are [0,%d))", id, len(as.pages))
+	if int(id) < 0 || int(id) >= len(as.weight) {
+		return fmt.Errorf("pages: move of out-of-range page id %d (valid ids are [0,%d))", id, len(as.weight))
 	}
-	p := &as.pages[id]
-	if p.Dead {
+	if as.dead[id] {
 		return fmt.Errorf("pages: move of dead page %d", id)
 	}
 	if int(to) < 0 || int(to) >= len(as.tierBytes) {
 		return fmt.Errorf("pages: move to invalid tier %d", to)
 	}
-	if p.Tier == to {
+	from := as.tier[id]
+	if from == to {
 		return nil
 	}
-	if as.FreeBytes(to) < p.Bytes {
-		return fmt.Errorf("pages: tier %d full (%d free, need %d)", to, as.FreeBytes(to), p.Bytes)
+	if as.FreeBytes(to) < as.bytes[id] {
+		return fmt.Errorf("pages: tier %d full (%d free, need %d)", to, as.FreeBytes(to), as.bytes[id])
 	}
-	as.tierBytes[p.Tier] -= p.Bytes
-	as.tierWeight[p.Tier] -= p.Weight
-	p.Tier = to
-	as.tierBytes[to] += p.Bytes
-	as.tierWeight[to] += p.Weight
+	as.tierBytes[from] -= as.bytes[id]
+	as.tierWeight[from] -= as.weight[id]
+	as.tier[id] = to
+	as.tierBytes[to] += as.bytes[id]
+	as.tierWeight[to] += as.weight[id]
 	return nil
 }
 
@@ -265,48 +308,46 @@ func (as *AddressSpace) Move(id PageID, to memsys.TierID) error {
 // slot count stays O(live) under split/coalesce churn; a stale ID held
 // across a Coalesce may therefore name a different live page later.
 func (as *AddressSpace) Split(id PageID, parts int) ([]PageID, error) {
-	if int(id) < 0 || int(id) >= len(as.pages) {
-		return nil, fmt.Errorf("pages: split of out-of-range page id %d (valid ids are [0,%d))", id, len(as.pages))
+	if int(id) < 0 || int(id) >= len(as.weight) {
+		return nil, fmt.Errorf("pages: split of out-of-range page id %d (valid ids are [0,%d))", id, len(as.weight))
 	}
-	p := &as.pages[id]
-	if p.Dead {
+	if as.dead[id] {
 		return nil, fmt.Errorf("pages: split of dead page %d", id)
 	}
 	if parts <= 1 {
 		return nil, fmt.Errorf("pages: split into %d parts", parts)
 	}
-	if p.Bytes%int64(parts) != 0 {
-		return nil, fmt.Errorf("pages: %d bytes not divisible into %d parts", p.Bytes, parts)
+	if as.bytes[id]%int64(parts) != 0 {
+		return nil, fmt.Errorf("pages: %d bytes not divisible into %d parts", as.bytes[id], parts)
 	}
-	childBytes := p.Bytes / int64(parts)
-	childWeight := p.Weight / float64(parts)
-	tier := p.Tier
+	childBytes := as.bytes[id] / int64(parts)
+	childWeight := as.weight[id] / float64(parts)
+	tier := as.tier[id]
 	// Retire the parent.
-	as.tierBytes[tier] -= p.Bytes
-	as.tierWeight[tier] -= p.Weight
-	as.liveWeight -= p.Weight
-	parentID := p.ID
-	p.Dead = true
-	p.Weight = 0
+	as.tierBytes[tier] -= as.bytes[id]
+	as.tierWeight[tier] -= as.weight[id]
+	as.liveWeight -= as.weight[id]
+	as.dead[id] = true
+	as.weight[id] = 0
 	as.liveCount--
 	children := make([]PageID, parts)
 	for i := 0; i < parts; i++ {
-		child := Page{
-			Bytes:  childBytes,
-			Tier:   tier,
-			Weight: childWeight,
-			Parent: parentID,
-		}
 		var cid PageID
 		if n := len(as.freeSlots); n > 0 {
 			cid = as.freeSlots[n-1]
 			as.freeSlots = as.freeSlots[:n-1]
-			child.ID = cid
-			as.pages[cid] = child
+			as.weight[cid] = childWeight
+			as.tier[cid] = tier
+			as.dead[cid] = false
+			as.bytes[cid] = childBytes
+			as.parent[cid] = id
 		} else {
-			cid = PageID(len(as.pages))
-			child.ID = cid
-			as.pages = append(as.pages, child)
+			cid = PageID(len(as.weight))
+			as.weight = append(as.weight, childWeight)
+			as.tier = append(as.tier, tier)
+			as.dead = append(as.dead, false)
+			as.bytes = append(as.bytes, childBytes)
+			as.parent = append(as.parent, id)
 		}
 		as.tierBytes[tier] += childBytes
 		as.tierWeight[tier] += childWeight
@@ -324,11 +365,10 @@ func (as *AddressSpace) Split(id PageID, parts int) ([]PageID, error) {
 // All children must be live, share the parent, and sit in the same
 // tier. The parent is revived with the summed weight; children die.
 func (as *AddressSpace) Coalesce(parent PageID, children []PageID) error {
-	if int(parent) < 0 || int(parent) >= len(as.pages) {
-		return fmt.Errorf("pages: coalesce into out-of-range page id %d (valid ids are [0,%d))", parent, len(as.pages))
+	if int(parent) < 0 || int(parent) >= len(as.weight) {
+		return fmt.Errorf("pages: coalesce into out-of-range page id %d (valid ids are [0,%d))", parent, len(as.weight))
 	}
-	pp := &as.pages[parent]
-	if !pp.Dead {
+	if !as.dead[parent] {
 		return fmt.Errorf("pages: coalesce target %d is not a split parent", parent)
 	}
 	if len(children) == 0 {
@@ -337,39 +377,37 @@ func (as *AddressSpace) Coalesce(parent PageID, children []PageID) error {
 	var bytes int64
 	var weight float64
 	for _, cid := range children {
-		if int(cid) < 0 || int(cid) >= len(as.pages) {
-			return fmt.Errorf("pages: coalesce of out-of-range child id %d (valid ids are [0,%d))", cid, len(as.pages))
+		if int(cid) < 0 || int(cid) >= len(as.weight) {
+			return fmt.Errorf("pages: coalesce of out-of-range child id %d (valid ids are [0,%d))", cid, len(as.weight))
 		}
 	}
-	tier := as.pages[children[0]].Tier
+	tier := as.tier[children[0]]
 	for _, cid := range children {
-		c := &as.pages[cid]
-		if c.Dead || c.Parent != parent {
+		if as.dead[cid] || as.parent[cid] != parent {
 			return fmt.Errorf("pages: page %d is not a live child of %d", cid, parent)
 		}
-		if c.Tier != tier {
+		if as.tier[cid] != tier {
 			return fmt.Errorf("pages: children of %d span tiers; migrate before coalescing", parent)
 		}
-		bytes += c.Bytes
-		weight += c.Weight
+		bytes += as.bytes[cid]
+		weight += as.weight[cid]
 	}
-	if bytes != pp.Bytes {
-		return fmt.Errorf("pages: children cover %d bytes of parent's %d", bytes, pp.Bytes)
+	if bytes != as.bytes[parent] {
+		return fmt.Errorf("pages: children cover %d bytes of parent's %d", bytes, as.bytes[parent])
 	}
 	for _, cid := range children {
-		c := &as.pages[cid]
-		as.tierBytes[tier] -= c.Bytes
-		as.tierWeight[tier] -= c.Weight
-		as.liveWeight -= c.Weight
-		c.Dead = true
-		c.Weight = 0
+		as.tierBytes[tier] -= as.bytes[cid]
+		as.tierWeight[tier] -= as.weight[cid]
+		as.liveWeight -= as.weight[cid]
+		as.dead[cid] = true
+		as.weight[cid] = 0
 		as.liveCount--
 		as.freeSlots = append(as.freeSlots, cid)
 	}
-	pp.Dead = false
-	pp.Tier = tier
-	pp.Weight = weight
-	as.tierBytes[tier] += pp.Bytes
+	as.dead[parent] = false
+	as.tier[parent] = tier
+	as.weight[parent] = weight
+	as.tierBytes[tier] += as.bytes[parent]
 	as.tierWeight[tier] += weight
 	as.liveWeight += weight
 	as.liveCount++
@@ -381,17 +419,57 @@ func (as *AddressSpace) Coalesce(parent PageID, children []PageID) error {
 
 // ensureLive rebuilds the ID-ordered live index if a Split or Coalesce
 // invalidated it. The rebuild scans every slot, but slot reuse keeps
-// that O(live); once clean, iteration costs nothing extra.
+// that O(live); once clean, iteration costs nothing extra. With
+// workers > 1 the scan shards by slot range (count, then fill at
+// per-shard offsets); the resulting index is identical to the serial
+// append because both orders are ID order.
 func (as *AddressSpace) ensureLive() {
 	if !as.liveDirty {
 		return
 	}
-	as.live = as.live[:0]
-	for i := range as.pages {
-		if !as.pages[i].Dead {
-			as.live = append(as.live, as.pages[i].ID)
+	if as.workers <= 1 {
+		as.live = as.live[:0]
+		for i := range as.dead {
+			if !as.dead[i] {
+				as.live = append(as.live, PageID(i))
+			}
 		}
+		as.liveDirty = false
+		return
 	}
+	plan := shard.NewPlan(len(as.dead))
+	var counts [shard.DefaultShards]int
+	shard.Run(as.workers, plan.Shards, func(s int) {
+		lo, hi := plan.Range(s)
+		c := 0
+		for i := lo; i < hi; i++ {
+			if !as.dead[i] {
+				c++
+			}
+		}
+		counts[s] = c
+	})
+	total := 0
+	var offs [shard.DefaultShards]int
+	for s, c := range counts {
+		offs[s] = total
+		total += c
+	}
+	if cap(as.live) < total {
+		as.live = make([]PageID, total)
+	} else {
+		as.live = as.live[:total]
+	}
+	shard.Run(as.workers, plan.Shards, func(s int) {
+		lo, hi := plan.Range(s)
+		k := offs[s]
+		for i := lo; i < hi; i++ {
+			if !as.dead[i] {
+				as.live[k] = PageID(i)
+				k++
+			}
+		}
+	})
 	as.liveDirty = false
 }
 
@@ -400,7 +478,7 @@ func (as *AddressSpace) ensureLive() {
 func (as *AddressSpace) ForEachLive(fn func(p Page)) {
 	as.ensureLive()
 	for _, id := range as.live {
-		fn(as.pages[id])
+		fn(as.Get(id))
 	}
 }
 
@@ -410,4 +488,102 @@ func (as *AddressSpace) LiveIDs() []PageID {
 	out := make([]PageID, len(as.live))
 	copy(out, as.live)
 	return out
+}
+
+// View is a read-only dense snapshot of the address space for sharded
+// scans: Live is the ID-ordered live index, and the remaining slices
+// are the SoA per-page fields indexed by PageID. The slices alias the
+// address space's storage — they are valid until the next mutation and
+// must not be written through.
+type View struct {
+	Live   []PageID
+	Weight []float64
+	Tier   []memsys.TierID
+	Dead   []bool
+	Bytes  []int64
+}
+
+// LiveView returns the current View, rebuilding the live index if
+// needed. Concurrent readers (shard workers) may scan it freely as
+// long as no mutator runs until they finish.
+func (as *AddressSpace) LiveView() View {
+	as.ensureLive()
+	return View{
+		Live:   as.live,
+		Weight: as.weight,
+		Tier:   as.tier,
+		Dead:   as.dead,
+		Bytes:  as.bytes,
+	}
+}
+
+// RecomputeAggregates rebuilds the per-tier byte/weight totals and the
+// live weight/count from the per-page slices, sharded across the
+// configured workers with per-shard partials reduced in shard index
+// order. Incremental maintenance (SetWeight, Move) keeps these exact
+// under normal stepping; bulk mutators such as DecayWeights call this
+// instead of issuing millions of incremental updates.
+func (as *AddressSpace) RecomputeAggregates() {
+	plan := shard.NewPlan(len(as.weight))
+	nt := len(as.tierBytes)
+	partBytes := make([]int64, plan.Shards*nt)
+	partWeight := make([]float64, plan.Shards*nt)
+	partLive := make([]float64, plan.Shards)
+	partCount := make([]int, plan.Shards)
+	shard.Run(as.workers, plan.Shards, func(s int) {
+		lo, hi := plan.Range(s)
+		pb := partBytes[s*nt : (s+1)*nt]
+		pw := partWeight[s*nt : (s+1)*nt]
+		lw := 0.0
+		n := 0
+		for i := lo; i < hi; i++ {
+			if as.dead[i] {
+				continue
+			}
+			t := as.tier[i]
+			pb[t] += as.bytes[i]
+			pw[t] += as.weight[i]
+			lw += as.weight[i]
+			n++
+		}
+		partLive[s] = lw
+		partCount[s] = n
+	})
+	for t := 0; t < nt; t++ {
+		as.tierBytes[t] = 0
+		as.tierWeight[t] = 0
+	}
+	as.liveWeight = 0
+	as.liveCount = 0
+	for s := 0; s < plan.Shards; s++ {
+		for t := 0; t < nt; t++ {
+			as.tierBytes[t] += partBytes[s*nt+t]
+			as.tierWeight[t] += partWeight[s*nt+t]
+		}
+		as.liveWeight += partLive[s]
+		as.liveCount += partCount[s]
+	}
+}
+
+// DecayWeights multiplies every live page's weight by factor — the
+// ground-truth analog of a tracker cooling pass, used by workloads and
+// the scale pipeline to age the access distribution in bulk. The scan
+// shards by slot range (disjoint writes), then the aggregates are
+// recomputed with an ordered reduce, so the result is identical at any
+// worker count. factor must be in [0, 1].
+func (as *AddressSpace) DecayWeights(factor float64) {
+	if factor < 0 || factor > 1 {
+		panic(fmt.Sprintf("pages: DecayWeights factor %v outside [0,1]", factor))
+	}
+	plan := shard.NewPlan(len(as.weight))
+	shard.Run(as.workers, plan.Shards, func(s int) {
+		lo, hi := plan.Range(s)
+		for i := lo; i < hi; i++ {
+			if !as.dead[i] && as.weight[i] != 0 {
+				as.weight[i] *= factor
+			}
+		}
+	})
+	as.RecomputeAggregates()
+	as.version++
 }

@@ -1,0 +1,172 @@
+package pages
+
+import (
+	"math"
+	"testing"
+
+	"colloid/internal/memsys"
+	"colloid/internal/stats"
+)
+
+// churn splits and coalesces a few pages so the live index is dirty and
+// the slot array contains dead parents and reused child slots.
+func churn(t *testing.T, as *AddressSpace, rng *stats.RNG) {
+	t.Helper()
+	ids := as.LiveIDs()
+	var kids [][]PageID
+	var parents []PageID
+	for i := 0; i < 8; i++ {
+		id := ids[rng.Intn(len(ids))]
+		if as.Get(id).Dead || as.Get(id).Bytes != HugePageBytes {
+			continue
+		}
+		c, err := as.Split(id, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kids = append(kids, c)
+		parents = append(parents, id)
+	}
+	for i := 0; i+1 < len(parents); i += 2 {
+		if err := as.Coalesce(parents[i], kids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func snapshot(as *AddressSpace) (live []PageID, w []float64, tb []int64, lw float64) {
+	live = as.LiveIDs()
+	w = make([]float64, 0, len(live))
+	for _, id := range live {
+		w = append(w, as.Get(id).Weight)
+	}
+	for t := 0; t < as.NumTiers(); t++ {
+		tb = append(tb, as.TierBytes(memsys.TierID(t)))
+	}
+	return live, w, tb, as.liveWeight
+}
+
+// The sharded live-index rebuild must produce the same index as the
+// serial append at every worker count, including under split/coalesce
+// churn that leaves dead parents and reused slots behind.
+func TestEnsureLiveWorkerInvariant(t *testing.T) {
+	build := func(workers int) ([]PageID, []float64, []int64, float64) {
+		as := testSpace(t, 8)
+		as.SetWorkers(workers)
+		rng := stats.NewRNG(99)
+		for _, id := range as.LiveIDs() {
+			as.SetWeight(id, rng.Float64())
+		}
+		churn(t, as, rng)
+		return snapshot(as)
+	}
+	wantLive, wantW, wantTB, wantLW := build(1)
+	for _, workers := range []int{2, 4, 7, 16} {
+		live, w, tb, lw := build(workers)
+		if len(live) != len(wantLive) {
+			t.Fatalf("workers=%d: %d live pages, want %d", workers, len(live), len(wantLive))
+		}
+		for i := range live {
+			if live[i] != wantLive[i] || w[i] != wantW[i] {
+				t.Fatalf("workers=%d: live[%d]=(%d,%v), want (%d,%v)", workers, i, live[i], w[i], wantLive[i], wantW[i])
+			}
+		}
+		for i := range tb {
+			if tb[i] != wantTB[i] {
+				t.Fatalf("workers=%d: tierBytes[%d]=%d, want %d", workers, i, tb[i], wantTB[i])
+			}
+		}
+		if lw != wantLW {
+			t.Fatalf("workers=%d: liveWeight=%x, want %x", workers, lw, wantLW)
+		}
+	}
+}
+
+func TestLiveViewAliasesState(t *testing.T) {
+	as := testSpace(t, 4)
+	ids := as.LiveIDs()
+	as.SetWeight(ids[3], 0.5)
+	v := as.LiveView()
+	if len(v.Live) != as.LivePages() {
+		t.Fatalf("view has %d live ids, want %d", len(v.Live), as.LivePages())
+	}
+	if v.Weight[ids[3]] != 0.5 {
+		t.Fatalf("view weight = %v, want 0.5", v.Weight[ids[3]])
+	}
+	if v.Dead[ids[0]] {
+		t.Fatal("live page marked dead in view")
+	}
+	if v.Bytes[ids[0]] != HugePageBytes {
+		t.Fatalf("view bytes = %d", v.Bytes[ids[0]])
+	}
+}
+
+// RecomputeAggregates must reproduce the incrementally maintained
+// totals bit-for-bit at any worker count... for integer fields; float
+// totals must agree with the ordered-reduce reference (workers=1).
+func TestRecomputeAggregatesWorkerInvariant(t *testing.T) {
+	results := make(map[int][4]float64)
+	for _, workers := range []int{1, 2, 4, 7} {
+		as := testSpace(t, 8)
+		as.SetWorkers(workers)
+		rng := stats.NewRNG(7)
+		for _, id := range as.LiveIDs() {
+			as.SetWeight(id, rng.Float64())
+		}
+		churn(t, as, rng)
+		as.RecomputeAggregates()
+		if as.liveCount != as.LivePages() || as.liveCount != len(as.LiveIDs()) {
+			t.Fatalf("workers=%d: liveCount %d inconsistent with index %d", workers, as.liveCount, len(as.LiveIDs()))
+		}
+		results[workers] = [4]float64{as.tierWeight[0], as.tierWeight[1], as.liveWeight, float64(as.tierBytes[0])}
+	}
+	want := results[1]
+	for _, workers := range []int{2, 4, 7} {
+		if results[workers] != want {
+			t.Fatalf("workers=%d aggregates %v differ from serial %v", workers, results[workers], want)
+		}
+	}
+}
+
+func TestDecayWeights(t *testing.T) {
+	as := testSpace(t, 4)
+	rng := stats.NewRNG(3)
+	for _, id := range as.LiveIDs() {
+		as.SetWeight(id, rng.Float64())
+	}
+	v0 := as.Version()
+	before := as.Get(as.LiveIDs()[17]).Weight
+	as.DecayWeights(0.5)
+	if got := as.Get(as.LiveIDs()[17]).Weight; got != before*0.5 {
+		t.Fatalf("weight after decay = %v, want %v", got, before*0.5)
+	}
+	if as.Version() == v0 {
+		t.Fatal("DecayWeights did not bump the version")
+	}
+	// Aggregates must be consistent with the per-page state.
+	var sum float64
+	as.ForEachLive(func(p Page) { sum += p.Weight })
+	if math.Abs(sum-as.liveWeight) > 1e-12 {
+		t.Fatalf("liveWeight %v inconsistent with page sum %v", as.liveWeight, sum)
+	}
+	// Worker invariance: same decay at W=1 and W=4 is bit-identical.
+	run := func(workers int) float64 {
+		as := testSpace(t, 4)
+		as.SetWorkers(workers)
+		r := stats.NewRNG(3)
+		for _, id := range as.LiveIDs() {
+			as.SetWeight(id, r.Float64())
+		}
+		as.DecayWeights(0.9)
+		return as.liveWeight
+	}
+	if a, b := run(1), run(4); a != b {
+		t.Fatalf("DecayWeights not worker-invariant: %x vs %x", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor > 1 accepted")
+		}
+	}()
+	as.DecayWeights(1.5)
+}

@@ -97,7 +97,7 @@ func TestScenarioMatchesHandWrittenSchedule(t *testing.T) {
 	}
 	handRun := func() []Sample {
 		e, _ := gupsEngineOpts(t, 13, nil)
-		e.ScheduleAt(1, func(en *Engine) { en.SetAntagonist(workloads.Intensity3x.Cores()) })
+		e.ScheduleAt(1, func(en *Engine) { en.antagonist.Cores = workloads.Intensity3x.Cores() })
 		if err := e.Run(3); err != nil {
 			t.Fatal(err)
 		}

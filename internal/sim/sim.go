@@ -58,6 +58,11 @@ type Context struct {
 	SetInflightScale func(scale float64)
 	// RNG is the system's private randomness stream.
 	RNG *stats.RNG
+	// Workers is the sharded-pipeline fan-out from Config.Workers.
+	// Systems pass it to shard.Run when assembling migration candidates;
+	// results must be identical at any worker count (fixed shard count,
+	// ordered reduce, per-shard RNG streams).
+	Workers int
 	// Obs records the system's decisions; nil when instrumentation is
 	// off (all obs handles are nil-safe, so systems never check).
 	Obs *obs.Registry
@@ -85,8 +90,13 @@ type Config struct {
 	// Profile is the application traffic profile (required).
 	Profile workloads.Profile
 	// AntagonistCores seeds the contention generator (0 = none);
-	// mutable mid-run via SetAntagonist.
+	// mid-run steps are expressed as scenario.AntagonistStep events.
 	AntagonistCores int
+	// Workers is the fan-out for the sharded per-quantum pipeline
+	// (live-index and sampler-CDF rebuilds, tracker cooling, candidate
+	// assembly). Default 1 = serial. Any worker count produces
+	// bit-identical results; raising it only changes wall-clock time.
+	Workers int
 	// QuantumSec is the engine step (default 10 ms, HeMem's migration
 	// quantum; systems with longer quanta skip engine steps).
 	QuantumSec float64
@@ -138,6 +148,9 @@ func (c Config) withDefaults() Config {
 	if c.SampleEverySec == 0 {
 		c.SampleEverySec = 1
 	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
 	return c
 }
 
@@ -167,6 +180,9 @@ func (c Config) Validate() error {
 	}
 	if c.AntagonistCores < 0 {
 		errs = append(errs, fmt.Errorf("sim: negative antagonist cores %d", c.AntagonistCores))
+	}
+	if c.Workers < 0 {
+		errs = append(errs, fmt.Errorf("sim: negative worker count %d", c.Workers))
 	}
 	if c.MigrationLimitBytesPerSec < 0 && c.MigrationLimitBytesPerSec != NoMigrationLimit {
 		errs = append(errs, fmt.Errorf("sim: negative migration limit %v (use sim.NoMigrationLimit for unlimited)",
@@ -316,6 +332,7 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	as.SetWorkers(cfg.Workers)
 	root := stats.NewRNG(cfg.Seed)
 	chaRNG := root.Split(1)
 	e := &Engine{
@@ -331,6 +348,7 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 		inflightScale: 1,
 	}
 	e.sampler = access.NewSampler(as, root.Split(4))
+	e.sampler.SetWorkers(cfg.Workers)
 	// Split 5 is reserved for scenario randomness so that installing a
 	// scenario never perturbs the workload/system/sampler streams.
 	e.rngScenario = root.Split(5)
@@ -428,29 +446,6 @@ func (e *Engine) TimeSec() float64 { return e.timeSec }
 // adding one never perturbs the other streams).
 func (e *Engine) ScenarioRNG() *stats.RNG { return e.rngScenario }
 
-// SetSystem installs the tiering system under test (may be nil for a
-// static-placement run).
-//
-// Deprecated: pass WithSystem to New instead; mutating an engine after
-// construction hides the arm's full definition from the construction
-// site.
-func (e *Engine) SetSystem(s System) { e.system = s }
-
-// SetAntagonist changes the contention intensity immediately.
-//
-// Deprecated: seed contention with WithAntagonist (or
-// Config.AntagonistCores) and express mid-run steps as a
-// scenario.AntagonistStep via WithScenario.
-func (e *Engine) SetAntagonist(cores int) { e.antagonist.Cores = cores }
-
-// SetProfile swaps the application traffic profile (for object-size or
-// phase-change sweeps).
-//
-// Deprecated: set the initial profile with WithProfile (or
-// Config.Profile) and express mid-run switches as a
-// scenario.ProfileSwitch via WithScenario.
-func (e *Engine) SetProfile(p workloads.Profile) { e.profile = p }
-
 // ScheduleAt registers fn to run at simulation time atSec, before the
 // quantum covering that time executes. Events at equal times fire in
 // scheduling order. Insertion is a binary search plus shift, so
@@ -524,8 +519,9 @@ func (e *Engine) Step() error {
 				}
 				e.inflightScale = scale
 			},
-			RNG: e.rngSystem,
-			Obs: e.cfg.Obs,
+			RNG:     e.rngSystem,
+			Obs:     e.cfg.Obs,
+			Workers: e.cfg.Workers,
 		}
 		e.system.Step(ctx)
 	}
@@ -579,8 +575,21 @@ type Steady struct {
 	AppBytesPerSec []float64
 }
 
-// SteadyState averages the trace over the final lastSeconds.
+// SteadyState averages the trace over the final lastSeconds. The
+// window is clamped to the elapsed simulation time: asking for more
+// than has run averages the whole trace, warm-up included — callers
+// that care about settling must run long enough first. A sample lying
+// exactly on the window boundary (TimeSec == timeSec - lastSeconds) is
+// included. A non-positive window is a programmer error and panics:
+// before the clamp was added it silently shifted the cutoff and
+// averaged an unintended sample set.
 func (e *Engine) SteadyState(lastSeconds float64) Steady {
+	if !(lastSeconds > 0) { // negation also catches NaN
+		panic(fmt.Sprintf("sim: SteadyState window %v s is not positive", lastSeconds))
+	}
+	if lastSeconds > e.timeSec {
+		lastSeconds = e.timeSec
+	}
 	n := e.topo.NumTiers()
 	out := Steady{
 		LatencyNs:      make([]float64, n),

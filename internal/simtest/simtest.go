@@ -30,6 +30,10 @@ type Scenario struct {
 	Seconds float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers is the sharded page-pipeline worker count (0 = serial).
+	// Results are bit-identical at any value; golden-trace tests sweep it
+	// to prove exactly that.
+	Workers int
 	// DisturbAtSec, when nonzero, steps the antagonist to
 	// DisturbIntensity at that time (contention-flip scenarios).
 	DisturbAtSec     float64
@@ -66,6 +70,7 @@ func Run(tb testing.TB, sys sim.System, sc Scenario) (*sim.Engine, sim.Steady) {
 		Profile:         g.Profile(),
 		AntagonistCores: sc.AntagonistCores,
 		Seed:            sc.Seed,
+		Workers:         sc.Workers,
 		Obs:             sc.Obs,
 	}, opts...)
 	if err != nil {

@@ -109,6 +109,12 @@ func (s *System) Name() string {
 }
 
 // Step implements sim.System.
+//
+// TPP's hot loop draws one RNG fault decision per marked page in
+// marking order, so it cannot shard without changing behavior; its
+// share of the per-quantum win comes from the sharded live-index
+// rebuild feeding the scanner's liveIDs cache (Config.Workers reaches
+// it through the address space).
 func (s *System) Step(ctx *sim.Context) {
 	if s.scanner == nil {
 		s.scanner = access.NewHintFaultScanner(ctx.AS, ctx.RNG, s.cfg.ScanIntervalSec, 0)
