@@ -6,10 +6,10 @@ GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 STATICCHECK := $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: ci verify vet staticcheck lint race bench bench-smoke bench-scale clean
+.PHONY: ci verify vet staticcheck lint race bench bench-smoke bench-scale bench-tenants clean
 
 # Everything CI gates on.
-ci: verify vet staticcheck lint race bench-smoke bench-scale
+ci: verify vet staticcheck lint race bench-smoke bench-scale bench-tenants
 
 # Tier-1: the whole tree must build and every test must pass.
 verify:
@@ -40,13 +40,14 @@ lint:
 
 # Race-detector pass over the parallel experiment runner, the engine,
 # the scenario/fault-injection subsystem, the migration engine, the
-# page index, and (since the sharded per-quantum pipeline) the access
-# sampler/tracker, the shard harness, and the root sharded golden and
-# churn tests. -short skips the long shape tests but not the runner's
-# parallel-vs-serial determinism tests or the sharded-step path.
+# page index, (since the sharded per-quantum pipeline) the access
+# sampler/tracker and the shard harness, the multi-tenant cluster
+# engine, and the root sharded golden and churn tests. -short skips
+# the long shape tests but not the runner's parallel-vs-serial
+# determinism tests or the sharded-step path.
 race:
-	$(GO) test -race -short ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/migrate/ ./internal/pages/ ./internal/access/ ./internal/shard/
-	$(GO) test -race -short -run 'TestShardedChurnBitIdentical|TestGoldenPlacementTraces' .
+	$(GO) test -race -short ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/migrate/ ./internal/pages/ ./internal/access/ ./internal/shard/ ./internal/tenant/
+	$(GO) test -race -short -run 'TestShardedChurnBitIdentical|TestGoldenPlacementTraces|TestGoldenTenantTraces' .
 
 # Headline figure metrics as benchmarks.
 bench:
@@ -66,6 +67,13 @@ bench-smoke:
 # included).
 bench-scale:
 	$(GO) test -run '^$$' -bench='ScaleQuantumStep/pages=10000/|^BenchmarkScale$$' -benchtime=1x .
+
+# One-iteration smoke of the multi-tenant cluster: the quick tenants
+# experiment (8 tenants, both arbitration policies) through the
+# standard runner. For real numbers run
+# `go run ./cmd/colloidsim -exp tenants` (100 tenants x 10^5 pages).
+bench-tenants:
+	$(GO) test -run '^$$' -bench='^BenchmarkTenants$$' -benchtime=1x .
 
 clean:
 	rm -f BENCH_*.json

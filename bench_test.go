@@ -308,3 +308,10 @@ func BenchmarkScaleQuantumStep(b *testing.B) {
 func BenchmarkScale(b *testing.B) {
 	runExperiment(b, "scale")
 }
+
+// BenchmarkTenants runs the multi-tenant cluster experiment (quick arm
+// sizes: 8 tenants under both arbitration policies) through the
+// standard runner — the `make bench-tenants` CI smoke.
+func BenchmarkTenants(b *testing.B) {
+	runExperiment(b, "tenants")
+}

@@ -1,0 +1,164 @@
+package colloid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"colloid/internal/core"
+	"colloid/internal/hemem"
+	"colloid/internal/memsys"
+	"colloid/internal/pages"
+	"colloid/internal/tenant"
+	"colloid/internal/workloads"
+)
+
+// goldenTenantsChecksums pins the multi-tenant cluster behaviour, one
+// golden per policy — NOT one per worker count or registration order.
+// A worker-dependent or order-dependent result shows up as a mismatch.
+// If a hash changes on purpose, update it to the printed actual value
+// and say why in the commit message.
+var goldenTenantsChecksums = map[tenant.Policy]uint64{
+	tenant.SharedWatermark: 0xd02c4a5d30a73e02,
+	tenant.Isolated:        0x65e46d3da3187796,
+}
+
+// goldenCluster builds the pinned cluster: three tenants of distinct
+// QoS classes, each running hemem+colloid over its own GUPS workload,
+// on a machine whose default tier cannot hold the combined hot set.
+func goldenCluster(t *testing.T, policy tenant.Policy, workers int, reverse bool) *tenant.Cluster {
+	t.Helper()
+	const page = 64 << 10
+	fast := memsys.DualSocketXeonDefault()
+	fast.CapacityBytes = 128 * page
+	slow := memsys.DualSocketXeonRemote()
+	slow.CapacityBytes = 512 * page
+	mk := func(name string, class tenant.Class, wssPages int64) tenant.Tenant {
+		g := &workloads.GUPS{
+			WorkingSetBytes: wssPages * page,
+			HotSetBytes:     wssPages / 3 * page,
+			HotProb:         0.9,
+			ObjectBytes:     64,
+			Cores:           2,
+		}
+		return tenant.Tenant{
+			Name:            name,
+			WorkingSetBytes: g.WorkingSetBytes,
+			Profile:         g.Profile(),
+			Class:           class,
+			Workload:        g,
+			System:          hemem.New(hemem.Config{Colloid: &core.Options{Epsilon: 0.01, Delta: 0.05}}),
+		}
+	}
+	tenants := []tenant.Tenant{
+		mk("beta", tenant.Standard, 60),
+		mk("alpha", tenant.Premium, 90),
+		mk("gamma", tenant.BestEffort, 60),
+	}
+	if reverse {
+		for i, j := 0, len(tenants)-1; i < j; i, j = i+1, j-1 {
+			tenants[i], tenants[j] = tenants[j], tenants[i]
+		}
+	}
+	c, err := tenant.New(tenant.Config{
+		Topology:       memsys.MustTopology(fast, slow),
+		Tenants:        tenants,
+		Policy:         policy,
+		PageBytes:      page,
+		Seed:           42,
+		Workers:        workers,
+		SampleEverySec: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// tenantsChecksum folds every tenant's trace, final placement and
+// report, plus the cluster saturation vector, into one FNV-1a hash.
+func tenantsChecksum(c *tenant.Cluster) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wf := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for i, r := range c.Reports(1.0) {
+		h.Write([]byte(r.Name))
+		wf(r.OpsPerSec)
+		wf(r.AvgLatencyNs)
+		wf(r.Interference)
+		wi(r.MigratedBytes)
+		wi(r.Moves)
+		wi(r.ForcedDemotions)
+		wi(r.ForcedDemotedBytes)
+		wi(r.SharedThrottled)
+		for _, b := range r.TierBytes {
+			wi(b)
+		}
+		for _, s := range c.Handle(i).Samples() {
+			wf(s.TimeSec)
+			wf(s.OpsPerSec)
+			wf(s.MigrationBytesPerSec)
+			for _, vs := range [][]float64{s.LatencyNs, s.AppShare, s.AppBytesPerSec, s.TotalBytesPerSec} {
+				for _, v := range vs {
+					wf(v)
+				}
+			}
+		}
+		c.Handle(i).AS().ForEachLive(func(p pages.Page) {
+			wi(int64(p.ID))
+			wi(int64(p.Tier))
+			wi(p.Bytes)
+			wf(p.Weight)
+		})
+	}
+	for _, u := range c.Saturation() {
+		wf(u)
+	}
+	return h.Sum64()
+}
+
+// TestGoldenTenantTraces pins the full multi-tenant behaviour under
+// both policies across sharded-pipeline worker counts and tenant
+// registration orders. One golden per policy: tenants are keyed by
+// name (RNG streams fork from the name, arbitration runs in name
+// order), so neither the worker count nor the order tenants were
+// declared in may change a single bit.
+func TestGoldenTenantTraces(t *testing.T) {
+	workerCounts := []int{1, 2, 4, 7}
+	if testing.Short() {
+		workerCounts = []int{1, 4}
+	}
+	for policy, golden := range goldenTenantsChecksums {
+		policy, golden := policy, golden
+		for _, w := range workerCounts {
+			w := w
+			t.Run(fmt.Sprintf("%s/workers=%d", policy, w), func(t *testing.T) {
+				c := goldenCluster(t, policy, w, false)
+				if err := c.Run(3); err != nil {
+					t.Fatal(err)
+				}
+				if got := tenantsChecksum(c); got != golden {
+					t.Fatalf("cluster checksum = %#x, golden %#x (workers=%d)", got, golden, w)
+				}
+			})
+		}
+		t.Run(fmt.Sprintf("%s/reversed-registration", policy), func(t *testing.T) {
+			c := goldenCluster(t, policy, 3, true)
+			if err := c.Run(3); err != nil {
+				t.Fatal(err)
+			}
+			if got := tenantsChecksum(c); got != golden {
+				t.Fatalf("cluster checksum = %#x, golden %#x (reversed registration order)", got, golden)
+			}
+		})
+	}
+}

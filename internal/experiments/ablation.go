@@ -97,13 +97,10 @@ func runAblationArm(arm ablationArm, o Options, seed uint64, reg *obs.Registry) 
 	sc := &scenario.Scenario{Name: "ablation-contention-drop", Events: []scenario.Event{
 		scenario.AntagonistStep{AtSec: phase1, Intensity: workloads.Intensity0x},
 	}}
-	e, err := sim.New(gupsConfig(paperTopology(0, 0), g, 2, seed, o.ShardWorkers, reg),
+	e, err := newGUPSSim(paperTopology(0, 0), g, 2, seed, o.ShardWorkers, reg,
 		sim.WithSystem(hemem.New(hemem.Config{Colloid: &arm.opts})),
 		sim.WithScenario(sc))
 	if err != nil {
-		return res, err
-	}
-	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 		return res, err
 	}
 	if err := e.Run(phase1); err != nil {

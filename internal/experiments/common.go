@@ -78,11 +78,27 @@ func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity workloads.In
 		Topology:        topo,
 		WorkingSetBytes: g.WorkingSetBytes,
 		Profile:         g.Profile(),
-		AntagonistCores: workloads.AntagonistForIntensity(intensity).Cores,
+		Antagonist:      intensity,
 		Seed:            seed,
 		Workers:         workers,
 		Obs:             reg,
 	}
+}
+
+// newGUPSSim is the construction choke point for every GUPS-driven arm:
+// config assembly, engine construction, and workload-weight install in
+// one step, so the construction sequence (and thus the RNG draw order)
+// can never drift between experiments. Only the oracle sweep bypasses
+// it — it needs the raw sim.Config, not an engine.
+func newGUPSSim(topo *memsys.Topology, g *workloads.GUPS, intensity workloads.Intensity, seed uint64, workers int, reg *obs.Registry, opts ...sim.Option) (*sim.Engine, error) {
+	e, err := sim.New(gupsConfig(topo, g, intensity, seed, workers, reg), opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // steadyCache memoizes standard GUPS arms: several figures reuse the
@@ -134,11 +150,8 @@ func runSteadyOn(topo *memsys.Topology, g *workloads.GUPS, system string, withCo
 	if err != nil {
 		return nil, sim.Steady{}, err
 	}
-	e, err := sim.New(gupsConfig(topo, g, intensity, seed, o.ShardWorkers, reg), sim.WithSystem(sys))
+	e, err := newGUPSSim(topo, g, intensity, seed, o.ShardWorkers, reg, sim.WithSystem(sys))
 	if err != nil {
-		return nil, sim.Steady{}, err
-	}
-	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 		return nil, sim.Steady{}, err
 	}
 	secs := convergeSeconds(system, o)

@@ -67,12 +67,9 @@ func runDynamic(system string, withColloid bool, sc dynamicScenario, o Options, 
 	if err != nil {
 		return nil, err
 	}
-	e, err := sim.New(gupsConfig(paperTopology(0, 0), g, sc.intensity0, seed, o.ShardWorkers, reg),
+	e, err := newGUPSSim(paperTopology(0, 0), g, sc.intensity0, seed, o.ShardWorkers, reg,
 		sim.WithSystem(sys), sim.WithScenario(sc.timeline(g)))
 	if err != nil {
-		return nil, err
-	}
-	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 		return nil, err
 	}
 	total := sc.atSec + convergeSeconds(system, o)

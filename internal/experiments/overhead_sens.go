@@ -85,12 +85,9 @@ func sensArms(Options) ([]Arm, error) {
 			name := fmt.Sprintf("eps=%.3f/delta=%.2f", eps, delta)
 			arms = append(arms, Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
 				g := workloads.DefaultGUPS()
-				e, err := sim.New(gupsConfig(paperTopology(0, 0), g, 1, ctx.Seed, ctx.Options.ShardWorkers, ctx.Obs),
+				e, err := newGUPSSim(paperTopology(0, 0), g, 1, ctx.Seed, ctx.Options.ShardWorkers, ctx.Obs,
 					sim.WithSystem(hemem.New(hemem.Config{Colloid: &core.Options{Epsilon: eps, Delta: delta}})))
 				if err != nil {
-					return nil, err
-				}
-				if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 					return nil, err
 				}
 				secs := ctx.Options.scale(60, 25)

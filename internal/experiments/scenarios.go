@@ -88,11 +88,8 @@ func runScenarioArm(name, system string, o Options, seed uint64, reg *obs.Regist
 			Colloid: &core.Options{Epsilon: 0.01, Delta: 0.05},
 		})))
 	}
-	e, err := sim.New(gupsConfig(paperTopology(0, 0), g, 0, seed, o.ShardWorkers, reg), opts...)
+	e, err := newGUPSSim(paperTopology(0, 0), g, 0, seed, o.ShardWorkers, reg, opts...)
 	if err != nil {
-		return res, err
-	}
-	if err := g.Install(e.AS(), e.WorkloadRNG()); err != nil {
 		return res, err
 	}
 	secs := scenarioSeconds(o)

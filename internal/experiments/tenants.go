@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"colloid/internal/core"
+	"colloid/internal/hemem"
+	"colloid/internal/memsys"
+	"colloid/internal/tenant"
+	"colloid/internal/workloads"
+)
+
+func init() {
+	register("tenants", &Experiment{
+		Title:    "multi-tenant cluster: isolated quotas vs shared watermark",
+		Arms:     tenantsArms,
+		Assemble: tenantsAssemble,
+	})
+}
+
+// tenantsShape sizes the cluster per mode: the full experiment runs the
+// acceptance configuration — 100 tenants of 10^5 four-KiB pages each —
+// against a machine whose default tier holds a quarter of the combined
+// working set, so the tenants' hot thirds cannot all fit and the
+// policies must arbitrate. Quick mode shrinks everything for CI smoke.
+type tenantsShape struct {
+	numTenants     int
+	pagesPerTenant int64
+	pageBytes      int64
+	cores          int
+	seconds        float64
+}
+
+func tenantsShapeFor(o Options) tenantsShape {
+	if o.Quick {
+		return tenantsShape{numTenants: 8, pagesPerTenant: 2000, pageBytes: 64 << 10, cores: 2, seconds: 1.5}
+	}
+	return tenantsShape{numTenants: 100, pagesPerTenant: 100_000, pageBytes: 4 << 10, cores: 1, seconds: 5}
+}
+
+// tenantsResult is one policy arm's outcome.
+type tenantsResult struct {
+	policy     tenant.Policy
+	reports    []tenant.Report
+	saturation []float64
+}
+
+func tenantsArms(Options) ([]Arm, error) {
+	var arms []Arm
+	for _, p := range []tenant.Policy{tenant.Isolated, tenant.SharedWatermark} {
+		p := p
+		arms = append(arms, Arm{Name: "tenants/" + p.String(), Run: func(ctx ArmContext) (any, error) {
+			return runTenantsArm(p, ctx)
+		}})
+	}
+	return arms, nil
+}
+
+func runTenantsArm(policy tenant.Policy, ctx ArmContext) (any, error) {
+	sh := tenantsShapeFor(ctx.Options)
+	wss := sh.pagesPerTenant * sh.pageBytes
+	total := int64(sh.numTenants) * wss
+	// Default tier: a quarter of the combined working set. Alternate
+	// tier: 2.5x the combined working set — enough slack that even a
+	// best-effort tenant's class-weighted quota can hold its full
+	// working set under the isolated policy.
+	fast := memsys.DualSocketXeonDefault()
+	fast.CapacityBytes = total / 4
+	slow := memsys.DualSocketXeonRemote()
+	slow.CapacityBytes = total * 5 / 2
+	topo := memsys.MustTopology(fast, slow)
+
+	classes := []tenant.Class{tenant.Premium, tenant.Standard, tenant.BestEffort}
+	tenants := make([]tenant.Tenant, sh.numTenants)
+	for i := range tenants {
+		g := &workloads.GUPS{
+			WorkingSetBytes: wss,
+			HotSetBytes:     wss / 3,
+			HotProb:         0.9,
+			ObjectBytes:     64,
+			Cores:           sh.cores,
+		}
+		tenants[i] = tenant.Tenant{
+			Name:            fmt.Sprintf("t%03d", i),
+			WorkingSetBytes: wss,
+			Profile:         g.Profile(),
+			Class:           classes[i%len(classes)],
+			Workload:        g,
+			System:          hemem.New(hemem.Config{Colloid: &core.Options{Epsilon: 0.01, Delta: 0.05}}),
+		}
+	}
+	c, err := tenant.New(tenant.Config{
+		Topology:       topo,
+		Tenants:        tenants,
+		Policy:         policy,
+		PageBytes:      sh.pageBytes,
+		Seed:           ctx.Seed,
+		Workers:        ctx.Options.ShardWorkers,
+		SampleEverySec: sh.seconds / 10,
+		Obs:            ctx.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Run(sh.seconds); err != nil {
+		return nil, err
+	}
+	return tenantsResult{
+		policy:     policy,
+		reports:    c.Reports(sh.seconds / 3),
+		saturation: c.Saturation(),
+	}, nil
+}
+
+// tenantsAssemble folds both policy arms into one table: per (policy,
+// class) mean throughput and interference, plus the policy's forced
+// demotion and shared-budget pressure totals; per-tier saturation lands
+// in the notes.
+func tenantsAssemble(o Options, results []any) (*Table, error) {
+	t := &Table{
+		ID:      "tenants",
+		Title:   "multi-tenant cluster: isolated quotas vs shared watermark",
+		Columns: []string{"policy", "class", "tenants", "mean ops/s", "interference", "forced demote MB", "shared-throttled"},
+	}
+	classes := []tenant.Class{tenant.Premium, tenant.Standard, tenant.BestEffort}
+	for _, r := range results {
+		res, ok := r.(tenantsResult)
+		if !ok {
+			return nil, fmt.Errorf("experiments: tenants arm returned %T", r)
+		}
+		type agg struct {
+			n           int
+			ops, interf float64
+			forcedBytes int64
+			throttled   int64
+		}
+		byClass := map[tenant.Class]*agg{}
+		for _, rep := range res.reports {
+			a := byClass[rep.Class]
+			if a == nil {
+				a = &agg{}
+				byClass[rep.Class] = a
+			}
+			a.n++
+			a.ops += rep.OpsPerSec
+			a.interf += rep.Interference
+			a.forcedBytes += rep.ForcedDemotedBytes
+			a.throttled += rep.SharedThrottled
+		}
+		for _, cl := range classes {
+			a := byClass[cl]
+			if a == nil {
+				continue
+			}
+			t.Rows = append(t.Rows, []string{
+				res.policy.String(),
+				cl.String(),
+				fmt.Sprintf("%d", a.n),
+				fmt.Sprintf("%.3g", a.ops/float64(a.n)),
+				fmt.Sprintf("%.2f", a.interf/float64(a.n)),
+				fmt.Sprintf("%.1f", float64(a.forcedBytes)/1e6),
+				fmt.Sprintf("%d", a.throttled),
+			})
+		}
+		sat := make([]string, len(res.saturation))
+		for i, u := range res.saturation {
+			sat[i] = fmt.Sprintf("tier%d %.2f", i, u)
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s mean tier saturation: %s", res.policy, strings.Join(sat, ", ")))
+	}
+	t.Notes = append(t.Notes,
+		"isolated: class-weighted static quotas per tier; no tenant can take another's capacity, best-effort pays with a smaller default-tier slice",
+		"shared-watermark: first-come capacity with kswapd-style forced demotion of the coldest best-effort pages when default-tier free space dips below 2%")
+	return t, nil
+}

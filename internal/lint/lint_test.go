@@ -143,6 +143,61 @@ func Scan(rng *stats.RNG, out []float64) []float64 {
 	}
 }
 
+// TestInjectedTenantSeedFlowCaught is the multi-tenant acceptance
+// probe: a math/rand source smuggled into internal/tenant (instead of
+// forking the cluster's stats.RNG per tenant name) is caught by name of
+// the seedflow check — new package directories are covered by Tree
+// without registration.
+func TestInjectedTenantSeedFlowCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/tenant/bad.go": `package tenant
+
+import "math/rand"
+
+func Shuffle(names []string) {
+	rand.New(rand.NewSource(1)).Shuffle(len(names), func(i, j int) {
+		names[i], names[j] = names[j], names[i]
+	})
+}
+`,
+	})
+	var seedflow int
+	for _, line := range got {
+		if strings.Contains(line, "[seedflow]") && strings.Contains(line, "internal/tenant") {
+			seedflow++
+		}
+	}
+	if seedflow == 0 {
+		t.Fatalf("injected math/rand in internal/tenant not caught by seedflow, got %q", got)
+	}
+}
+
+// TestInjectedTenantSharedStreamCaught is the second multi-tenant
+// probe: a shard.Run callback inside internal/tenant drawing from one
+// captured RNG stream (worker-count-dependent, the exact bug the
+// per-tenant Fork discipline exists to prevent) is caught by name of
+// the shardrng check.
+func TestInjectedTenantSharedStreamCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/tenant/bad.go": `package tenant
+
+import (
+	"colloid/internal/shard"
+	"colloid/internal/stats"
+)
+
+func Jitter(rng *stats.RNG, out []float64) {
+	shard.Run(4, len(out), func(s int) {
+		out[s] = rng.Float64()
+	})
+}
+`,
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "[shardrng]") || !strings.Contains(got[0], "internal/tenant") {
+		t.Fatalf("injected captured-stream draw in internal/tenant not caught by shardrng, got %q", got)
+	}
+}
+
 // TestDeterminismPackageAllowlist covers the allowlist predicate and
 // its end-to-end effect: cmd/ trees are skipped, internal/ trees are
 // not, and the other checks still apply under cmd/.

@@ -10,6 +10,10 @@ import (
 // the paper's two-tier discussion.
 type Topology struct {
 	tiers []*Tier
+	// view, when non-nil, scopes capacity queries to one tenant's slice
+	// of the physical tiers (see TenantView in ledger.go). Tier state
+	// (latency, bandwidth, degradation) stays shared.
+	view *tenantView
 }
 
 // NewTopology builds a topology from tier configs. The first config
@@ -55,7 +59,7 @@ func (tp *Topology) Clone() *Topology {
 		cp := *t
 		tiers[i] = &cp
 	}
-	return &Topology{tiers: tiers}
+	return &Topology{tiers: tiers, view: tp.view}
 }
 
 // Degrade injects a fault into the given tier: unloaded latency scales
@@ -84,16 +88,36 @@ func (tp *Topology) Tier(id TierID) *Tier {
 	return tp.tiers[id]
 }
 
-// Capacity returns the capacity in bytes of the given tier.
+// Capacity returns the capacity in bytes of the given tier. On a
+// tenant view this is the tenant's slice of the tier: the static quota
+// and/or what the other tenants have not taken, whichever is smaller
+// (the tenant's own usage counts against the returned capacity, as it
+// does on a physical topology).
 func (tp *Topology) Capacity(id TierID) int64 {
-	return tp.tiers[id].cfg.CapacityBytes
+	c := tp.tiers[id].cfg.CapacityBytes
+	if tp.view == nil {
+		return c
+	}
+	if tp.view.quota != nil && tp.view.quota[id] < c {
+		c = tp.view.quota[id]
+	}
+	if tp.view.ledger != nil {
+		if avail := tp.tiers[id].cfg.CapacityBytes - tp.view.ledger.Others(tp.view.tenant, id); avail < c {
+			c = avail
+		}
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
 }
 
-// TotalCapacity returns the summed capacity of all tiers.
+// TotalCapacity returns the summed capacity of all tiers (per-tenant
+// capacities on a tenant view).
 func (tp *Topology) TotalCapacity() int64 {
 	var sum int64
-	for _, t := range tp.tiers {
-		sum += t.cfg.CapacityBytes
+	for i := range tp.tiers {
+		sum += tp.Capacity(TierID(i))
 	}
 	return sum
 }

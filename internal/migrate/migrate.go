@@ -55,6 +55,60 @@ func (k FaultKind) String() string {
 	}
 }
 
+// SharedBudget is a cluster-wide proactive-migration token bucket: N
+// per-tenant Engines drain it in addition to their own budgets, so the
+// sum of all tenants' proactive traffic respects one machine-wide rate
+// limit (the migration path — DMA engines, kernel copy threads — is a
+// shared resource). The cluster engine calls BeginQuantum once per
+// quantum, before the per-tenant engines begin theirs; tenants then
+// contend in their deterministic step order.
+type SharedBudget struct {
+	limitBytesPerSec float64
+	budget           int64
+	quantumSec       float64
+}
+
+// NewSharedBudget returns a shared bucket with the given rate limit in
+// bytes/sec (0 means unlimited).
+func NewSharedBudget(limitBytesPerSec float64) *SharedBudget {
+	if limitBytesPerSec < 0 {
+		panic("migrate: negative shared limit")
+	}
+	return &SharedBudget{limitBytesPerSec: limitBytesPerSec}
+}
+
+// BeginQuantum accrues the shared budget (same token-bucket shape as
+// the per-engine budget, including the budgetCapSeconds cap).
+func (b *SharedBudget) BeginQuantum(quantumSec float64) {
+	if quantumSec <= 0 {
+		panic("migrate: non-positive quantum")
+	}
+	b.quantumSec = quantumSec
+	if b.limitBytesPerSec == 0 {
+		b.budget = 1 << 62
+		return
+	}
+	b.budget += int64(b.limitBytesPerSec * quantumSec)
+	if cap := int64(b.limitBytesPerSec * budgetCapSeconds); b.budget > cap {
+		b.budget = cap
+	}
+}
+
+// Remaining returns the shared budget left this quantum.
+func (b *SharedBudget) Remaining() int64 { return b.budget }
+
+// LimitBytesPerSec returns the configured shared rate limit (0 =
+// unlimited).
+func (b *SharedBudget) LimitBytesPerSec() float64 { return b.limitBytesPerSec }
+
+func (b *SharedBudget) consume(bytes int64) {
+	if b.budget > bytes {
+		b.budget -= bytes
+	} else {
+		b.budget = 0
+	}
+}
+
 // Engine applies migrations against one address space.
 type Engine struct {
 	as *pages.AddressSpace
@@ -69,16 +123,20 @@ type Engine struct {
 	// quantumSec is the duration of the current quantum, set by
 	// BeginQuantum; TrafficLoad divides by it.
 	quantumSec float64
+	// shared, when set, is a cluster-wide bucket drained alongside the
+	// per-engine budget (see SharedBudget).
+	shared *SharedBudget
 
 	// Per-quantum accounting, reset by BeginQuantum.
 	movedFrom []int64 // bytes read out of each tier this quantum
 	movedTo   []int64 // bytes written into each tier this quantum
 
 	// Cumulative accounting.
-	totalBytes    int64
-	totalMoves    int64
-	totalPromoted int64 // bytes moved into the default tier
-	totalDemoted  int64 // bytes moved out of the default tier
+	totalBytes      int64
+	totalMoves      int64
+	totalPromoted   int64 // bytes moved into the default tier
+	totalDemoted    int64 // bytes moved out of the default tier
+	sharedThrottled int64 // moves refused because the shared budget was the binding cap
 
 	// Injected-fault state: faultQuanta quanta of outage remain (the
 	// current one included when faultActive is set by BeginQuantum).
@@ -94,6 +152,7 @@ type Engine struct {
 	mBytes           *obs.Counter
 	mMoves           *obs.Counter
 	mThrottled       *obs.Counter
+	mSharedThrottled *obs.Counter
 	mInjected        *obs.Counter
 	mPartialBytes    *obs.Counter
 	throttledEmitted bool
@@ -120,6 +179,7 @@ func (e *Engine) SetObs(r *obs.Registry) {
 	e.mBytes = r.Counter("migrate_bytes")
 	e.mMoves = r.Counter("migrate_moves")
 	e.mThrottled = r.Counter("migrate_throttled")
+	e.mSharedThrottled = r.Counter("migrate_shared_throttled")
 	e.mInjected = r.Counter("migrate_injected_failures")
 	e.mPartialBytes = r.Counter("migrate_partial_bytes")
 }
@@ -197,11 +257,7 @@ func (e *Engine) injectFailure(p pages.Page, to memsys.TierID, forced bool) erro
 	e.mInjected.Inc()
 	if e.faultKind == FaultFail {
 		if !forced {
-			if e.quantumBudget > p.Bytes {
-				e.quantumBudget -= p.Bytes
-			} else {
-				e.quantumBudget = 0
-			}
+			e.consumeBudget(p.Bytes)
 		}
 		e.movedFrom[p.Tier] += p.Bytes
 		e.movedTo[to] += p.Bytes
@@ -217,8 +273,25 @@ func (e *Engine) injectFailure(p pages.Page, to memsys.TierID, forced bool) erro
 	return ErrInjected
 }
 
-// Budget returns the remaining migration byte budget for this quantum.
-func (e *Engine) Budget() int64 { return e.quantumBudget }
+// SetShared attaches a cluster-wide shared budget; proactive moves then
+// need room in both the engine's own bucket and the shared one. Nil
+// detaches.
+func (e *Engine) SetShared(b *SharedBudget) { e.shared = b }
+
+// Shared returns the attached shared budget (nil when standalone).
+func (e *Engine) Shared() *SharedBudget { return e.shared }
+
+// Budget returns the remaining migration byte budget for this quantum:
+// the engine's own bucket, further clamped by the shared bucket when
+// one is attached, so systems sizing batches off Budget see the
+// effective constraint.
+func (e *Engine) Budget() int64 {
+	b := e.quantumBudget
+	if e.shared != nil && e.shared.budget < b {
+		b = e.shared.budget
+	}
+	return b
+}
 
 // StaticLimitBytesPerSec returns the configured rate limit (0 =
 // unlimited).
@@ -239,14 +312,8 @@ func (e *Engine) Move(id pages.PageID, to memsys.TierID) error {
 	if e.faultActive {
 		return e.injectFailure(p, to, false)
 	}
-	if e.quantumBudget < p.Bytes {
-		e.mThrottled.Inc()
-		if !e.throttledEmitted {
-			e.throttledEmitted = true
-			e.reg.Emit(obs.EvMigrationThrottled,
-				obs.F("want_bytes", float64(p.Bytes)),
-				obs.F("budget_bytes", float64(e.quantumBudget)))
-		}
+	if e.Budget() < p.Bytes {
+		e.throttle(p)
 		return ErrLimit
 	}
 	if err := e.as.Move(id, to); err != nil {
@@ -284,13 +351,33 @@ func (e *Engine) MoveForced(id pages.PageID, to memsys.TierID) error {
 	return nil
 }
 
-// consumeBudget drains the proactive-migration budget for a completed
-// move, clamping at zero.
+// consumeBudget drains the proactive-migration budget (own and shared)
+// for a completed move, clamping at zero.
 func (e *Engine) consumeBudget(bytes int64) {
 	if e.quantumBudget > bytes {
 		e.quantumBudget -= bytes
 	} else {
 		e.quantumBudget = 0
+	}
+	if e.shared != nil {
+		e.shared.consume(bytes)
+	}
+}
+
+// throttle records a proactive-budget rejection, attributing it to the
+// shared cluster bucket when the engine's own budget would have covered
+// the move (the cross-tenant contention signal).
+func (e *Engine) throttle(p pages.Page) {
+	e.mThrottled.Inc()
+	if e.shared != nil && e.quantumBudget >= p.Bytes {
+		e.sharedThrottled++
+		e.mSharedThrottled.Inc()
+	}
+	if !e.throttledEmitted {
+		e.throttledEmitted = true
+		e.reg.Emit(obs.EvMigrationThrottled,
+			obs.F("want_bytes", float64(p.Bytes)),
+			obs.F("budget_bytes", float64(e.Budget())))
 	}
 }
 
@@ -369,14 +456,8 @@ func (e *Engine) MoveBatch(reqs []Request, outcomes []error) BatchResult {
 			set(i, e.injectFailure(p, r.To, false))
 			continue
 		}
-		if e.quantumBudget < p.Bytes {
-			e.mThrottled.Inc()
-			if !e.throttledEmitted {
-				e.throttledEmitted = true
-				e.reg.Emit(obs.EvMigrationThrottled,
-					obs.F("want_bytes", float64(p.Bytes)),
-					obs.F("budget_bytes", float64(e.quantumBudget)))
-			}
+		if e.Budget() < p.Bytes {
+			e.throttle(p)
 			res.StopIndex, res.Err = i, ErrLimit
 			for j := i; j < len(reqs); j++ {
 				set(j, ErrLimit)
@@ -462,3 +543,8 @@ func (e *Engine) QuantumBytes() int64 {
 func (e *Engine) Totals() (bytes, moves, promotedBytes, demotedBytes int64) {
 	return e.totalBytes, e.totalMoves, e.totalPromoted, e.totalDemoted
 }
+
+// SharedThrottled returns how many proactive moves were refused because
+// the cluster-wide shared budget — not this engine's own rate limit —
+// was the binding constraint. Always zero without a shared budget.
+func (e *Engine) SharedThrottled() int64 { return e.sharedThrottled }

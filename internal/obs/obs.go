@@ -230,6 +230,12 @@ type Registry struct {
 
 	nowSec float64
 	trace  *trace
+
+	// parent/prefix make this registry a scoped view (see Scoped):
+	// metric and event names are prefixed and everything is stored in
+	// the parent. Both are zero on a root registry.
+	parent *Registry
+	prefix string
 }
 
 // NewRegistry returns an empty registry with the event trace disabled
@@ -242,11 +248,38 @@ func NewRegistry() *Registry {
 	}
 }
 
+// Scoped returns a view of r whose metric and event names carry the
+// given prefix: Counter("moves") on a view scoped to "tenant.a."
+// creates "tenant.a.moves" in the underlying root registry. Views
+// nest (prefixes concatenate), share the root's clock and trace, and
+// a nil registry scopes to nil, preserving the zero-cost-off
+// contract. One root registry can therefore serve N tenants in a
+// single-goroutine engine without merging: every tenant writes
+// through its own namespace directly.
+func (r *Registry) Scoped(prefix string) *Registry {
+	if r == nil {
+		return nil
+	}
+	return &Registry{parent: r.root(), prefix: r.prefix + prefix}
+}
+
+// root resolves a scoped view to its underlying registry (itself for a
+// root registry).
+func (r *Registry) root() *Registry {
+	if r == nil || r.parent == nil {
+		return r
+	}
+	return r.parent
+}
+
 // Counter returns the named counter, creating it on first use. A nil
 // registry returns a nil handle (whose methods are no-ops).
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
+	}
+	if r.parent != nil {
+		return r.parent.Counter(r.prefix + name)
 	}
 	c, ok := r.counters[name]
 	if !ok {
@@ -261,6 +294,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	if r.parent != nil {
+		return r.parent.Gauge(r.prefix + name)
+	}
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -273,6 +309,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
+	}
+	if r.parent != nil {
+		return r.parent.Histogram(r.prefix + name)
 	}
 	h, ok := r.histograms[name]
 	if !ok {
@@ -292,6 +331,10 @@ func (r *Registry) EnableTrace(capacity int) {
 	if r == nil {
 		return
 	}
+	if r.parent != nil {
+		r.parent.EnableTrace(capacity)
+		return
+	}
 	if capacity <= 0 {
 		capacity = DefaultTraceEvents
 	}
@@ -302,15 +345,29 @@ func (r *Registry) EnableTrace(capacity int) {
 // events. The engine calls this once per quantum so instrumented code
 // below it never needs to thread a clock.
 func (r *Registry) SetTime(tSec float64) {
-	if r != nil {
-		r.nowSec = tSec
+	if r == nil {
+		return
 	}
+	if r.parent != nil {
+		r.parent.SetTime(tSec)
+		return
+	}
+	r.nowSec = tSec
 }
 
 // Emit appends an event to the trace (no-op when the registry is nil or
-// the trace is disabled).
+// the trace is disabled). On a scoped view the event kind carries the
+// view's prefix, so per-tenant events are attributable in the shared
+// trace.
 func (r *Registry) Emit(kind string, fields ...Field) {
-	if r == nil || r.trace == nil {
+	if r == nil {
+		return
+	}
+	if r.parent != nil {
+		r.parent.Emit(r.prefix+kind, fields...)
+		return
+	}
+	if r.trace == nil {
 		return
 	}
 	r.trace.add(Event{TimeSec: r.nowSec, Kind: kind, Fields: fields})
@@ -318,6 +375,7 @@ func (r *Registry) Emit(kind string, fields ...Field) {
 
 // Events returns the traced events in emission order.
 func (r *Registry) Events() []Event {
+	r = r.root()
 	if r == nil || r.trace == nil {
 		return nil
 	}
@@ -326,6 +384,7 @@ func (r *Registry) Events() []Event {
 
 // Dropped returns how many events were overwritten by ring wraparound.
 func (r *Registry) Dropped() int64 {
+	r = r.root()
 	if r == nil || r.trace == nil {
 		return 0
 	}
@@ -360,6 +419,7 @@ func (t *trace) ordered() []Event {
 // Values flattens every metric into a name->value map: counters and
 // gauges directly, histograms as <name>.count/.mean/.max.
 func (r *Registry) Values() map[string]float64 {
+	r = r.root()
 	if r == nil {
 		return nil
 	}
@@ -385,6 +445,7 @@ func (r *Registry) Values() map[string]float64 {
 // order — and anything downstream that walks it — never inherits Go's
 // randomized map order.
 func (r *Registry) Merge(other *Registry) {
+	r, other = r.root(), other.root()
 	if r == nil || other == nil {
 		return
 	}
@@ -475,6 +536,7 @@ func (r *Registry) WriteSummaryJSON(w io.Writer) error {
 // MetricNames returns every registered metric name (histograms once,
 // without the .count/.mean/.max expansion), sorted.
 func (r *Registry) MetricNames() []string {
+	r = r.root()
 	if r == nil {
 		return nil
 	}

@@ -6,6 +6,16 @@
 // sample accesses and request page migrations that take effect in
 // subsequent quanta.
 //
+// The engine is collection-shaped: it steps N tenants — each with its
+// own address space, traffic profile, tiering system, migrator and
+// sampler — against one shared physical topology. The classic
+// single-workload configuration is the one-tenant case and keeps its
+// exact construction and stepping semantics (bit-identical traces);
+// WithTenant/WithTenants switch on cluster mode, where tier capacity is
+// arbitrated through a memsys.Ledger, proactive migration bandwidth
+// through a migrate.SharedBudget, and per-tenant metrics land under
+// "tenant.<name>." namespaces in the shared obs registry.
+//
 // The tiering systems observe the machine only through the sanctioned
 // interfaces — CHA counter snapshots and access-tracking samples — never
 // the solver's ground truth, mirroring what kernel/userspace tiering
@@ -36,13 +46,20 @@ type Context struct {
 	TimeSec float64
 	// QuantumSec is the quantum duration.
 	QuantumSec float64
+	// Tenant names the tenant this system serves ("" in single-workload
+	// mode).
+	Tenant string
 	// AS is the application address space (placement + page sizes).
 	// Systems read placement and weights only via their trackers; the
 	// true Weight field is the PMU's sampling ground truth.
 	AS *pages.AddressSpace
-	// Topo describes the tiers.
+	// Topo describes the tiers. In cluster mode it is the tenant's
+	// capacity view of the shared physical topology: latencies and
+	// bandwidths are machine-wide, capacities are the tenant's slice.
 	Topo *memsys.Topology
 	// CHA is a cumulative counter snapshot taken after this quantum.
+	// The counters are machine-wide (one socket's CHAs), so in cluster
+	// mode every tenant sees the same interference-bearing snapshot.
 	CHA cha.Snapshot
 	// Migrator executes migrations under rate limits.
 	Migrator *migrate.Engine
@@ -64,7 +81,9 @@ type Context struct {
 	// ordered reduce, per-shard RNG streams).
 	Workers int
 	// Obs records the system's decisions; nil when instrumentation is
-	// off (all obs handles are nil-safe, so systems never check).
+	// off (all obs handles are nil-safe, so systems never check). In
+	// cluster mode this is the tenant's scoped view of the shared
+	// registry.
 	Obs *obs.Registry
 }
 
@@ -83,14 +102,26 @@ type System interface {
 type Config struct {
 	// Topology is the tier set (required).
 	Topology *memsys.Topology
-	// WorkingSetBytes sizes the application address space (required).
+	// WorkingSetBytes sizes the application address space (required in
+	// single-workload mode; must be unset when tenants are given).
 	WorkingSetBytes int64
 	// PageBytes is the placement granularity (default 2 MB).
 	PageBytes int64
-	// Profile is the application traffic profile (required).
+	// Profile is the application traffic profile (required in
+	// single-workload mode; must be unset when tenants are given).
 	Profile workloads.Profile
-	// AntagonistCores seeds the contention generator (0 = none);
-	// mid-run steps are expressed as scenario.AntagonistStep events.
+	// Antagonist seeds the contention generator on the paper's 0x-3x
+	// intensity scale (0 = none); mid-run steps are expressed as
+	// scenario.AntagonistStep events.
+	Antagonist workloads.Intensity
+	// AntagonistCores seeds the contention generator as a raw core
+	// count.
+	//
+	// Deprecated: use Antagonist (or the WithAntagonist option). The
+	// field remains as an alias that maps through workloads.Intensity:
+	// it must be a whole number of intensity steps
+	// (workloads.CoresPerIntensity cores each) and must agree with
+	// Antagonist when both are set.
 	AntagonistCores int
 	// Workers is the fan-out for the sharded per-quantum pipeline
 	// (live-index and sampler-CDF rebuilds, tracker cooling, candidate
@@ -106,7 +137,8 @@ type Config struct {
 	CHANoiseStdDev float64
 	// MigrationLimitBytesPerSec caps proactive migration traffic
 	// (default 2.5 GB/s; 0 keeps the default, use NoMigrationLimit for
-	// unlimited).
+	// unlimited). In cluster mode this is the machine-wide shared limit
+	// all tenants drain together; per-tenant caps live on TenantSpec.
 	MigrationLimitBytesPerSec float64
 	// SampleEverySec is the trace recording interval (default 1 s).
 	SampleEverySec float64
@@ -151,7 +183,63 @@ func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = 1
 	}
+	if c.AntagonistCores == 0 {
+		c.AntagonistCores = c.Antagonist.Cores()
+	}
 	return c
+}
+
+// validateAntagonist checks the typed intensity, the deprecated raw
+// core count, and their agreement when both are set.
+func (c Config) validateAntagonist() []error {
+	var errs []error
+	if c.AntagonistCores < 0 {
+		errs = append(errs, fmt.Errorf("sim: negative antagonist cores %d", c.AntagonistCores))
+	} else if c.AntagonistCores%workloads.CoresPerIntensity != 0 {
+		errs = append(errs, fmt.Errorf(
+			"sim: antagonist cores %d is not a whole number of intensity steps (%d cores each); use Config.Antagonist",
+			c.AntagonistCores, workloads.CoresPerIntensity))
+	}
+	if c.Antagonist < 0 {
+		errs = append(errs, fmt.Errorf("sim: negative antagonist intensity %d", c.Antagonist))
+	}
+	if c.Antagonist > 0 && c.AntagonistCores > 0 && c.AntagonistCores != c.Antagonist.Cores() {
+		errs = append(errs, fmt.Errorf(
+			"sim: Antagonist %v (= %d cores) conflicts with deprecated AntagonistCores %d",
+			c.Antagonist, c.Antagonist.Cores(), c.AntagonistCores))
+	}
+	return errs
+}
+
+// validateShared checks the fields that apply in both single-workload
+// and cluster mode.
+func (c Config) validateShared() []error {
+	var errs []error
+	if c.Topology == nil {
+		errs = append(errs, fmt.Errorf("sim: topology required"))
+	}
+	if c.PageBytes < 0 {
+		errs = append(errs, fmt.Errorf("sim: negative page size %d", c.PageBytes))
+	}
+	if c.QuantumSec < 0 {
+		errs = append(errs, fmt.Errorf("sim: negative quantum %v s", c.QuantumSec))
+	}
+	if c.SampleEverySec < 0 {
+		errs = append(errs, fmt.Errorf("sim: negative sample interval %v s", c.SampleEverySec))
+	}
+	errs = append(errs, c.validateAntagonist()...)
+	if c.Workers < 0 {
+		errs = append(errs, fmt.Errorf("sim: negative worker count %d", c.Workers))
+	}
+	if c.MigrationLimitBytesPerSec < 0 && c.MigrationLimitBytesPerSec != NoMigrationLimit {
+		errs = append(errs, fmt.Errorf("sim: negative migration limit %v (use sim.NoMigrationLimit for unlimited)",
+			c.MigrationLimitBytesPerSec))
+	}
+	if c.CHANoiseStdDev < 0 && c.CHANoiseStdDev != NoCHANoise {
+		errs = append(errs, fmt.Errorf("sim: negative CHA noise %v (use sim.NoCHANoise for noiseless counters)",
+			c.CHANoiseStdDev))
+	}
+	return errs
 }
 
 // Validate reports every problem with the configuration, joined into a
@@ -171,6 +259,9 @@ func (c Config) Validate() error {
 	}
 	if c.PageBytes < 0 {
 		errs = append(errs, fmt.Errorf("sim: negative page size %d", c.PageBytes))
+	} else if c.PageBytes > 0 && c.WorkingSetBytes > 0 && c.PageBytes > c.WorkingSetBytes {
+		errs = append(errs, fmt.Errorf("sim: page size %d bytes exceeds working set %d bytes",
+			c.PageBytes, c.WorkingSetBytes))
 	}
 	if c.QuantumSec < 0 {
 		errs = append(errs, fmt.Errorf("sim: negative quantum %v s", c.QuantumSec))
@@ -178,9 +269,7 @@ func (c Config) Validate() error {
 	if c.SampleEverySec < 0 {
 		errs = append(errs, fmt.Errorf("sim: negative sample interval %v s", c.SampleEverySec))
 	}
-	if c.AntagonistCores < 0 {
-		errs = append(errs, fmt.Errorf("sim: negative antagonist cores %d", c.AntagonistCores))
-	}
+	errs = append(errs, c.validateAntagonist()...)
 	if c.Workers < 0 {
 		errs = append(errs, fmt.Errorf("sim: negative worker count %d", c.Workers))
 	}
@@ -219,35 +308,118 @@ type event struct {
 	fn func(*Engine)
 }
 
-// Engine drives one simulation.
-type Engine struct {
-	cfg      Config
-	topo     *memsys.Topology
+// TenantSpec declares one tenant of a cluster-mode engine. Tenants are
+// ordered by Name internally, so the set of specs — not the order they
+// were registered in — determines every result bit.
+type TenantSpec struct {
+	// Name identifies the tenant (required, unique). It labels the
+	// tenant's obs namespace ("tenant.<name>.") and seeds its RNG
+	// streams via stats.RNG.Fork, so results depend on the name, never
+	// on registration order.
+	Name string
+	// WorkingSetBytes sizes the tenant's address space (required).
+	WorkingSetBytes int64
+	// PageBytes is the tenant's placement granularity (0 inherits
+	// Config.PageBytes).
+	PageBytes int64
+	// Profile is the tenant's traffic profile (required).
+	Profile workloads.Profile
+	// System is the tenant's tiering system (nil = static placement).
+	// Each tenant needs its own instance; systems hold per-run state.
+	System System
+	// Scenario is an optional per-tenant disturbance timeline. Events
+	// that mutate the shared topology (TierDegrade, TierRestore) are
+	// rejected — machine-wide faults belong on the cluster-level
+	// WithScenario. AntagonistStep and CHADropout act machine-wide even
+	// when scheduled by one tenant (there is one antagonist and one set
+	// of CHAs); ProfileSwitch, WorkloadShift and MigrationStall act on
+	// this tenant alone.
+	Scenario *scenario.Scenario
+	// CapacityQuota, when non-nil, caps the tenant's per-tier capacity
+	// (isolated policy). Nil shares the physical tiers through the
+	// cluster ledger (shared policy). Either way physical capacity is
+	// never oversubscribed; see memsys.Topology.TenantView.
+	CapacityQuota []int64
+	// MigrationLimitBytesPerSec caps this tenant's proactive migration
+	// rate. 0 leaves the tenant individually uncapped — the machine-wide
+	// Config.MigrationLimitBytesPerSec still applies through the shared
+	// budget all tenants drain.
+	MigrationLimitBytesPerSec float64
+}
+
+func (s TenantSpec) validate() []error {
+	var errs []error
+	if s.Name == "" {
+		errs = append(errs, fmt.Errorf("sim: tenant name required"))
+	}
+	if s.WorkingSetBytes <= 0 {
+		errs = append(errs, fmt.Errorf("sim: tenant %q: working set required (WorkingSetBytes = %d)", s.Name, s.WorkingSetBytes))
+	}
+	if s.PageBytes < 0 {
+		errs = append(errs, fmt.Errorf("sim: tenant %q: negative page size %d", s.Name, s.PageBytes))
+	} else if s.PageBytes > 0 && s.WorkingSetBytes > 0 && s.PageBytes > s.WorkingSetBytes {
+		errs = append(errs, fmt.Errorf("sim: tenant %q: page size %d bytes exceeds working set %d bytes",
+			s.Name, s.PageBytes, s.WorkingSetBytes))
+	}
+	if s.MigrationLimitBytesPerSec < 0 {
+		errs = append(errs, fmt.Errorf("sim: tenant %q: negative migration limit %v", s.Name, s.MigrationLimitBytesPerSec))
+	}
+	for t, q := range s.CapacityQuota {
+		if q < 0 {
+			errs = append(errs, fmt.Errorf("sim: tenant %q: negative capacity quota %d on tier %d", s.Name, q, t))
+		}
+	}
+	return errs
+}
+
+// tenantState is one tenant's slice of the engine: address space,
+// capacity view, migrator, sampler, system, profile, RNG streams,
+// scoped obs and trace.
+type tenantState struct {
+	name     string
 	as       *pages.AddressSpace
+	topo     *memsys.Topology // capacity view (the physical topology in single mode)
 	migrator *migrate.Engine
-	counters *cha.Counters
 	sampler  *access.Sampler
 	system   System
-
-	antagonist workloads.Antagonist
-	profile    workloads.Profile
+	profile  workloads.Profile
 
 	rngWorkload *stats.RNG
 	rngSystem   *stats.RNG
 	rngScenario *stats.RNG
 
+	obs           *obs.Registry
 	inflightScale float64
+	samples       []Sample
+	shareBuf      []float64
+	migBytes      int64 // this quantum's migration bytes, read before BeginQuantum
+}
+
+// Engine drives one simulation: N tenants stepping against one shared
+// physical topology (one tenant in the classic single-workload mode).
+type Engine struct {
+	cfg       Config
+	topo      *memsys.Topology // physical topology (shared by all tenants)
+	counters  *cha.Counters
+	tenants   []*tenantState
+	clustered bool
+	ledger    *memsys.Ledger
+	shared    *migrate.SharedBudget
+
+	antagonist  workloads.Antagonist
+	rngScenario *stats.RNG
 
 	timeSec     float64
 	quantum     int
 	events      []event
-	samples     []Sample
 	lastSampled float64
 	lastEq      *memsys.Equilibrium
-	// shareBuf is the per-quantum TierShare scratch buffer; Step is the
+	// migLoadBuf/srcBuf/usageBuf are per-quantum scratch: Step is the
 	// only writer and every consumer copies, so one allocation serves
 	// the whole run.
-	shareBuf []float64
+	migLoadBuf []memsys.Load
+	srcBuf     []memsys.Source
+	usageBuf   []int64
 
 	mQuanta *obs.Counter
 	hIters  *obs.Histogram
@@ -262,30 +434,33 @@ type Option func(*buildOptions)
 type buildOptions struct {
 	system     System
 	profile    *workloads.Profile
-	antagonist *int // resolved core count
+	antagonist *workloads.Intensity
 	scenario   *scenario.Scenario
+	tenants    []TenantSpec
 }
 
 // WithSystem installs the tiering system under test (nil for a
-// static-placement arm is the default and needs no option).
+// static-placement arm is the default and needs no option). Cluster
+// mode rejects it: each TenantSpec carries its own System.
 func WithSystem(s System) Option {
 	return func(o *buildOptions) { o.system = s }
 }
 
 // WithProfile sets the application traffic profile, overriding
-// Config.Profile.
+// Config.Profile. Cluster mode rejects it: each TenantSpec carries its
+// own Profile.
 func WithProfile(p workloads.Profile) Option {
 	return func(o *buildOptions) { o.profile = &p }
 }
 
 // WithAntagonist seeds the contention generator from the paper's 0x-3x
-// intensity scale, overriding Config.AntagonistCores. This is the one
-// place the intensity-to-cores conversion happens; callers never
-// hand-multiply by 5.
+// intensity scale, overriding Config.Antagonist and the deprecated
+// Config.AntagonistCores. The antagonist is machine-wide in every mode
+// (it models co-located streaming traffic, not a tenant).
 func WithAntagonist(intensity workloads.Intensity) Option {
 	return func(o *buildOptions) {
-		cores := workloads.AntagonistForIntensity(intensity).Cores
-		o.antagonist = &cores
+		v := intensity
+		o.antagonist = &v
 	}
 }
 
@@ -295,23 +470,47 @@ func WithAntagonist(intensity workloads.Intensity) Option {
 // topology is cloned first so a Topology value shared across arms is
 // never mutated. A scenario-driven run is bit-identical to a run that
 // hand-schedules the equivalent ScheduleAt calls.
+//
+// In cluster mode this is the cluster-level timeline: machine-wide
+// events only (AntagonistStep, TierDegrade, TierRestore, CHADropout).
+// Per-tenant events (ProfileSwitch, WorkloadShift, MigrationStall)
+// belong on TenantSpec.Scenario and are rejected here.
 func WithScenario(sc *scenario.Scenario) Option {
 	return func(o *buildOptions) { o.scenario = sc }
 }
 
+// WithTenant adds one tenant, switching the engine into cluster mode.
+// See TenantSpec; may be repeated and mixed with WithTenants.
+func WithTenant(spec TenantSpec) Option {
+	return func(o *buildOptions) { o.tenants = append(o.tenants, spec) }
+}
+
+// WithTenants adds several tenants, switching the engine into cluster
+// mode. Registration order never matters: tenants are ordered by name.
+func WithTenants(specs ...TenantSpec) Option {
+	return func(o *buildOptions) { o.tenants = append(o.tenants, specs...) }
+}
+
 // New builds an engine from the config plus options. The working set is
 // placed first-fit (default tier fills first); install a workload's
-// weights before running.
+// weights before running. With WithTenant/WithTenants the engine comes
+// up in cluster mode: tenant address spaces are placed first-fit in
+// name order against per-tenant capacity views, and each tenant's
+// workload weights are installed by the caller through Tenant(i).
 func New(cfg Config, opts ...Option) (*Engine, error) {
 	var bo buildOptions
 	for _, opt := range opts {
 		opt(&bo)
 	}
+	if len(bo.tenants) > 0 {
+		return newCluster(cfg, &bo)
+	}
 	if bo.profile != nil {
 		cfg.Profile = *bo.profile
 	}
 	if bo.antagonist != nil {
-		cfg.AntagonistCores = *bo.antagonist
+		cfg.Antagonist = *bo.antagonist
+		cfg.AntagonistCores = 0
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -335,40 +534,223 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 	as.SetWorkers(cfg.Workers)
 	root := stats.NewRNG(cfg.Seed)
 	chaRNG := root.Split(1)
-	e := &Engine{
-		cfg:           cfg,
-		topo:          cfg.Topology,
+	ts := &tenantState{
 		as:            as,
+		topo:          cfg.Topology,
 		migrator:      migrate.NewEngine(as, cfg.Topology.NumTiers(), cfg.MigrationLimitBytesPerSec),
-		counters:      cha.NewCounters(cfg.Topology.NumTiers(), cfg.CHANoiseStdDev, chaRNG),
-		antagonist:    workloads.Antagonist{Cores: cfg.AntagonistCores},
 		profile:       cfg.Profile,
 		rngWorkload:   root.Split(2),
 		rngSystem:     root.Split(3),
+		obs:           cfg.Obs,
 		inflightScale: 1,
 	}
-	e.sampler = access.NewSampler(as, root.Split(4))
-	e.sampler.SetWorkers(cfg.Workers)
+	e := &Engine{
+		cfg:        cfg,
+		topo:       cfg.Topology,
+		counters:   cha.NewCounters(cfg.Topology.NumTiers(), cfg.CHANoiseStdDev, chaRNG),
+		tenants:    []*tenantState{ts},
+		antagonist: workloads.Antagonist{Cores: cfg.AntagonistCores},
+	}
+	ts.sampler = access.NewSampler(as, root.Split(4))
+	ts.sampler.SetWorkers(cfg.Workers)
 	// Split 5 is reserved for scenario randomness so that installing a
 	// scenario never perturbs the workload/system/sampler streams.
 	e.rngScenario = root.Split(5)
-	e.system = bo.system
-	e.migrator.SetObs(cfg.Obs)
+	ts.rngScenario = e.rngScenario
+	ts.system = bo.system
+	ts.migrator.SetObs(cfg.Obs)
 	e.counters.SetObs(cfg.Obs)
-	e.sampler.SetObs(cfg.Obs)
+	ts.sampler.SetObs(cfg.Obs)
 	e.mQuanta = cfg.Obs.Counter("sim_quanta")
 	e.hIters = cfg.Obs.Histogram("sim_solver_iters")
 	if bo.scenario != nil {
-		e.installScenario(bo.scenario)
+		e.installScenario(ts, bo.scenario)
 	}
 	return e, nil
 }
 
-// installScenario compiles the scenario onto the event queue. Events
-// are inserted in firing order (stable for equal times), so the queue's
+// clusterRejects lists the cluster-level scenario event types that
+// target a single tenant and so are ambiguous machine-wide.
+func clusterScenarioOK(sc *scenario.Scenario) error {
+	for _, ev := range sc.Sorted() {
+		switch ev.(type) {
+		case scenario.ProfileSwitch, scenario.WorkloadShift, scenario.MigrationStall:
+			return fmt.Errorf("sim: cluster-level scenario event %T targets a single tenant; put it on that TenantSpec.Scenario", ev)
+		}
+	}
+	return nil
+}
+
+// newCluster assembles a cluster-mode engine: tenants sorted by name,
+// per-tenant capacity views over one ledger, per-tenant migrators
+// draining one shared budget, per-tenant RNG streams forked from the
+// tenant name, and per-tenant obs namespaces on the shared registry.
+func newCluster(cfg Config, bo *buildOptions) (*Engine, error) {
+	var errs []error
+	if bo.system != nil {
+		errs = append(errs, fmt.Errorf("sim: WithSystem conflicts with tenants (set System per TenantSpec)"))
+	}
+	if bo.profile != nil {
+		errs = append(errs, fmt.Errorf("sim: WithProfile conflicts with tenants (set Profile per TenantSpec)"))
+	}
+	if cfg.WorkingSetBytes != 0 {
+		errs = append(errs, fmt.Errorf("sim: Config.WorkingSetBytes must be unset with tenants (size each TenantSpec)"))
+	}
+	if cfg.Profile != (workloads.Profile{}) {
+		errs = append(errs, fmt.Errorf("sim: Config.Profile must be unset with tenants (set it per TenantSpec)"))
+	}
+	if bo.antagonist != nil {
+		cfg.Antagonist = *bo.antagonist
+		cfg.AntagonistCores = 0
+	}
+	errs = append(errs, cfg.validateShared()...)
+
+	// Order tenants by name: the spec set, not registration order,
+	// determines every downstream bit (ledger rows, solver source
+	// order, event scheduling, step order).
+	specs := append([]TenantSpec(nil), bo.tenants...)
+	sort.SliceStable(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	seen := make(map[string]bool, len(specs))
+	var totalWSS int64
+	for _, s := range specs {
+		errs = append(errs, s.validate()...)
+		if s.Name != "" && seen[s.Name] {
+			errs = append(errs, fmt.Errorf("sim: duplicate tenant name %q", s.Name))
+		}
+		seen[s.Name] = true
+		totalWSS += s.WorkingSetBytes
+	}
+	if cfg.Topology != nil && totalWSS > cfg.Topology.TotalCapacity() {
+		errs = append(errs, fmt.Errorf("sim: tenants' working sets total %d bytes, exceeding topology capacity %d bytes",
+			totalWSS, cfg.Topology.TotalCapacity()))
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if bo.scenario != nil {
+		if err := bo.scenario.Validate(cfg.Topology.NumTiers()); err != nil {
+			return nil, err
+		}
+		if err := clusterScenarioOK(bo.scenario); err != nil {
+			return nil, err
+		}
+		if bo.scenario.MutatesTopology() {
+			// Clone before the tenant views are built so they share the
+			// clone's tiers, not the caller's.
+			cfg.Topology = cfg.Topology.Clone()
+		}
+	}
+	numTiers := cfg.Topology.NumTiers()
+	root := stats.NewRNG(cfg.Seed)
+	chaRNG := root.Split(1)
+	tenantRoot := root.Split(2)
+	e := &Engine{
+		cfg:        cfg,
+		topo:       cfg.Topology,
+		counters:   cha.NewCounters(numTiers, cfg.CHANoiseStdDev, chaRNG),
+		clustered:  true,
+		ledger:     memsys.NewLedger(len(specs), numTiers),
+		shared:     migrate.NewSharedBudget(cfg.MigrationLimitBytesPerSec),
+		antagonist: workloads.Antagonist{Cores: cfg.AntagonistCores},
+	}
+	e.rngScenario = root.Split(5)
+	e.counters.SetObs(cfg.Obs)
+	e.mQuanta = cfg.Obs.Counter("sim_quanta")
+	e.hIters = cfg.Obs.Histogram("sim_solver_iters")
+	for i, spec := range specs {
+		pageBytes := spec.PageBytes
+		if pageBytes == 0 {
+			pageBytes = cfg.PageBytes
+		}
+		view, err := cfg.Topology.TenantView(e.ledger, i, spec.CapacityQuota)
+		if err != nil {
+			return nil, fmt.Errorf("sim: tenant %q: %w", spec.Name, err)
+		}
+		// First-fit placement happens against the view, so earlier
+		// tenants' ledger rows (synced below) shape where this tenant
+		// lands — exactly the sequential-arrival admission a cluster
+		// performs.
+		as, err := pages.NewAddressSpace(view, spec.WorkingSetBytes, pageBytes)
+		if err != nil {
+			return nil, fmt.Errorf("sim: tenant %q: %w", spec.Name, err)
+		}
+		as.SetWorkers(cfg.Workers)
+		// Per-tenant streams are forked from the tenant's name, so they
+		// depend on (seed, name) alone — never on how many tenants came
+		// before this one.
+		base := tenantRoot.Fork("tenant:" + spec.Name)
+		scoped := cfg.Obs.Scoped("tenant." + spec.Name + ".")
+		ts := &tenantState{
+			name:          spec.Name,
+			as:            as,
+			topo:          view,
+			migrator:      migrate.NewEngine(as, numTiers, spec.MigrationLimitBytesPerSec),
+			system:        spec.System,
+			profile:       spec.Profile,
+			rngWorkload:   base.Split(2),
+			rngSystem:     base.Split(3),
+			obs:           scoped,
+			inflightScale: 1,
+		}
+		ts.sampler = access.NewSampler(as, base.Split(4))
+		ts.sampler.SetWorkers(cfg.Workers)
+		ts.rngScenario = base.Split(5)
+		ts.migrator.SetShared(e.shared)
+		ts.migrator.SetObs(scoped)
+		ts.sampler.SetObs(scoped)
+		e.tenants = append(e.tenants, ts)
+		e.syncLedger(i)
+		if spec.Scenario != nil {
+			if err := spec.Scenario.Validate(numTiers); err != nil {
+				return nil, fmt.Errorf("sim: tenant %q: %w", spec.Name, err)
+			}
+			if spec.Scenario.MutatesTopology() {
+				return nil, fmt.Errorf("sim: tenant %q: scenario mutates the shared topology; machine-wide faults belong on the cluster-level WithScenario", spec.Name)
+			}
+			e.installScenario(ts, spec.Scenario)
+		}
+	}
+	if bo.scenario != nil {
+		e.installScenario(nil, bo.scenario)
+	}
+	return e, nil
+}
+
+// syncLedger refreshes tenant i's ledger row from its address space.
+func (e *Engine) syncLedger(i int) {
+	if e.ledger == nil {
+		return
+	}
+	n := e.topo.NumTiers()
+	if cap(e.usageBuf) < n {
+		e.usageBuf = make([]int64, n)
+	}
+	buf := e.usageBuf[:n]
+	as := e.tenants[i].as
+	for t := 0; t < n; t++ {
+		buf[t] = as.TierBytes(memsys.TierID(t))
+	}
+	e.ledger.SetUsage(i, buf)
+}
+
+// SyncTenantUsage refreshes every tenant's ledger row. The engine keeps
+// the ledger current across its own stepping; callers that move pages
+// outside Step (cluster-level watermark demotion between quanta) call
+// this afterwards.
+func (e *Engine) SyncTenantUsage() {
+	for i := range e.tenants {
+		e.syncLedger(i)
+	}
+}
+
+// installScenario compiles a scenario onto the event queue. Events are
+// inserted in firing order (stable for equal times), so the queue's
 // equal-time FIFO preserves the scenario's declared order; the trailing
-// edge of a windowed event (dropout end) schedules alongside.
-func (e *Engine) installScenario(sc *scenario.Scenario) {
+// edge of a windowed event (dropout end) schedules alongside. ts is the
+// tenant the timeline belongs to; nil is the cluster-level timeline,
+// whose tenant-targeted event types were rejected at validation.
+func (e *Engine) installScenario(ts *tenantState, sc *scenario.Scenario) {
 	for _, ev := range sc.Sorted() {
 		switch ev := ev.(type) {
 		case scenario.AntagonistStep:
@@ -377,12 +759,12 @@ func (e *Engine) installScenario(sc *scenario.Scenario) {
 				en.antagonist.Cores = cores
 			})
 		case scenario.ProfileSwitch:
-			e.ScheduleAt(ev.AtSec, func(en *Engine) {
-				en.profile = ev.Profile
+			e.ScheduleAt(ev.AtSec, func(*Engine) {
+				ts.profile = ev.Profile
 			})
 		case scenario.WorkloadShift:
-			e.ScheduleAt(ev.AtSec, func(en *Engine) {
-				ev.Shift(en.as, en.rngWorkload)
+			e.ScheduleAt(ev.AtSec, func(*Engine) {
+				ev.Shift(ts.as, ts.rngWorkload)
 			})
 		case scenario.TierDegrade:
 			e.ScheduleAt(ev.AtSec, func(en *Engine) {
@@ -413,8 +795,8 @@ func (e *Engine) installScenario(sc *scenario.Scenario) {
 					obs.F("dropped_quanta", float64(en.counters.DroppedQuanta())))
 			})
 		case scenario.MigrationStall:
-			e.ScheduleAt(ev.AtSec, func(en *Engine) {
-				en.migrator.InjectFault(ev.Fault, ev.Quanta)
+			e.ScheduleAt(ev.AtSec, func(*Engine) {
+				ts.migrator.InjectFault(ev.Fault, ev.Quanta)
 			})
 		default:
 			// Validate accepted it, so this is a new event type the
@@ -424,19 +806,20 @@ func (e *Engine) installScenario(sc *scenario.Scenario) {
 	}
 }
 
-// AS exposes the address space for workload installation and inspection.
-func (e *Engine) AS() *pages.AddressSpace { return e.as }
+// AS exposes the first tenant's address space for workload installation
+// and inspection (the only tenant in single-workload mode).
+func (e *Engine) AS() *pages.AddressSpace { return e.tenants[0].as }
 
-// Topology returns the tier set.
+// Topology returns the shared physical tier set.
 func (e *Engine) Topology() *memsys.Topology { return e.topo }
 
-// Migrator returns the migration engine (for direct manipulation in
-// oracle sweeps).
-func (e *Engine) Migrator() *migrate.Engine { return e.migrator }
+// Migrator returns the first tenant's migration engine (for direct
+// manipulation in oracle sweeps).
+func (e *Engine) Migrator() *migrate.Engine { return e.tenants[0].migrator }
 
-// WorkloadRNG returns the stream used for workload randomness so
-// installs and shifts are reproducible per seed.
-func (e *Engine) WorkloadRNG() *stats.RNG { return e.rngWorkload }
+// WorkloadRNG returns the first tenant's workload stream so installs
+// and shifts are reproducible per seed.
+func (e *Engine) WorkloadRNG() *stats.RNG { return e.tenants[0].rngWorkload }
 
 // TimeSec returns current simulation time.
 func (e *Engine) TimeSec() float64 { return e.timeSec }
@@ -445,6 +828,88 @@ func (e *Engine) TimeSec() float64 { return e.timeSec }
 // (root split 5; allocated whether or not a scenario is installed, so
 // adding one never perturbs the other streams).
 func (e *Engine) ScenarioRNG() *stats.RNG { return e.rngScenario }
+
+// CurrentProfile returns the first tenant's active traffic profile —
+// the configured one until a ProfileSwitch event replaces it.
+func (e *Engine) CurrentProfile() workloads.Profile { return e.tenants[0].profile }
+
+// AntagonistCores returns the contention generator's current core
+// count — the configured value until an AntagonistStep event replaces
+// it.
+func (e *Engine) AntagonistCores() int { return e.antagonist.Cores }
+
+// Clustered reports whether the engine was built with tenants.
+func (e *Engine) Clustered() bool { return e.clustered }
+
+// NumTenants returns the tenant count (1 in single-workload mode).
+func (e *Engine) NumTenants() int { return len(e.tenants) }
+
+// SharedMigrationBudget returns the cluster-wide proactive-migration
+// bucket (nil in single-workload mode).
+func (e *Engine) SharedMigrationBudget() *migrate.SharedBudget { return e.shared }
+
+// Ledger returns the cluster capacity ledger (nil in single-workload
+// mode).
+func (e *Engine) Ledger() *memsys.Ledger { return e.ledger }
+
+// TenantHandle is a read-mostly view of one tenant's slice of the
+// engine, indexed in name order.
+type TenantHandle struct {
+	e *Engine
+	i int
+}
+
+// Tenant returns the i-th tenant (name order).
+func (e *Engine) Tenant(i int) TenantHandle { return TenantHandle{e: e, i: i} }
+
+// TenantByName finds a tenant by name.
+func (e *Engine) TenantByName(name string) (TenantHandle, bool) {
+	for i, ts := range e.tenants {
+		if ts.name == name {
+			return TenantHandle{e: e, i: i}, true
+		}
+	}
+	return TenantHandle{}, false
+}
+
+// Index returns the tenant's position in name order (its ledger row).
+func (h TenantHandle) Index() int { return h.i }
+
+// Name returns the tenant's name ("" in single-workload mode).
+func (h TenantHandle) Name() string { return h.e.tenants[h.i].name }
+
+// AS returns the tenant's address space (install workload weights
+// through this before running).
+func (h TenantHandle) AS() *pages.AddressSpace { return h.e.tenants[h.i].as }
+
+// Topology returns the tenant's capacity view of the shared topology.
+func (h TenantHandle) Topology() *memsys.Topology { return h.e.tenants[h.i].topo }
+
+// Migrator returns the tenant's migration engine.
+func (h TenantHandle) Migrator() *migrate.Engine { return h.e.tenants[h.i].migrator }
+
+// WorkloadRNG returns the tenant's workload stream (forked from the
+// tenant name, so installs are registration-order independent).
+func (h TenantHandle) WorkloadRNG() *stats.RNG { return h.e.tenants[h.i].rngWorkload }
+
+// System returns the tenant's tiering system (nil = static placement).
+func (h TenantHandle) System() System { return h.e.tenants[h.i].system }
+
+// Profile returns the tenant's active traffic profile.
+func (h TenantHandle) Profile() workloads.Profile { return h.e.tenants[h.i].profile }
+
+// Obs returns the tenant's scoped obs view (the root registry in
+// single-workload mode; nil when instrumentation is off).
+func (h TenantHandle) Obs() *obs.Registry { return h.e.tenants[h.i].obs }
+
+// Samples returns the tenant's recorded trace.
+func (h TenantHandle) Samples() []Sample { return h.e.tenants[h.i].samples }
+
+// SteadyState averages the tenant's trace over the final lastSeconds
+// (see Engine.SteadyState for the window semantics).
+func (h TenantHandle) SteadyState(lastSeconds float64) Steady {
+	return h.e.steadyOver(h.e.tenants[h.i].samples, lastSeconds)
+}
 
 // ScheduleAt registers fn to run at simulation time atSec, before the
 // quantum covering that time executes. Events at equal times fire in
@@ -466,18 +931,35 @@ func (e *Engine) Step() error {
 		ev.fn(e)
 	}
 
-	// Migration traffic decided in the previous quantum is charged now.
-	migLoad := e.migrator.TrafficLoad()
-	migBytes := e.migrator.QuantumBytes()
-
-	e.shareBuf = e.as.TierShareInto(e.shareBuf)
-	share := e.shareBuf
-	appSrc := e.profile.Source(share)
-	appSrc.Inflight *= e.inflightScale
-	srcs := []memsys.Source{
-		appSrc,
-		e.antagonist.Source(e.topo.NumTiers()),
+	// Migration traffic decided in the previous quantum is charged now:
+	// every tenant's reads and writes land on the shared tiers.
+	n := e.topo.NumTiers()
+	if cap(e.migLoadBuf) < n {
+		e.migLoadBuf = make([]memsys.Load, n)
 	}
+	migLoad := e.migLoadBuf[:n]
+	for t := range migLoad {
+		migLoad[t] = memsys.Load{}
+	}
+	for _, ts := range e.tenants {
+		tl := ts.migrator.TrafficLoad()
+		for t := range tl {
+			migLoad[t] = migLoad[t].Add(tl[t])
+		}
+		ts.migBytes = ts.migrator.QuantumBytes()
+	}
+
+	// One solver source per tenant (name order) plus the machine-wide
+	// antagonist last.
+	srcs := e.srcBuf[:0]
+	for _, ts := range e.tenants {
+		ts.shareBuf = ts.as.TierShareInto(ts.shareBuf)
+		appSrc := ts.profile.Source(ts.shareBuf)
+		appSrc.Inflight *= ts.inflightScale
+		srcs = append(srcs, appSrc)
+	}
+	srcs = append(srcs, e.antagonist.Source(n))
+	e.srcBuf = srcs
 	eq, err := e.topo.Solve(srcs, migLoad, memsys.SolveOptions{})
 	if err != nil {
 		return fmt.Errorf("sim: quantum %d: %w", e.quantum, err)
@@ -493,55 +975,72 @@ func (e *Engine) Step() error {
 	e.mQuanta.Inc()
 	e.hIters.Observe(float64(eq.Iterations))
 
-	// Record a trace sample at the configured cadence.
-	if e.timeSec-e.lastSampled >= e.cfg.SampleEverySec-1e-12 || len(e.samples) == 0 {
-		e.samples = append(e.samples, e.makeSample(eq, share, migBytes))
+	// Record trace samples at the configured cadence (all tenants on
+	// one clock).
+	if e.timeSec-e.lastSampled >= e.cfg.SampleEverySec-1e-12 || len(e.tenants[0].samples) == 0 {
+		for i, ts := range e.tenants {
+			ts.samples = append(ts.samples, e.makeSample(ts, eq, i))
+		}
 		e.lastSampled = e.timeSec
 	}
 
-	// Let the system observe and react; its migrations apply to the
-	// next quantum's placement and traffic.
-	e.migrator.BeginQuantum(e.cfg.QuantumSec)
-	if e.system != nil {
-		ctx := &Context{
-			QuantumIndex:   e.quantum,
-			TimeSec:        e.timeSec,
-			QuantumSec:     e.cfg.QuantumSec,
-			AS:             e.as,
-			Topo:           e.topo,
-			CHA:            e.counters.Read(),
-			Migrator:       e.migrator,
-			Sampler:        e.sampler,
-			AppRequestRate: eq.Sources[0].RequestRate,
-			SetInflightScale: func(scale float64) {
-				if scale <= 0 || scale > 1 {
-					return
-				}
-				e.inflightScale = scale
-			},
-			RNG:     e.rngSystem,
-			Obs:     e.cfg.Obs,
-			Workers: e.cfg.Workers,
+	// Let the systems observe and react; their migrations apply to the
+	// next quantum's placement and traffic. The shared budget accrues
+	// once, then tenants contend in name order.
+	if e.shared != nil {
+		e.shared.BeginQuantum(e.cfg.QuantumSec)
+	}
+	for _, ts := range e.tenants {
+		ts.migrator.BeginQuantum(e.cfg.QuantumSec)
+	}
+	for i, ts := range e.tenants {
+		if ts.system != nil {
+			ts := ts
+			ctx := &Context{
+				QuantumIndex:   e.quantum,
+				TimeSec:        e.timeSec,
+				QuantumSec:     e.cfg.QuantumSec,
+				Tenant:         ts.name,
+				AS:             ts.as,
+				Topo:           ts.topo,
+				CHA:            e.counters.Read(),
+				Migrator:       ts.migrator,
+				Sampler:        ts.sampler,
+				AppRequestRate: eq.Sources[i].RequestRate,
+				SetInflightScale: func(scale float64) {
+					if scale <= 0 || scale > 1 {
+						return
+					}
+					ts.inflightScale = scale
+				},
+				RNG:     ts.rngSystem,
+				Obs:     ts.obs,
+				Workers: e.cfg.Workers,
+			}
+			ts.system.Step(ctx)
 		}
-		e.system.Step(ctx)
+		// Keep the ledger current tenant-by-tenant: the next tenant's
+		// capacity view must see this tenant's moves, exactly as a
+		// sequential admission/migration pipeline would.
+		e.syncLedger(i)
 	}
 	return nil
 }
 
-func (e *Engine) makeSample(eq *memsys.Equilibrium, share []float64, migBytes int64) Sample {
+func (e *Engine) makeSample(ts *tenantState, eq *memsys.Equilibrium, i int) Sample {
 	n := e.topo.NumTiers()
 	s := Sample{
 		TimeSec:              e.timeSec,
-		OpsPerSec:            e.profile.OpsPerSec(eq.Sources[0].RequestRate),
+		OpsPerSec:            ts.profile.OpsPerSec(eq.Sources[i].RequestRate),
 		LatencyNs:            append([]float64(nil), eq.LatencyNs...),
-		AppShare:             append([]float64(nil), share...),
+		AppShare:             append([]float64(nil), ts.shareBuf...),
 		AppBytesPerSec:       make([]float64, n),
 		TotalBytesPerSec:     make([]float64, n),
-		MigrationBytesPerSec: float64(migBytes) / e.cfg.QuantumSec,
+		MigrationBytesPerSec: float64(ts.migBytes) / e.cfg.QuantumSec,
 	}
-	bytesPerReq := memsys.CachelineBytes * (1 + e.profile.WriteFraction)
+	bytesPerReq := memsys.CachelineBytes * (1 + ts.profile.WriteFraction)
 	for t := 0; t < n; t++ {
-		s.AppBytesPerSec[t] = eq.Sources[0].TierRate[t] * bytesPerReq
+		s.AppBytesPerSec[t] = eq.Sources[i].TierRate[t] * bytesPerReq
 		s.TotalBytesPerSec[t] = eq.TierLoad[t].Total()
 	}
 	return s
@@ -558,11 +1057,13 @@ func (e *Engine) Run(seconds float64) error {
 	return nil
 }
 
-// Samples returns the recorded trace.
-func (e *Engine) Samples() []Sample { return e.samples }
+// Samples returns the first tenant's recorded trace (the only trace in
+// single-workload mode).
+func (e *Engine) Samples() []Sample { return e.tenants[0].samples }
 
 // LastEquilibrium returns the most recent solved quantum (nil before
-// the first step).
+// the first step). Sources are index-aligned with tenants (name
+// order), with the antagonist last.
 func (e *Engine) LastEquilibrium() *memsys.Equilibrium { return e.lastEq }
 
 // Steady summarizes the trace tail covering the last lastSeconds of
@@ -575,15 +1076,19 @@ type Steady struct {
 	AppBytesPerSec []float64
 }
 
-// SteadyState averages the trace over the final lastSeconds. The
-// window is clamped to the elapsed simulation time: asking for more
-// than has run averages the whole trace, warm-up included — callers
-// that care about settling must run long enough first. A sample lying
-// exactly on the window boundary (TimeSec == timeSec - lastSeconds) is
-// included. A non-positive window is a programmer error and panics:
-// before the clamp was added it silently shifted the cutoff and
-// averaged an unintended sample set.
+// SteadyState averages the first tenant's trace over the final
+// lastSeconds. The window is clamped to the elapsed simulation time:
+// asking for more than has run averages the whole trace, warm-up
+// included — callers that care about settling must run long enough
+// first. A sample lying exactly on the window boundary (TimeSec ==
+// timeSec - lastSeconds) is included. A non-positive window is a
+// programmer error and panics: before the clamp was added it silently
+// shifted the cutoff and averaged an unintended sample set.
 func (e *Engine) SteadyState(lastSeconds float64) Steady {
+	return e.steadyOver(e.tenants[0].samples, lastSeconds)
+}
+
+func (e *Engine) steadyOver(samples []Sample, lastSeconds float64) Steady {
 	if !(lastSeconds > 0) { // negation also catches NaN
 		panic(fmt.Sprintf("sim: SteadyState window %v s is not positive", lastSeconds))
 	}
@@ -598,7 +1103,7 @@ func (e *Engine) SteadyState(lastSeconds float64) Steady {
 	}
 	cutoff := e.timeSec - lastSeconds
 	count := 0
-	for _, s := range e.samples {
+	for _, s := range samples {
 		if s.TimeSec < cutoff {
 			continue
 		}

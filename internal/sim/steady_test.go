@@ -11,9 +11,9 @@ import (
 func steadyEngine(t *testing.T, times []float64, ops []float64, now float64) *Engine {
 	t.Helper()
 	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
-	e := &Engine{topo: topo, timeSec: now}
+	e := &Engine{topo: topo, timeSec: now, tenants: []*tenantState{{topo: topo}}}
 	for i, ts := range times {
-		e.samples = append(e.samples, Sample{
+		e.tenants[0].samples = append(e.tenants[0].samples, Sample{
 			TimeSec:   ts,
 			OpsPerSec: ops[i],
 			LatencyNs:      make([]float64, topo.NumTiers()),

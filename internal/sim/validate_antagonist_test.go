@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"colloid/internal/memsys"
+	"colloid/internal/workloads"
+)
+
+func validBase() Config {
+	return Config{
+		Topology:        memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote()),
+		WorkingSetBytes: workloads.DefaultGUPS().WorkingSetBytes,
+		Profile:         workloads.DefaultGUPS().Profile(),
+	}
+}
+
+// A page larger than the working set would "round up" to a single page
+// bigger than the address space; Validate rejects it outright.
+func TestValidateRejectsPageLargerThanWorkingSet(t *testing.T) {
+	cfg := validBase()
+	cfg.WorkingSetBytes = 1 << 20
+	cfg.PageBytes = 2 << 20
+	err := cfg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "exceeds working set") {
+		t.Fatalf("err = %v, want page-exceeds-working-set", err)
+	}
+}
+
+// The typed intensity scale and its deprecated raw-cores alias: the
+// alias must be a whole number of intensity steps, must agree with the
+// typed field when both are set, and maps through withDefaults when
+// only the typed field is set.
+func TestAntagonistIntensityValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		intensity workloads.Intensity
+		cores     int
+		want      string // "" = valid
+	}{
+		{"typed only", workloads.Intensity2x, 0, ""},
+		{"alias only", 0, 10, ""},
+		{"agreeing", workloads.Intensity2x, 10, ""},
+		{"negative intensity", -1, 0, "negative antagonist intensity"},
+		{"negative cores", 0, -5, "negative antagonist cores"},
+		{"fractional steps", 0, workloads.CoresPerIntensity + 1, "not a whole number of intensity steps"},
+		{"conflict", workloads.Intensity1x, 10, "conflicts with deprecated AntagonistCores"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validBase()
+			cfg.Antagonist = tc.intensity
+			cfg.AntagonistCores = tc.cores
+			err := cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// withDefaults resolves the typed intensity into the raw core count the
+// engine's antagonist actually runs.
+func TestAntagonistDefaultsResolveIntensity(t *testing.T) {
+	cfg := Config{Antagonist: workloads.Intensity3x}.withDefaults()
+	if got, want := cfg.AntagonistCores, workloads.Intensity3x.Cores(); got != want {
+		t.Fatalf("withDefaults cores = %d, want %d", got, want)
+	}
+	// An explicitly set alias survives untouched.
+	cfg = Config{AntagonistCores: 10}.withDefaults()
+	if cfg.AntagonistCores != 10 {
+		t.Fatalf("withDefaults clobbered explicit AntagonistCores: %d", cfg.AntagonistCores)
+	}
+}

@@ -53,6 +53,20 @@ func (r *RNG) SplitString(label string) *RNG {
 	return r.Split(h)
 }
 
+// Fork derives an independent child stream labeled by a string without
+// advancing the parent: unlike Split/SplitString, which consume one
+// draw from the parent (making the derived stream depend on how many
+// children came before it), Fork works on a copy of the parent's
+// current state. Two Forks of the same parent state with different
+// labels are uncorrelated, and the set of streams produced is
+// independent of the order the Fork calls are made in — this is what
+// gives per-tenant streams that depend only on the tenant's name,
+// never on registration order.
+func (r *RNG) Fork(label string) *RNG {
+	cp := *r
+	return cp.SplitString(label)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

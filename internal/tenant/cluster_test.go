@@ -1,0 +1,267 @@
+package tenant
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"strings"
+	"testing"
+
+	"colloid/internal/core"
+	"colloid/internal/hemem"
+	"colloid/internal/memsys"
+	"colloid/internal/pages"
+	"colloid/internal/workloads"
+)
+
+const testPage = 64 << 10
+
+// testTopology builds a small two-tier machine: tier0 holds tier0Pages
+// test pages, tier1 is comfortably larger.
+func testTopology(tier0Pages, tier1Pages int64) *memsys.Topology {
+	fast := memsys.DualSocketXeonDefault()
+	fast.CapacityBytes = tier0Pages * testPage
+	slow := memsys.DualSocketXeonRemote()
+	slow.CapacityBytes = tier1Pages * testPage
+	return memsys.MustTopology(fast, slow)
+}
+
+// testGUPS builds a small GUPS workload sized in test pages.
+func testGUPS(wssPages int64, cores int) *workloads.GUPS {
+	return &workloads.GUPS{
+		WorkingSetBytes: wssPages * testPage,
+		HotSetBytes:     wssPages / 3 * testPage,
+		HotProb:         0.9,
+		ObjectBytes:     64,
+		Cores:           cores,
+	}
+}
+
+// testTenants declares three tenants of distinct classes, each with its
+// own hemem+colloid instance.
+func testTenants() []Tenant {
+	mk := func(name string, class Class, wssPages int64) Tenant {
+		g := testGUPS(wssPages, 2)
+		return Tenant{
+			Name:            name,
+			WorkingSetBytes: g.WorkingSetBytes,
+			Profile:         g.Profile(),
+			Class:           class,
+			Workload:        g,
+			System:          hemem.New(hemem.Config{Colloid: &core.Options{Epsilon: 0.01, Delta: 0.05}}),
+		}
+	}
+	return []Tenant{
+		mk("beta", Standard, 60),
+		mk("alpha", Premium, 90),
+		mk("gamma", BestEffort, 60),
+	}
+}
+
+// clusterChecksum folds every tenant's live placement plus its report
+// into one hash.
+func clusterChecksum(t *testing.T, c *Cluster) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for i, r := range c.Reports(0.5) {
+		h.Write([]byte(r.Name))
+		w(math.Float64bits(r.OpsPerSec))
+		w(math.Float64bits(r.AvgLatencyNs))
+		w(math.Float64bits(r.Interference))
+		w(uint64(r.MigratedBytes))
+		w(uint64(r.Moves))
+		w(uint64(r.ForcedDemotedBytes))
+		c.Handle(i).AS().ForEachLive(func(p pages.Page) {
+			w(uint64(p.ID))
+			w(uint64(p.Tier))
+			w(uint64(p.Bytes))
+			w(math.Float64bits(p.Weight))
+		})
+	}
+	for _, u := range c.Saturation() {
+		w(math.Float64bits(u))
+	}
+	return h.Sum64()
+}
+
+// runCluster builds and runs a cluster for one simulated second with
+// the given worker count, policy and tenant registration order.
+func runCluster(t *testing.T, workers int, policy Policy, reverse bool) *Cluster {
+	t.Helper()
+	tenants := testTenants()
+	if reverse {
+		for i, j := 0, len(tenants)-1; i < j; i, j = i+1, j-1 {
+			tenants[i], tenants[j] = tenants[j], tenants[i]
+		}
+	}
+	c, err := New(Config{
+		Topology:  testTopology(128, 512),
+		Tenants:   tenants,
+		Policy:    policy,
+		PageBytes: testPage,
+		Seed:      42,
+		Workers:   workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(1.0); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The cluster must be bit-identical at every worker count and at any
+// tenant registration order, under both policies: placements, report
+// values and saturation all hash equal.
+func TestClusterBitIdenticalAcrossWorkersAndOrder(t *testing.T) {
+	for _, policy := range []Policy{SharedWatermark, Isolated} {
+		t.Run(policy.String(), func(t *testing.T) {
+			want := clusterChecksum(t, runCluster(t, 1, policy, false))
+			for _, w := range []int{2, 4, 7} {
+				if got := clusterChecksum(t, runCluster(t, w, policy, false)); got != want {
+					t.Errorf("workers=%d: checksum %#x, want %#x", w, got, want)
+				}
+			}
+			if got := clusterChecksum(t, runCluster(t, 3, policy, true)); got != want {
+				t.Errorf("reversed registration order: checksum %#x, want %#x", got, want)
+			}
+		})
+	}
+}
+
+// Isolated partitioning must cap every tenant inside its class-weighted
+// quota on every tier, and the tenants together must never exceed the
+// physical tiers.
+func TestIsolatedQuotaCapsPlacement(t *testing.T) {
+	c := runCluster(t, 1, Isolated, false)
+	topo := c.Engine().Topology()
+	for tier := 0; tier < topo.NumTiers(); tier++ {
+		var sum int64
+		for i := 0; i < c.NumTenants(); i++ {
+			h := c.Handle(i)
+			used := h.AS().TierBytes(memsys.TierID(tier))
+			quota := h.Topology().Capacity(memsys.TierID(tier))
+			if used > quota {
+				t.Errorf("tenant %s tier %d: %d bytes used > %d quota", h.Name(), tier, used, quota)
+			}
+			sum += used
+		}
+		if physical := topo.Capacity(memsys.TierID(tier)); sum > physical {
+			t.Errorf("tier %d: tenants use %d bytes > physical %d", tier, sum, physical)
+		}
+	}
+}
+
+// A tenant whose working set cannot fit its class-weighted share must
+// be rejected at construction, not discovered as a placement failure.
+func TestIsolatedInfeasibleQuotaErrors(t *testing.T) {
+	big := testGUPS(500, 2)   // needs most of the machine
+	small := testGUPS(100, 2) // its premium weight shrinks big's share
+	_, err := New(Config{
+		Topology:  testTopology(128, 512),
+		PageBytes: testPage,
+		Policy:    Isolated,
+		Tenants: []Tenant{
+			{Name: "big", WorkingSetBytes: big.WorkingSetBytes, Profile: big.Profile(), Class: BestEffort, Workload: big},
+			{Name: "small", WorkingSetBytes: small.WorkingSetBytes, Profile: small.Profile(), Class: Premium, Workload: small},
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cannot hold working set") {
+		t.Fatalf("err = %v, want isolated-quota infeasibility", err)
+	}
+}
+
+// Under the shared-watermark policy a full default tier must trigger
+// forced demotion, the victims must be the lowest class first, and the
+// watermark must be restored when the batch suffices.
+func TestWatermarkDemotesBestEffortFirst(t *testing.T) {
+	// Static tenants (no tiering systems): only the watermark moves
+	// pages. "best" places first (name order) and fills tier0; "prem"
+	// lands mostly in tier1.
+	gb := testGUPS(100, 2)
+	gp := testGUPS(60, 2)
+	c, err := New(Config{
+		Topology:  testTopology(100, 512),
+		PageBytes: testPage,
+		Policy:    SharedWatermark,
+		Tenants: []Tenant{
+			{Name: "best", WorkingSetBytes: gb.WorkingSetBytes, Profile: gb.Profile(), Class: BestEffort, Workload: gb},
+			{Name: "prem", WorkingSetBytes: gp.WorkingSetBytes, Profile: gp.Profile(), Class: Premium, Workload: gp},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	reports := c.Reports(0.01)
+	var best, prem Report
+	for _, r := range reports {
+		switch r.Name {
+		case "best":
+			best = r
+		case "prem":
+			prem = r
+		}
+	}
+	if best.ForcedDemotions == 0 {
+		t.Fatalf("best-effort tenant saw no forced demotions with a full default tier")
+	}
+	if prem.ForcedDemotions != 0 {
+		t.Fatalf("premium tenant was demoted (%d pages) while a best-effort victim sufficed", prem.ForcedDemotions)
+	}
+	topo := c.Engine().Topology()
+	cap0 := topo.Capacity(memsys.DefaultTier)
+	free := cap0 - c.Engine().Ledger().Total(memsys.DefaultTier)
+	if minFree := int64(0.02 * float64(cap0)); free < minFree {
+		t.Fatalf("free default-tier bytes %d below watermark %d after demotion", free, minFree)
+	}
+	// The demoted pages must be the victim's coldest: every page still
+	// in tier0 is at least as hot as every demoted page.
+	as := c.Handle(0).AS()
+	minIn, maxOut := math.Inf(1), math.Inf(-1)
+	as.ForEachLive(func(p pages.Page) {
+		if p.Tier == memsys.DefaultTier {
+			minIn = math.Min(minIn, p.Weight)
+		} else {
+			maxOut = math.Max(maxOut, p.Weight)
+		}
+	})
+	if maxOut > minIn {
+		t.Fatalf("demotion took a page of weight %v while a colder page (%v) stayed resident", maxOut, minIn)
+	}
+}
+
+// Construction must reject bad configurations with one combined error.
+func TestClusterValidation(t *testing.T) {
+	topo := testTopology(128, 512)
+	ok := testTenants()
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"nil topology", Config{Tenants: ok}, "topology required"},
+		{"no tenants", Config{Topology: topo}, "at least one tenant"},
+		{"bad policy", Config{Topology: topo, Tenants: ok, Policy: Policy(7)}, "unknown policy"},
+		{"bad watermark", Config{Topology: topo, Tenants: ok, WatermarkFree: 1.5}, "watermark free fraction"},
+		{"negative batch", Config{Topology: topo, Tenants: ok, DemotePagesPerQuantum: -1}, "negative demotion batch"},
+		{"unnamed tenant", Config{Topology: topo, Tenants: []Tenant{{WorkingSetBytes: 1}}}, "name required"},
+		{"bad class", Config{Topology: topo, Tenants: []Tenant{{Name: "x", WorkingSetBytes: 1, Class: Class(9)}}}, "unknown class"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -244,6 +244,18 @@ func AntagonistForIntensity(intensity Intensity) Antagonist {
 	return Antagonist{Cores: intensity.Cores()}
 }
 
+// IntensityForCores maps a raw antagonist core count back onto the
+// paper's intensity scale. ok is false when cores is negative or not a
+// whole number of intensity steps — the deprecated raw-cores
+// configuration paths use this to reject values the typed scale cannot
+// express.
+func IntensityForCores(cores int) (Intensity, bool) {
+	if cores < 0 || cores%CoresPerIntensity != 0 {
+		return 0, false
+	}
+	return Intensity(cores / CoresPerIntensity), true
+}
+
 // Source renders the antagonist as a solver source pinned to the
 // default tier of a numTiers topology.
 func (a Antagonist) Source(numTiers int) memsys.Source {

@@ -172,6 +172,22 @@ func TestAntagonistIntensityMapping(t *testing.T) {
 	}
 }
 
+// IntensityForCores is the inverse of Intensity.Cores on the typed
+// scale, and rejects core counts the scale cannot express.
+func TestIntensityForCoresRoundTrip(t *testing.T) {
+	for _, i := range []Intensity{Intensity0x, Intensity1x, Intensity2x, Intensity3x, 7} {
+		got, ok := IntensityForCores(i.Cores())
+		if !ok || got != i {
+			t.Errorf("IntensityForCores(%d) = (%v, %v), want (%v, true)", i.Cores(), got, ok, i)
+		}
+	}
+	for _, cores := range []int{-5, 1, CoresPerIntensity + 2, 3 * CoresPerIntensity / 2} {
+		if got, ok := IntensityForCores(cores); ok {
+			t.Errorf("IntensityForCores(%d) = (%v, true), want rejection", cores, got)
+		}
+	}
+}
+
 func TestZipfKVInstall(t *testing.T) {
 	as := testSpace(t)
 	z := DefaultSiloYCSBC()
