@@ -6,10 +6,10 @@ GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 STATICCHECK := $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: ci verify vet staticcheck lint race bench bench-smoke bench-scale bench-tenants clean
+.PHONY: ci verify vet staticcheck lint race bench bench-smoke bench-scale bench-tenants bench-heat clean
 
 # Everything CI gates on.
-ci: verify vet staticcheck lint race bench-smoke bench-scale bench-tenants
+ci: verify vet staticcheck lint race bench-smoke bench-scale bench-tenants bench-heat
 
 # Tier-1: the whole tree must build and every test must pass.
 verify:
@@ -42,11 +42,12 @@ lint:
 # the scenario/fault-injection subsystem, the migration engine, the
 # page index, (since the sharded per-quantum pipeline) the access
 # sampler/tracker and the shard harness, the multi-tenant cluster
-# engine, and the root sharded golden and churn tests. -short skips
-# the long shape tests but not the runner's parallel-vs-serial
-# determinism tests or the sharded-step path.
+# engine, the region-granularity heat tracker, and the root sharded
+# golden and churn tests. -short skips the long shape tests but not
+# the runner's parallel-vs-serial determinism tests or the
+# sharded-step path.
 race:
-	$(GO) test -race -short ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/migrate/ ./internal/pages/ ./internal/access/ ./internal/shard/ ./internal/tenant/
+	$(GO) test -race -short ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/migrate/ ./internal/pages/ ./internal/access/ ./internal/shard/ ./internal/tenant/ ./internal/heat/
 	$(GO) test -race -short -run 'TestShardedChurnBitIdentical|TestGoldenPlacementTraces|TestGoldenTenantTraces' .
 
 # Headline figure metrics as benchmarks.
@@ -74,6 +75,14 @@ bench-scale:
 # `go run ./cmd/colloidsim -exp tenants` (100 tenants x 10^5 pages).
 bench-tenants:
 	$(GO) test -run '^$$' -bench='^BenchmarkTenants$$' -benchtime=1x .
+
+# One-iteration smoke of the heat-tracking family: the quick fidelity
+# ablation (exact vs region granularities 1/4/64/1024 plus a chained
+# forecaster) and the region-tracker scale arm through the standard
+# runner. For real numbers run `go run ./cmd/colloidsim -exp heat`
+# (2^24-page scale arm).
+bench-heat:
+	$(GO) test -run '^$$' -bench='^BenchmarkHeat$$' -benchtime=1x .
 
 clean:
 	rm -f BENCH_*.json

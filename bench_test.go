@@ -20,6 +20,7 @@ import (
 	"colloid/internal/hemem"
 	"colloid/internal/obs"
 	"colloid/internal/simtest"
+	"colloid/internal/workloads"
 )
 
 // runExperiment executes one experiment per benchmark iteration and
@@ -255,10 +256,10 @@ func BenchmarkObsOverhead(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			sys := hemem.New(hemem.Config{Colloid: &core.Options{}})
 			simtest.Run(b, sys, simtest.Scenario{
-				AntagonistCores: 15,
-				Seconds:         60,
-				Seed:            1,
-				Obs:             mkReg(),
+				Antagonist: workloads.Intensity3x,
+				Seconds:    60,
+				Seed:       1,
+				Obs:        mkReg(),
 			})
 		}
 	}
@@ -314,4 +315,12 @@ func BenchmarkScale(b *testing.B) {
 // standard runner — the `make bench-tenants` CI smoke.
 func BenchmarkTenants(b *testing.B) {
 	runExperiment(b, "tenants")
+}
+
+// BenchmarkHeat runs the heat-tracking family (quick arm sizes: the
+// fidelity ablation across region granularities plus the region-tracker
+// scale arm) through the standard runner — the `make bench-heat` CI
+// smoke.
+func BenchmarkHeat(b *testing.B) {
+	runExperiment(b, "heat")
 }

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"colloid/internal/core"
+	"colloid/internal/heat"
 	"colloid/internal/hemem"
 	"colloid/internal/memsys"
 	"colloid/internal/memtis"
@@ -48,6 +49,7 @@ func main() {
 		hotGB      = flag.Int64("hot-gb", 24, "hot set (GiB)")
 		object     = flag.Int64("object", 64, "GUPS object size (bytes)")
 		cores      = flag.Int("cores", 15, "application cores")
+		region     = flag.Int("region", 0, "track heat per N-page region instead of exactly (power of two, 0 = exact)")
 		sample     = flag.Float64("sample", 1, "trace sampling interval (sec)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		out        = flag.String("o", "", "output CSV path (default stdout)")
@@ -61,7 +63,7 @@ func main() {
 		intensity: *intensity, stepAt: *stepAt, stepTo: *stepTo,
 		hotshiftAt: *hotshiftAt, duration: *duration,
 		wsGB: *wsGB, hotGB: *hotGB, object: *object, cores: *cores,
-		sample: *sample, seed: *seed, out: *out,
+		region: *region, sample: *sample, seed: *seed, out: *out,
 		metrics: *metrics, metricsSummary: *metricsSum,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "colloidtrace:", err)
@@ -78,6 +80,7 @@ type settings struct {
 	wsGB, hotGB        int64
 	object             int64
 	cores              int
+	region             int
 	sample             float64
 	seed               uint64
 	out                string
@@ -135,7 +138,8 @@ func run(s settings) error {
 		Topology:        topo,
 		WorkingSetBytes: gups.WorkingSetBytes,
 		Profile:         gups.Profile(),
-		AntagonistCores: workloads.AntagonistForIntensity(workloads.Intensity(s.intensity)).Cores,
+		Antagonist:      workloads.Intensity(s.intensity),
+		Heat:            heatSpec(s.region),
 		Seed:            s.seed,
 		SampleEverySec:  s.sample,
 		Obs:             reg,
@@ -220,6 +224,16 @@ func writeMetrics(s settings, reg *obs.Registry) error {
 		}
 	}
 	return nil
+}
+
+// heatSpec maps the -region flag onto a tracker spec: 0 keeps the
+// exact per-page counters, anything else selects region tracking at
+// that granularity (validated by sim.Config.Validate).
+func heatSpec(regionPages int) heat.Spec {
+	if regionPages == 0 {
+		return heat.Spec{}
+	}
+	return heat.Spec{Kind: heat.Region, RegionPages: regionPages}
 }
 
 // makeSystem builds the requested tiering system; "none" runs static

@@ -17,8 +17,8 @@ import (
 	"fmt"
 	"log"
 
-	"colloid/internal/access"
 	"colloid/internal/core"
+	"colloid/internal/heat"
 	"colloid/internal/memsys"
 	"colloid/internal/pages"
 	"colloid/internal/sim"
@@ -26,10 +26,12 @@ import (
 )
 
 // multiTierSystem is a minimal Colloid integration for N tiers: a
-// frequency tracker fed by PEBS samples plus the MultiController.
+// heat tracker fed by PEBS samples plus the MultiController. The
+// tracker comes from Context.Heat, so the example runs on exact or
+// region-granularity tracking without code changes.
 type multiTierSystem struct {
 	ctrl    *core.MultiController
-	tracker *access.FreqTracker
+	tracker heat.Tracker
 }
 
 func (m *multiTierSystem) Name() string { return "multitier-colloid" }
@@ -43,7 +45,7 @@ func (m *multiTierSystem) Step(ctx *sim.Context) {
 		m.ctrl = core.NewMultiController(ctx.Topo.NumTiers(),
 			core.Options{UnloadedLatencyNs: unloaded,
 				StaticLimitBytesPerSec: ctx.Migrator.StaticLimitBytesPerSec()}, 0.5)
-		m.tracker = access.NewFreqTracker(64)
+		m.tracker = ctx.Heat.NewTracker(64)
 	}
 	// PEBS sampling: 500 samples per 10 ms quantum.
 	for i := 0; i < 500; i++ {

@@ -14,6 +14,7 @@ import (
 	"colloid/internal/sim"
 	"colloid/internal/simtest"
 	"colloid/internal/tpp"
+	"colloid/internal/workloads"
 )
 
 // TestGoldenPlacementTraces pins a checksum over the full sample trace
@@ -55,10 +56,10 @@ func TestGoldenPlacementTraces(t *testing.T) {
 			w := w
 			t.Run(fmt.Sprintf("%s/workers=%d", name, w), func(t *testing.T) {
 				e, _ := simtest.Run(t, mk(), simtest.Scenario{
-					AntagonistCores: 15,
-					Seconds:         5,
-					Seed:            42,
-					Workers:         w,
+					Antagonist: workloads.Intensity3x,
+					Seconds:    5,
+					Seed:       42,
+					Workers:    w,
 				})
 				got := traceChecksum(e)
 				if got != golden[name] {

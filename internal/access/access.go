@@ -169,7 +169,15 @@ type FreqTracker struct {
 	tracked int
 	cools   int
 	workers int
+
+	// Per-shard scratch for the sharded bulk queries, reused across
+	// quanta to keep the hot loops allocation-free.
+	shardIDs  [shard.DefaultShards][]pages.PageID
+	shardHist [shard.DefaultShards][]int64
 }
+
+// Name identifies the tracker configuration.
+func (f *FreqTracker) Name() string { return "exact" }
 
 // NewFreqTracker returns a tracker with the given cooling threshold.
 func NewFreqTracker(coolThreshold uint32) *FreqTracker {
@@ -261,12 +269,6 @@ func (f *FreqTracker) Count(id pages.PageID) uint32 {
 	return f.counts[id]
 }
 
-// CountsView returns the dense count slice, indexed by PageID; IDs at
-// or beyond its length have count zero. It aliases the tracker's
-// storage: shard workers may scan it concurrently between mutations,
-// but must not write through it.
-func (f *FreqTracker) CountsView() []uint32 { return f.counts }
-
 // Total returns the cumulative count across pages.
 func (f *FreqTracker) Total() uint64 { return f.total }
 
@@ -293,14 +295,6 @@ func (f *FreqTracker) ForEach(fn func(id pages.PageID, count uint32)) {
 			fn(pages.PageID(i), c)
 		}
 	}
-}
-
-// ForEachSorted visits every (page, count) pair in ascending page-ID
-// order. With dense storage this is the natural scan order; the name
-// survives from the map era, when policies whose migration choices
-// depend on visit order needed an explicit sort to stay reproducible.
-func (f *FreqTracker) ForEachSorted(fn func(id pages.PageID, count uint32)) {
-	f.ForEach(fn)
 }
 
 // ForEachHottest visits every (page, count) pair in descending count
@@ -341,4 +335,100 @@ func (f *FreqTracker) Forget(id pages.PageID) {
 		f.counts[id] = 0
 		f.tracked--
 	}
+}
+
+// AppendHot appends, in ascending page-ID order, every page whose count
+// is at least threshold (clamped up to 1) and for which keep (when
+// non-nil) returns true, stopping at max when max is positive. The scan
+// shards by slot range with per-shard buffers capped at max,
+// concatenated in shard index order and truncated, so the result is the
+// serial scan's first max hot IDs at any worker count.
+func (f *FreqTracker) AppendHot(dst []pages.PageID, threshold uint32, keep func(id pages.PageID) bool, max int) []pages.PageID {
+	if threshold < 1 {
+		threshold = 1
+	}
+	plan := shard.NewPlan(len(f.counts))
+	shard.Run(f.workers, plan.Shards, func(s int) {
+		lo, hi := plan.Range(s)
+		buf := f.shardIDs[s][:0]
+		for i := lo; i < hi && (max <= 0 || len(buf) < max); i++ {
+			if f.counts[i] < threshold {
+				continue
+			}
+			id := pages.PageID(i)
+			if keep != nil && !keep(id) {
+				continue
+			}
+			buf = append(buf, id)
+		}
+		f.shardIDs[s] = buf
+	})
+	for s := 0; s < plan.Shards; s++ {
+		take := f.shardIDs[s]
+		if max > 0 && len(dst)+len(take) > max {
+			take = take[:max-len(dst)]
+		}
+		dst = append(dst, take...)
+		if max > 0 && len(dst) >= max {
+			break
+		}
+	}
+	return dst
+}
+
+// BytesByCount fills hist with the live bytes resting at each count
+// (clamped to len(hist)-1) — the access histogram MEMTIS derives its
+// dynamic hot threshold from. hist is zeroed first; untracked and dead
+// pages are skipped, so hist[0] stays zero. The per-shard histograms
+// are integer sums reduced in shard index order.
+func (f *FreqTracker) BytesByCount(hist []int64, v pages.View) {
+	for i := range hist {
+		hist[i] = 0
+	}
+	if len(hist) == 0 {
+		return
+	}
+	plan := shard.NewPlan(len(f.counts))
+	shard.Run(f.workers, plan.Shards, func(s int) {
+		h := f.shardHist[s]
+		if cap(h) < len(hist) {
+			h = make([]int64, len(hist))
+			f.shardHist[s] = h
+		}
+		h = h[:len(hist)]
+		for i := range h {
+			h[i] = 0
+		}
+		lo, hi := plan.Range(s)
+		for i := lo; i < hi; i++ {
+			c := f.counts[i]
+			// The count array can outgrow the address space's slot
+			// arrays (doubling growth), so v is only indexed once a
+			// nonzero count proves the page was a live touch target.
+			if c == 0 || v.Dead[i] {
+				continue
+			}
+			b := int(c)
+			if b >= len(hist) {
+				b = len(hist) - 1
+			}
+			h[b] += v.Bytes[i]
+		}
+	})
+	for s := 0; s < plan.Shards; s++ {
+		h := f.shardHist[s]
+		if len(h) < len(hist) {
+			continue
+		}
+		for c := 1; c < len(hist); c++ {
+			hist[c] += h[c]
+		}
+	}
+}
+
+// MemoryFootprintBytes reports the dense count array's storage cost:
+// four bytes per allocated slot, the O(pages) bill that caps exact
+// tracking around 10^6 pages.
+func (f *FreqTracker) MemoryFootprintBytes() int64 {
+	return int64(cap(f.counts)) * 4
 }

@@ -59,10 +59,10 @@ func init() {
 		Title: "runner self-test (short real simulations)",
 		Arms: func(Options) ([]Arm, error) {
 			var arms []Arm
-			for _, cores := range []int{0, 5, 10, 15} {
-				cores := cores
+			for _, intensity := range []workloads.Intensity{workloads.Intensity0x, workloads.Intensity1x, workloads.Intensity2x, workloads.Intensity3x} {
+				intensity := intensity
 				arms = append(arms, Arm{
-					Name: fmt.Sprintf("sim/%dcores", cores),
+					Name: fmt.Sprintf("sim/%dcores", intensity.Cores()),
 					Run: func(ctx ArmContext) (any, error) {
 						topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
 						g := workloads.DefaultGUPS()
@@ -70,7 +70,7 @@ func init() {
 							Topology:        topo,
 							WorkingSetBytes: g.WorkingSetBytes,
 							Profile:         g.Profile(),
-							AntagonistCores: cores,
+							Antagonist:      intensity,
 							Seed:            ctx.Seed,
 						})
 						if err != nil {

@@ -1,0 +1,102 @@
+package heat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPassthroughIsIdentity(t *testing.T) {
+	var f Passthrough
+	if f.Name() != "passthrough" {
+		t.Fatalf("name = %q", f.Name())
+	}
+	if f.StateLen() != 0 {
+		t.Fatalf("state len = %d", f.StateLen())
+	}
+	for _, v := range []float64{0, 1, 3.5, 1e9} {
+		if got := f.Forecast(nil, v); got != v {
+			t.Fatalf("forecast(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestEWMAPrimesThenBlends(t *testing.T) {
+	f := EWMA{Alpha: 0.5}
+	state := make([]float64, f.StateLen())
+	// The first observation primes the average rather than blending
+	// against an implicit zero.
+	if got := f.Forecast(state, 8); got != 8 {
+		t.Fatalf("priming forecast = %v, want 8", got)
+	}
+	if got := f.Forecast(state, 4); got != 6 {
+		t.Fatalf("second forecast = %v, want 6", got)
+	}
+	if got := f.Forecast(state, 6); got != 6 {
+		t.Fatalf("third forecast = %v, want 6", got)
+	}
+	if f.Name() != "ewma(0.50)" {
+		t.Fatalf("name = %q", f.Name())
+	}
+}
+
+func TestEWMARejectsBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha %v accepted", alpha)
+				}
+			}()
+			f := EWMA{Alpha: alpha}
+			f.Forecast(make([]float64, f.StateLen()), 1)
+		}()
+	}
+}
+
+func TestLinearTrendLeadsRamps(t *testing.T) {
+	var f LinearTrend
+	state := make([]float64, f.StateLen())
+	if got := f.Forecast(state, 10); got != 10 {
+		t.Fatalf("priming forecast = %v, want 10", got)
+	}
+	// Rising 10 -> 14: predict 18, a quantum ahead of the ramp.
+	if got := f.Forecast(state, 14); got != 18 {
+		t.Fatalf("rising forecast = %v, want 18", got)
+	}
+	// Collapsing 14 -> 2: the raw extrapolation is negative; clamp to 0.
+	if got := f.Forecast(state, 2); got != 0 {
+		t.Fatalf("clamped forecast = %v, want 0", got)
+	}
+}
+
+func TestChainFeedsForward(t *testing.T) {
+	c := Chain{LinearTrend{}, EWMA{Alpha: 0.5}}
+	if c.Name() != "trend>ewma(0.50)" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if c.StateLen() != 4 {
+		t.Fatalf("state len = %d", c.StateLen())
+	}
+	state := make([]float64, c.StateLen())
+	// Priming: both stages see 10 for the first time.
+	if got := c.Forecast(state, 10); got != 10 {
+		t.Fatalf("priming = %v", got)
+	}
+	// Trend turns 14 into 18, the EWMA blends 10 and 18 into 14.
+	if got := c.Forecast(state, 14); math.Abs(got-14) > 1e-12 {
+		t.Fatalf("chained forecast = %v, want 14", got)
+	}
+}
+
+func TestEmptyChainIsPassthrough(t *testing.T) {
+	var c Chain
+	if c.Name() != "passthrough" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if c.StateLen() != 0 {
+		t.Fatalf("state len = %d", c.StateLen())
+	}
+	if got := c.Forecast(nil, 7); got != 7 {
+		t.Fatalf("forecast = %v", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"colloid/internal/access"
 	"colloid/internal/core"
+	"colloid/internal/heat"
 	"colloid/internal/memsys"
 	"colloid/internal/migrate"
 	"colloid/internal/pages"
@@ -63,8 +64,11 @@ func (c Config) withDefaults() Config {
 
 // System is one HeMem instance managing one address space.
 type System struct {
-	cfg     Config
-	tracker *access.FreqTracker
+	cfg Config
+	// tracker is built lazily from Context.Heat on the first step, so
+	// one sim.Config knob switches HeMem between exact and region
+	// tracking without code changes here.
+	tracker heat.Tracker
 	colloid *core.Controller
 
 	// hot holds pages classified hot; tier is looked up on use
@@ -92,12 +96,11 @@ type System struct {
 func New(cfg Config) *System {
 	cfg = cfg.withDefaults()
 	s := &System{
-		cfg:     cfg,
-		tracker: access.NewFreqTracker(cfg.CoolThreshold),
-		hot:     access.NewOrderedSet(),
-		hotAlt:  access.NewOrderedSet(),
-		bins:    make([]*access.OrderedSet, cfg.NumBins),
-		binOf:   make(map[pages.PageID]int),
+		cfg:    cfg,
+		hot:    access.NewOrderedSet(),
+		hotAlt: access.NewOrderedSet(),
+		bins:   make([]*access.OrderedSet, cfg.NumBins),
+		binOf:  make(map[pages.PageID]int),
 	}
 	for i := range s.bins {
 		s.bins[i] = access.NewOrderedSet()
@@ -129,7 +132,7 @@ func (s *System) Step(ctx *sim.Context) {
 	// sweeps and the engine sampler's CDF rebuilds, both of which shard
 	// internally; the hot/cold bins stay serial because they are
 	// insertion-ordered sets whose order is part of the policy.
-	s.tracker.SetWorkers(ctx.Workers)
+	s.ensureTracker(ctx)
 	s.samplePEBS(ctx)
 	if !s.started {
 		s.started = true
@@ -145,6 +148,15 @@ func (s *System) Step(ctx *sim.Context) {
 	} else {
 		s.migrateVanilla(ctx)
 	}
+}
+
+// ensureTracker builds the heat tracker from the engine's spec on the
+// first step and keeps its worker count in sync with the context.
+func (s *System) ensureTracker(ctx *sim.Context) {
+	if s.tracker == nil {
+		s.tracker = ctx.Heat.NewTracker(s.cfg.CoolThreshold)
+	}
+	s.tracker.SetWorkers(ctx.Workers)
 }
 
 // samplePEBS drains the sampling budget for this engine quantum and
@@ -220,7 +232,7 @@ func (s *System) rebuildLists(ctx *sim.Context) {
 	for id := range s.binOf {
 		delete(s.binOf, id)
 	}
-	s.tracker.ForEachSorted(func(id pages.PageID, count uint32) {
+	s.tracker.ForEach(func(id pages.PageID, count uint32) {
 		if count >= s.cfg.HotThreshold {
 			s.hot.Add(id)
 			if ctx.AS.Tier(id) != memsys.DefaultTier {
@@ -490,13 +502,22 @@ type Stats struct {
 	TrackedPages int
 	HotPages     int
 	Cools        int
+	// TrackerName and TrackerBytes describe the configured heat tracker
+	// (zero values before the first step builds it).
+	TrackerName  string
+	TrackerBytes int64
 }
 
 // Stats returns a snapshot of tracker state.
 func (s *System) Stats() Stats {
-	return Stats{
-		TrackedPages: s.tracker.Tracked(),
-		HotPages:     s.hot.Len(),
-		Cools:        s.cools,
+	st := Stats{
+		HotPages: s.hot.Len(),
+		Cools:    s.cools,
 	}
+	if s.tracker != nil {
+		st.TrackedPages = s.tracker.Tracked()
+		st.TrackerName = s.tracker.Name()
+		st.TrackerBytes = s.tracker.MemoryFootprintBytes()
+	}
+	return st
 }

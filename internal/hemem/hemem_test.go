@@ -5,6 +5,7 @@ import (
 
 	"colloid/internal/core"
 	"colloid/internal/simtest"
+	"colloid/internal/workloads"
 )
 
 func TestVanillaPacksHotSetAtZeroContention(t *testing.T) {
@@ -31,7 +32,7 @@ func TestVanillaStaysPackedUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, st := simtest.RunGUPS(t, New(Config{}), 15, 60, 2)
+	e, st := simtest.RunGUPS(t, New(Config{}), workloads.Intensity3x, 60, 2)
 	// Contention-agnostic: still packs hot pages in the default tier
 	// even though its latency now far exceeds the alternate's
 	// (Figure 2(b)).
@@ -47,7 +48,7 @@ func TestColloidBalancesLatenciesUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, st := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 120, 3)
+	e, st := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), workloads.Intensity3x, 120, 3)
 	// Colloid moves the hot set out: p drops far below the packed
 	// ~0.92 (Figure 6(a): best-case default share is ~4% of app
 	// traffic at 3x).
@@ -65,8 +66,8 @@ func TestColloidBeatsVanillaUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	_, vanilla := simtest.RunGUPS(t, New(Config{}), 15, 90, 4)
-	_, colloid := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 90, 4)
+	_, vanilla := simtest.RunGUPS(t, New(Config{}), workloads.Intensity3x, 90, 4)
+	_, colloid := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), workloads.Intensity3x, 90, 4)
 	gain := colloid.OpsPerSec / vanilla.OpsPerSec
 	// Figure 5: 2.3x at 3x intensity.
 	if gain < 1.6 {

@@ -44,6 +44,7 @@ func TestBinIndexBoundaries(t *testing.T) {
 func TestClassifyMaintainsBinsAndHotSets(t *testing.T) {
 	ctx := unitContext(t)
 	s := New(Config{HotThreshold: 4, CoolThreshold: 16})
+	s.ensureTracker(ctx)
 	id := ctx.AS.LiveIDs()[0]
 
 	// Below the hot threshold: binned but not hot.
@@ -86,6 +87,7 @@ func TestClassifyMaintainsBinsAndHotSets(t *testing.T) {
 func TestRebuildAfterCooling(t *testing.T) {
 	ctx := unitContext(t)
 	s := New(Config{HotThreshold: 4, CoolThreshold: 16})
+	s.ensureTracker(ctx)
 	id := ctx.AS.LiveIDs()[0]
 	for i := 0; i < 7; i++ {
 		s.tracker.Touch(id)
@@ -110,6 +112,7 @@ func TestRebuildAfterCooling(t *testing.T) {
 func TestCandidatesOrderedHottestFirst(t *testing.T) {
 	ctx := unitContext(t)
 	s := New(Config{HotThreshold: 2, CoolThreshold: 16})
+	s.ensureTracker(ctx)
 	ids := ctx.AS.LiveIDs()
 	// Three pages at counts 12, 6, 2, all in the default tier.
 	for i, n := range []int{12, 6, 2} {
@@ -134,6 +137,7 @@ func TestCandidatesOrderedHottestFirst(t *testing.T) {
 func TestEnsureDefaultFreeDemotesCold(t *testing.T) {
 	ctx := unitContext(t)
 	s := New(Config{})
+	s.ensureTracker(ctx)
 	// The 8 GiB working set fits entirely in the 32 GiB default tier
 	// under first-fit, so it has free space already.
 	if !s.ensureDefaultFree(ctx, pages.HugePageBytes) {

@@ -122,7 +122,7 @@ func TestSoakAllSystemsAllScenarios(t *testing.T) {
 				}
 				e, _ := simtest.Run(t, mk(), simtest.Scenario{
 					GUPS:             g,
-					AntagonistCores:  workloads.AntagonistForIntensity(sc.intensity).Cores,
+					Antagonist:       sc.intensity,
 					Seconds:          12,
 					Seed:             7,
 					DisturbAtSec:     sc.disturbSec,
@@ -155,11 +155,11 @@ func TestSoakThreeTiers(t *testing.T) {
 				Cores:           15,
 			}
 			e, _ := simtest.Run(t, mk(), simtest.Scenario{
-				Topology:        topo,
-				GUPS:            g,
-				AntagonistCores: 10,
-				Seconds:         10,
-				Seed:            11,
+				Topology:   topo,
+				GUPS:       g,
+				Antagonist: workloads.Intensity2x,
+				Seconds:    10,
+				Seed:       11,
 			})
 			checkInvariants(t, name, e, g.WorkingSetBytes)
 		})
@@ -176,9 +176,9 @@ func TestSoakDeterminism(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			run := func() []sim.Sample {
 				e, _ := simtest.Run(t, mk(), simtest.Scenario{
-					AntagonistCores: 10,
-					Seconds:         8,
-					Seed:            99,
+					Antagonist: workloads.Intensity2x,
+					Seconds:    8,
+					Seed:       99,
 				})
 				return e.Samples()
 			}

@@ -198,6 +198,58 @@ func Jitter(rng *stats.RNG, out []float64) {
 	}
 }
 
+// TestInjectedHeatSeedFlowCaught is the heat-tracker acceptance probe:
+// a math/rand source smuggled into internal/heat (say, to randomize
+// split decisions) is caught by name of the seedflow check — tracker
+// decisions must be functions of the touch stream alone.
+func TestInjectedHeatSeedFlowCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/heat/bad.go": `package heat
+
+import "math/rand"
+
+func jitterSplit(count uint32) uint32 {
+	return count + uint32(rand.New(rand.NewSource(1)).Intn(4))
+}
+`,
+	})
+	var seedflow int
+	for _, line := range got {
+		if strings.Contains(line, "[seedflow]") && strings.Contains(line, "internal/heat") {
+			seedflow++
+		}
+	}
+	if seedflow == 0 {
+		t.Fatalf("injected math/rand in internal/heat not caught by seedflow, got %q", got)
+	}
+}
+
+// TestInjectedHeatSharedStreamCaught is the second heat probe: a
+// shard.Run callback inside internal/heat drawing from one captured
+// RNG stream — the worker-count-dependent bug that would silently
+// break the region tracker's bit-identity contract during a sharded
+// Cool — is caught by name of the shardrng check.
+func TestInjectedHeatSharedStreamCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/heat/bad.go": `package heat
+
+import (
+	"colloid/internal/shard"
+	"colloid/internal/stats"
+)
+
+func noisyCool(rng *stats.RNG, totals []float64) {
+	shard.Run(4, len(totals), func(s int) {
+		totals[s] *= rng.Float64()
+	})
+}
+`,
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "[shardrng]") || !strings.Contains(got[0], "internal/heat") {
+		t.Fatalf("injected captured-stream draw in internal/heat not caught by shardrng, got %q", got)
+	}
+}
+
 // TestDeterminismPackageAllowlist covers the allowlist predicate and
 // its end-to-end effect: cmd/ trees are skipped, internal/ trees are
 // not, and the other checks still apply under cmd/.

@@ -25,10 +25,10 @@ import (
 
 	"colloid/internal/access"
 	"colloid/internal/core"
+	"colloid/internal/heat"
 	"colloid/internal/memsys"
 	"colloid/internal/migrate"
 	"colloid/internal/pages"
-	"colloid/internal/shard"
 	"colloid/internal/sim"
 )
 
@@ -98,8 +98,11 @@ const maxCount = 256
 
 // System is one MEMTIS instance.
 type System struct {
-	cfg     Config
-	tracker *access.FreqTracker
+	cfg Config
+	// tracker is built lazily from Context.Heat on the first step, so
+	// one sim.Config knob switches MEMTIS between exact and region
+	// tracking without code changes here.
+	tracker heat.Tracker
 	colloid *core.Controller
 
 	// split holds huge pages whose 512 base pages are individually
@@ -124,11 +127,10 @@ type System struct {
 	demoteChosen map[pages.PageID]bool
 	demoteSpill  []int64
 
-	// Per-shard candidate-assembly scratch for the sharded hot-list
-	// scans; shards write only their own slot, and partials concatenate
-	// in shard index order so results match the serial scan exactly.
-	shardCands [shard.DefaultShards][]core.Candidate
-	shardIDs   [shard.DefaultShards][]pages.PageID
+	// Histogram and hot-ID scratch for the tracker's sharded bulk
+	// queries, reused across quanta.
+	hist   []int64
+	hotBuf []pages.PageID
 }
 
 // New returns a MEMTIS instance.
@@ -136,7 +138,6 @@ func New(cfg Config) *System {
 	cfg = cfg.withDefaults()
 	return &System{
 		cfg:         cfg,
-		tracker:     access.NewFreqTracker(maxCount),
 		split:       access.NewOrderedSet(),
 		sampleScale: 1,
 		splitting:   cfg.SplitsPerQuantum > 0,
@@ -169,7 +170,7 @@ func (s *System) Step(ctx *sim.Context) {
 		}
 		s.colloid = core.NewController(ctx.Topo.NumTiers(), opts)
 	}
-	s.tracker.SetWorkers(ctx.Workers)
+	s.ensureTracker(ctx)
 	s.samplePEBS(ctx)
 	if !s.started {
 		s.started = true
@@ -205,6 +206,15 @@ func (s *System) Step(ctx *sim.Context) {
 	s.applySplitPenalty(ctx)
 }
 
+// ensureTracker builds the heat tracker from the engine's spec on the
+// first step and keeps its worker count in sync with the context.
+func (s *System) ensureTracker(ctx *sim.Context) {
+	if s.tracker == nil {
+		s.tracker = ctx.Heat.NewTracker(maxCount)
+	}
+	s.tracker.SetWorkers(ctx.Workers)
+}
+
 // samplePEBS folds this engine quantum's samples into the tracker.
 func (s *System) samplePEBS(ctx *sim.Context) {
 	s.sampleCarry += s.cfg.BaseSampleRatePerSec * s.sampleScale * ctx.QuantumSec
@@ -236,39 +246,18 @@ func (s *System) updateDynamicRate() {
 // computeHotThreshold sizes the hot set to the default tier: the
 // smallest count c such that pages with count >= c fit in the default
 // tier's capacity (MEMTIS derives this from its access histogram). The
-// histogram builds from per-shard partial histograms over the dense
-// count array; the partials are integer sums reduced in shard index
-// order, so the result is exactly the serial scan's at any worker
-// count.
+// tracker builds the bytes-at-count histogram with its own sharded
+// ordered-reduce sweep, so the result is exactly the serial scan's at
+// any worker count.
 func (s *System) computeHotThreshold(ctx *sim.Context) uint32 {
-	counts := s.tracker.CountsView()
-	v := ctx.AS.LiveView()
-	plan := shard.NewPlan(len(counts))
-	var partial [shard.DefaultShards][maxCount + 1]int64
-	shard.Run(ctx.Workers, plan.Shards, func(sh int) {
-		lo, hi := plan.Range(sh)
-		h := &partial[sh]
-		for i := lo; i < hi; i++ {
-			count := counts[i]
-			if count == 0 || v.Dead[i] {
-				continue
-			}
-			if count > maxCount {
-				count = maxCount
-			}
-			h[count] += v.Bytes[i]
-		}
-	})
-	var bytesAt [maxCount + 1]int64
-	for sh := 0; sh < plan.Shards; sh++ {
-		for c := 1; c <= maxCount; c++ {
-			bytesAt[c] += partial[sh][c]
-		}
+	if s.hist == nil {
+		s.hist = make([]int64, maxCount+1)
 	}
+	s.tracker.BytesByCount(s.hist, ctx.AS.LiveView())
 	capacity := ctx.Topo.Capacity(memsys.DefaultTier)
 	var cum int64
 	for c := maxCount; c >= 1; c-- {
-		cum += bytesAt[c]
+		cum += s.hist[c]
 		if cum > capacity {
 			return uint32(c + 1)
 		}
@@ -300,66 +289,26 @@ func (s *System) alternateKmigratedVanilla(ctx *sim.Context) {
 }
 
 // collectHotIDs returns, in ascending ID order, every tracked page with
-// count >= hotThreshold. Shards scan disjoint ranges of the dense count
-// array into private buffers that concatenate in shard index order —
-// ascending ID order overall, identical at any worker count.
+// count >= hotThreshold; the tracker shards the scan internally with an
+// ordered concatenation, identical at any worker count.
 func (s *System) collectHotIDs(ctx *sim.Context) []pages.PageID {
-	counts := s.tracker.CountsView()
-	threshold := s.hotThreshold
-	if threshold < 1 {
-		threshold = 1
-	}
-	plan := shard.NewPlan(len(counts))
-	shard.Run(ctx.Workers, plan.Shards, func(sh int) {
-		lo, hi := plan.Range(sh)
-		buf := s.shardIDs[sh][:0]
-		for i := lo; i < hi; i++ {
-			if counts[i] >= threshold {
-				buf = append(buf, pages.PageID(i))
-			}
-		}
-		s.shardIDs[sh] = buf
-	})
-	var out []pages.PageID
-	for sh := 0; sh < plan.Shards; sh++ {
-		out = append(out, s.shardIDs[sh]...)
-	}
-	return out
+	s.hotBuf = s.tracker.AppendHot(s.hotBuf[:0], s.hotThreshold, nil, 0)
+	return s.hotBuf
 }
 
 // collectCandidates assembles the Colloid hot-list candidates resident
-// in fromTier, in ascending ID order, capped at limit entries. Each
-// shard fills a private buffer (itself capped — a shard can never
-// contribute more than the global cap); the ordered concatenation
-// truncated to limit equals the serial scan's "first limit hot pages
-// by ID".
+// in fromTier, in ascending ID order, capped at limit entries — the
+// tracker's sharded AppendHot with a placement filter yields the serial
+// scan's "first limit hot pages by ID" at any worker count; the
+// probability/bytes lookups then run serially over that stable list.
 func (s *System) collectCandidates(ctx *sim.Context, fromTier memsys.TierID, limit int) []core.Candidate {
-	counts := s.tracker.CountsView()
 	v := ctx.AS.LiveView()
-	threshold := s.hotThreshold
-	if threshold < 1 {
-		threshold = 1
-	}
-	plan := shard.NewPlan(len(counts))
-	shard.Run(ctx.Workers, plan.Shards, func(sh int) {
-		lo, hi := plan.Range(sh)
-		buf := s.shardCands[sh][:0]
-		for i := lo; i < hi && len(buf) < limit; i++ {
-			if counts[i] < threshold || v.Dead[i] || v.Tier[i] != fromTier {
-				continue
-			}
-			id := pages.PageID(i)
-			buf = append(buf, core.Candidate{ID: id, Probability: s.tracker.Probability(id), Bytes: v.Bytes[i]})
-		}
-		s.shardCands[sh] = buf
-	})
-	var cands []core.Candidate
-	for sh := 0; sh < plan.Shards && len(cands) < limit; sh++ {
-		take := s.shardCands[sh]
-		if len(cands)+len(take) > limit {
-			take = take[:limit-len(cands)]
-		}
-		cands = append(cands, take...)
+	s.hotBuf = s.tracker.AppendHot(s.hotBuf[:0], s.hotThreshold, func(id pages.PageID) bool {
+		return !v.Dead[id] && v.Tier[id] == fromTier
+	}, limit)
+	cands := make([]core.Candidate, len(s.hotBuf))
+	for i, id := range s.hotBuf {
+		cands[i] = core.Candidate{ID: id, Probability: s.tracker.Probability(id), Bytes: v.Bytes[id]}
 	}
 	return cands
 }
@@ -598,45 +547,21 @@ func (s *System) splitHotHugePages(ctx *sim.Context) {
 		s.splitting = false
 		return
 	}
-	// Candidate assembly shards by ID range — pure reads of the count
-	// array, the split set, and the address-space view — with per-shard
-	// buffers concatenated in shard index order and truncated to the
-	// serial scan's 4096 cap.
+	// Candidate assembly is the tracker's sharded AppendHot — pure reads
+	// of the counts, the split set, and the address-space view — capped
+	// at the serial scan's 4096 and truncated in shard index order.
 	type cand struct {
 		id    pages.PageID
 		count uint32
 	}
 	const splitCap = 4096
-	counts := s.tracker.CountsView()
 	v := ctx.AS.LiveView()
-	threshold := s.hotThreshold
-	if threshold < 1 {
-		threshold = 1
-	}
-	plan := shard.NewPlan(len(counts))
-	var shardBest [shard.DefaultShards][]cand
-	shard.Run(ctx.Workers, plan.Shards, func(sh int) {
-		lo, hi := plan.Range(sh)
-		var buf []cand
-		for i := lo; i < hi && len(buf) < splitCap; i++ {
-			if counts[i] < threshold || v.Dead[i] || v.Bytes[i] != pages.HugePageBytes {
-				continue
-			}
-			id := pages.PageID(i)
-			if s.split.Contains(id) {
-				continue
-			}
-			buf = append(buf, cand{id, counts[i]})
-		}
-		shardBest[sh] = buf
-	})
-	var best []cand
-	for sh := 0; sh < plan.Shards && len(best) < splitCap; sh++ {
-		take := shardBest[sh]
-		if len(best)+len(take) > splitCap {
-			take = take[:splitCap-len(best)]
-		}
-		best = append(best, take...)
+	s.hotBuf = s.tracker.AppendHot(s.hotBuf[:0], s.hotThreshold, func(id pages.PageID) bool {
+		return !v.Dead[id] && v.Bytes[id] == pages.HugePageBytes && !s.split.Contains(id)
+	}, splitCap)
+	best := make([]cand, len(s.hotBuf))
+	for i, id := range s.hotBuf {
+		best[i] = cand{id, s.tracker.Count(id)}
 	}
 	// Partial selection: take the hottest few without a full sort.
 	for i := 0; i < s.cfg.SplitsPerQuantum && i < len(best); i++ {

@@ -5,6 +5,7 @@ import (
 
 	"colloid/internal/core"
 	"colloid/internal/simtest"
+	"colloid/internal/workloads"
 )
 
 func TestVanillaPacksHotSet(t *testing.T) {
@@ -46,7 +47,7 @@ func TestVanillaStaysPackedUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, _ := simtest.RunGUPS(t, New(Config{}), 15, 90, 3)
+	e, _ := simtest.RunGUPS(t, New(Config{}), workloads.Intensity3x, 90, 3)
 	if p := e.AS().DefaultShare(); p < 0.8 {
 		t.Fatalf("vanilla MEMTIS unpacked under contention: p = %v", p)
 	}
@@ -56,7 +57,7 @@ func TestColloidDemotesUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, st := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 120, 4)
+	e, st := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), workloads.Intensity3x, 120, 4)
 	if p := e.AS().DefaultShare(); p > 0.5 {
 		t.Fatalf("memtis+colloid did not demote: p = %v", p)
 	}
@@ -69,8 +70,8 @@ func TestColloidBeatsVanillaUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	_, vanilla := simtest.RunGUPS(t, New(Config{}), 15, 120, 5)
-	_, colloid := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 120, 5)
+	_, vanilla := simtest.RunGUPS(t, New(Config{}), workloads.Intensity3x, 120, 5)
+	_, colloid := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), workloads.Intensity3x, 120, 5)
 	gain := colloid.OpsPerSec / vanilla.OpsPerSec
 	if gain < 1.5 {
 		t.Fatalf("memtis+colloid gain at 3x = %.2fx, want > 1.5x", gain)

@@ -34,6 +34,7 @@ func TestHotThresholdSizesToDefaultTier(t *testing.T) {
 	// bimodal histogram the threshold lands between the modes.
 	ctx := unitContext(t, 72)
 	s := New(Config{})
+	s.ensureTracker(ctx)
 	ids := ctx.AS.LiveIDs()
 	// 12288 pages (24 GiB) at count 10; the rest at count 1.
 	for i, id := range ids {
@@ -60,6 +61,7 @@ func TestHotThresholdAllFitReturnsOne(t *testing.T) {
 	// sampled can be hot.
 	ctx := unitContext(t, 8)
 	s := New(Config{})
+	s.ensureTracker(ctx)
 	for _, id := range ctx.AS.LiveIDs()[:100] {
 		s.tracker.Touch(id)
 	}
@@ -71,6 +73,7 @@ func TestHotThresholdAllFitReturnsOne(t *testing.T) {
 func TestSplitMarksHottestAndCapsByWeight(t *testing.T) {
 	ctx := unitContext(t, 8)
 	s := New(Config{SplitsPerQuantum: 2, SplitWeightCap: 0.5})
+	s.ensureTracker(ctx)
 	ids := ctx.AS.LiveIDs()
 	// Three candidates above threshold with distinct counts and
 	// weights.
@@ -107,6 +110,7 @@ func TestSplitMarksHottestAndCapsByWeight(t *testing.T) {
 func TestCoalesceRemovesOneParentPerInterval(t *testing.T) {
 	ctx := unitContext(t, 8)
 	s := New(Config{CoalesceIntervalSec: 10})
+	s.ensureTracker(ctx)
 	s.lastCoalesce = 0
 	s.split.Add(1)
 	s.split.Add(2)
@@ -130,6 +134,7 @@ func TestCoalesceRemovesOneParentPerInterval(t *testing.T) {
 func TestSplitPenaltyScalesWithWeight(t *testing.T) {
 	ctx := unitContext(t, 8)
 	s := New(Config{SplitPenalty: 0.2})
+	s.ensureTracker(ctx)
 	ids := ctx.AS.LiveIDs()
 	ctx.AS.SetWeight(ids[0], 0.5)
 	ctx.AS.SetWeight(ids[1], 0.5)
@@ -146,6 +151,7 @@ func TestSplitPenaltyScalesWithWeight(t *testing.T) {
 func TestDemoteColdFromDefaultPicksBelowThreshold(t *testing.T) {
 	ctx := unitContext(t, 72) // default tier full under first-fit
 	s := New(Config{})
+	s.ensureTracker(ctx)
 	s.hotThreshold = 5
 	ids := ctx.AS.LiveIDs()
 	// Make a slice of pages hot so the prober must avoid them.

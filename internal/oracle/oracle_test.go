@@ -11,14 +11,14 @@ import (
 	"colloid/internal/workloads"
 )
 
-func baseConfig(antagonistCores int, seed uint64) (sim.Config, *workloads.GUPS) {
+func baseConfig(antagonist workloads.Intensity, seed uint64) (sim.Config, *workloads.GUPS) {
 	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
 	g := workloads.DefaultGUPS()
 	return sim.Config{
 		Topology:        topo,
 		WorkingSetBytes: g.WorkingSetBytes,
 		Profile:         g.Profile(),
-		AntagonistCores: antagonistCores,
+		Antagonist:      antagonist,
 		Seed:            seed,
 	}, g
 }
@@ -87,7 +87,7 @@ func TestBestCaseUnderContentionMovesHotSetOut(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is 11 simulations")
 	}
-	cfg, g := baseConfig(15, 4)
+	cfg, g := baseConfig(workloads.Intensity3x, 4)
 	res, err := BestCase(Config{Sim: cfg, Workload: g})
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +110,7 @@ func TestBestCaseMonotoneAtEnds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is 11 simulations")
 	}
-	cfg, g := baseConfig(5, 5)
+	cfg, g := baseConfig(workloads.Intensity1x, 5)
 	res, err := BestCase(Config{Sim: cfg, Workload: g, Steps: 5})
 	if err != nil {
 		t.Fatal(err)

@@ -23,7 +23,7 @@ package related
 import (
 	"errors"
 
-	"colloid/internal/access"
+	"colloid/internal/heat"
 	"colloid/internal/memsys"
 	"colloid/internal/migrate"
 	"colloid/internal/pages"
@@ -88,7 +88,7 @@ func (c Config) withDefaults() Config {
 // System implements sim.System for either policy.
 type System struct {
 	cfg     Config
-	tracker *access.FreqTracker
+	tracker heat.Tracker // built lazily from Context.Heat on first Step
 
 	sampleCarry float64
 	lastRunSec  float64
@@ -97,11 +97,7 @@ type System struct {
 
 // New returns a related-work system.
 func New(cfg Config) *System {
-	cfg = cfg.withDefaults()
-	return &System{
-		cfg:     cfg,
-		tracker: access.NewFreqTracker(cfg.CoolThreshold),
-	}
+	return &System{cfg: cfg.withDefaults()}
 }
 
 // Name identifies the system.
@@ -109,6 +105,10 @@ func (s *System) Name() string { return s.cfg.Policy.String() }
 
 // Step implements sim.System.
 func (s *System) Step(ctx *sim.Context) {
+	if s.tracker == nil {
+		s.tracker = ctx.Heat.NewTracker(s.cfg.CoolThreshold)
+	}
+	s.tracker.SetWorkers(ctx.Workers)
 	s.samplePEBS(ctx)
 	if !s.started {
 		s.started = true

@@ -8,6 +8,7 @@ import (
 	"colloid/internal/memsys"
 	"colloid/internal/sim"
 	"colloid/internal/simtest"
+	"colloid/internal/workloads"
 )
 
 func TestNames(t *testing.T) {
@@ -81,7 +82,7 @@ func TestRelatedPoliciesContentionAgnostic(t *testing.T) {
 		t.Skip("long simulation")
 	}
 	e0, _ := simtest.RunGUPS(t, New(Config{Policy: BATMAN}), 0, 60, 4)
-	e3, _ := simtest.RunGUPS(t, New(Config{Policy: BATMAN}), 15, 60, 4)
+	e3, _ := simtest.RunGUPS(t, New(Config{Policy: BATMAN}), workloads.Intensity3x, 60, 4)
 	s0, s3 := e0.AS().DefaultShare(), e3.AS().DefaultShare()
 	if math.Abs(s0-s3) > 0.1 {
 		t.Fatalf("BATMAN share moved with contention: %v -> %v", s0, s3)

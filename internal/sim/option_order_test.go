@@ -76,15 +76,14 @@ type Engine0State struct {
 	Cores   int
 }
 
-// WithAntagonist must override both the typed Config.Antagonist and the
-// deprecated raw-cores alias.
-func TestWithAntagonistOverridesDeprecatedAlias(t *testing.T) {
+// WithAntagonist must override the intensity set in Config.Antagonist.
+func TestWithAntagonistOverridesConfig(t *testing.T) {
 	e, err := New(Config{
 		Topology:        smallTopo(),
 		WorkingSetBytes: 40 * tPage,
 		PageBytes:       tPage,
 		Profile:         smallProfile("p"),
-		AntagonistCores: workloads.Intensity3x.Cores(),
+		Antagonist:      workloads.Intensity3x,
 		Seed:            12,
 	}, WithAntagonist(workloads.Intensity1x))
 	if err != nil {

@@ -29,6 +29,7 @@ import (
 
 	"colloid/internal/access"
 	"colloid/internal/cha"
+	"colloid/internal/heat"
 	"colloid/internal/memsys"
 	"colloid/internal/migrate"
 	"colloid/internal/obs"
@@ -75,6 +76,11 @@ type Context struct {
 	SetInflightScale func(scale float64)
 	// RNG is the system's private randomness stream.
 	RNG *stats.RNG
+	// Heat selects the access-tracking fidelity (Config.Heat). Systems
+	// that keep a frequency tracker build it with Heat.NewTracker
+	// instead of constructing access.FreqTracker directly, so one config
+	// knob moves every system between exact and region tracking.
+	Heat heat.Spec
 	// Workers is the sharded-pipeline fan-out from Config.Workers.
 	// Systems pass it to shard.Run when assembling migration candidates;
 	// results must be identical at any worker count (fixed shard count,
@@ -114,15 +120,18 @@ type Config struct {
 	// intensity scale (0 = none); mid-run steps are expressed as
 	// scenario.AntagonistStep events.
 	Antagonist workloads.Intensity
-	// AntagonistCores seeds the contention generator as a raw core
-	// count.
-	//
-	// Deprecated: use Antagonist (or the WithAntagonist option). The
-	// field remains as an alias that maps through workloads.Intensity:
-	// it must be a whole number of intensity steps
-	// (workloads.CoresPerIntensity cores each) and must agree with
-	// Antagonist when both are set.
+	// AntagonistCores is the removed raw-core-count alias for
+	// Antagonist. It no longer seeds anything: any nonzero value fails
+	// Validate with a migration hint, so old call sites surface loudly
+	// instead of silently running without contention. Set Antagonist
+	// (workloads.Intensity) or use the WithAntagonist option.
 	AntagonistCores int
+	// Heat selects the access-tracking fidelity every system's
+	// frequency tracker is built with: the zero value is exact per-page
+	// counting (the historical behavior); Kind heat.Region tracks at
+	// region granularity with optional forecasting, trading per-page
+	// fidelity for O(pages/granularity) tracker cost.
+	Heat heat.Spec
 	// Workers is the fan-out for the sharded per-quantum pipeline
 	// (live-index and sampler-CDF rebuilds, tracker cooling, candidate
 	// assembly). Default 1 = serial. Any worker count produces
@@ -183,30 +192,20 @@ func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = 1
 	}
-	if c.AntagonistCores == 0 {
-		c.AntagonistCores = c.Antagonist.Cores()
-	}
 	return c
 }
 
-// validateAntagonist checks the typed intensity, the deprecated raw
-// core count, and their agreement when both are set.
+// validateAntagonist checks the typed intensity and rejects any use of
+// the removed AntagonistCores alias with a migration hint.
 func (c Config) validateAntagonist() []error {
 	var errs []error
-	if c.AntagonistCores < 0 {
-		errs = append(errs, fmt.Errorf("sim: negative antagonist cores %d", c.AntagonistCores))
-	} else if c.AntagonistCores%workloads.CoresPerIntensity != 0 {
+	if c.AntagonistCores != 0 {
 		errs = append(errs, fmt.Errorf(
-			"sim: antagonist cores %d is not a whole number of intensity steps (%d cores each); use Config.Antagonist",
-			c.AntagonistCores, workloads.CoresPerIntensity))
+			"sim: Config.AntagonistCores was removed; set Config.Antagonist = workloads.IntensityForCores(%d) (or use WithAntagonist)",
+			c.AntagonistCores))
 	}
 	if c.Antagonist < 0 {
 		errs = append(errs, fmt.Errorf("sim: negative antagonist intensity %d", c.Antagonist))
-	}
-	if c.Antagonist > 0 && c.AntagonistCores > 0 && c.AntagonistCores != c.Antagonist.Cores() {
-		errs = append(errs, fmt.Errorf(
-			"sim: Antagonist %v (= %d cores) conflicts with deprecated AntagonistCores %d",
-			c.Antagonist, c.Antagonist.Cores(), c.AntagonistCores))
 	}
 	return errs
 }
@@ -228,6 +227,9 @@ func (c Config) validateShared() []error {
 		errs = append(errs, fmt.Errorf("sim: negative sample interval %v s", c.SampleEverySec))
 	}
 	errs = append(errs, c.validateAntagonist()...)
+	if err := c.Heat.Validate(); err != nil {
+		errs = append(errs, err)
+	}
 	if c.Workers < 0 {
 		errs = append(errs, fmt.Errorf("sim: negative worker count %d", c.Workers))
 	}
@@ -270,6 +272,9 @@ func (c Config) Validate() error {
 		errs = append(errs, fmt.Errorf("sim: negative sample interval %v s", c.SampleEverySec))
 	}
 	errs = append(errs, c.validateAntagonist()...)
+	if err := c.Heat.Validate(); err != nil {
+		errs = append(errs, err)
+	}
 	if c.Workers < 0 {
 		errs = append(errs, fmt.Errorf("sim: negative worker count %d", c.Workers))
 	}
@@ -437,6 +442,7 @@ type buildOptions struct {
 	antagonist *workloads.Intensity
 	scenario   *scenario.Scenario
 	tenants    []TenantSpec
+	heat       *heat.Spec
 }
 
 // WithSystem installs the tiering system under test (nil for a
@@ -462,6 +468,15 @@ func WithAntagonist(intensity workloads.Intensity) Option {
 		v := intensity
 		o.antagonist = &v
 	}
+}
+
+// WithHeat selects the access-tracking fidelity, overriding
+// Config.Heat: the zero spec is exact per-page counting, Kind
+// heat.Region tracks at region granularity with optional forecasting.
+// Machine-wide in every mode — systems read it from Context.Heat when
+// building their trackers.
+func WithHeat(spec heat.Spec) Option {
+	return func(o *buildOptions) { o.heat = &spec }
 }
 
 // WithScenario installs a disturbance timeline: the scenario is
@@ -510,7 +525,9 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 	}
 	if bo.antagonist != nil {
 		cfg.Antagonist = *bo.antagonist
-		cfg.AntagonistCores = 0
+	}
+	if bo.heat != nil {
+		cfg.Heat = *bo.heat
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -549,7 +566,7 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 		topo:       cfg.Topology,
 		counters:   cha.NewCounters(cfg.Topology.NumTiers(), cfg.CHANoiseStdDev, chaRNG),
 		tenants:    []*tenantState{ts},
-		antagonist: workloads.Antagonist{Cores: cfg.AntagonistCores},
+		antagonist: workloads.AntagonistForIntensity(cfg.Antagonist),
 	}
 	ts.sampler = access.NewSampler(as, root.Split(4))
 	ts.sampler.SetWorkers(cfg.Workers)
@@ -601,7 +618,9 @@ func newCluster(cfg Config, bo *buildOptions) (*Engine, error) {
 	}
 	if bo.antagonist != nil {
 		cfg.Antagonist = *bo.antagonist
-		cfg.AntagonistCores = 0
+	}
+	if bo.heat != nil {
+		cfg.Heat = *bo.heat
 	}
 	errs = append(errs, cfg.validateShared()...)
 
@@ -652,7 +671,7 @@ func newCluster(cfg Config, bo *buildOptions) (*Engine, error) {
 		clustered:  true,
 		ledger:     memsys.NewLedger(len(specs), numTiers),
 		shared:     migrate.NewSharedBudget(cfg.MigrationLimitBytesPerSec),
-		antagonist: workloads.Antagonist{Cores: cfg.AntagonistCores},
+		antagonist: workloads.AntagonistForIntensity(cfg.Antagonist),
 	}
 	e.rngScenario = root.Split(5)
 	e.counters.SetObs(cfg.Obs)
@@ -1014,6 +1033,7 @@ func (e *Engine) Step() error {
 					ts.inflightScale = scale
 				},
 				RNG:     ts.rngSystem,
+				Heat:    e.cfg.Heat,
 				Obs:     ts.obs,
 				Workers: e.cfg.Workers,
 			}

@@ -10,7 +10,7 @@ import (
 	"colloid/internal/workloads"
 )
 
-func gupsEngine(t *testing.T, antagonistCores int, seed uint64, opts ...Option) (*Engine, *workloads.GUPS) {
+func gupsEngine(t *testing.T, antagonist workloads.Intensity, seed uint64, opts ...Option) (*Engine, *workloads.GUPS) {
 	t.Helper()
 	topo := memsys.MustTopology(memsys.DualSocketXeonDefault(), memsys.DualSocketXeonRemote())
 	g := workloads.DefaultGUPS()
@@ -18,7 +18,7 @@ func gupsEngine(t *testing.T, antagonistCores int, seed uint64, opts ...Option) 
 		Topology:        topo,
 		WorkingSetBytes: g.WorkingSetBytes,
 		Profile:         g.Profile(),
-		AntagonistCores: antagonistCores,
+		Antagonist:      antagonist,
 		Seed:            seed,
 	}, opts...)
 	if err != nil {
@@ -76,8 +76,8 @@ func packHotSet(t *testing.T, e *Engine, g *workloads.GUPS) {
 }
 
 func TestContentionReducesThroughput(t *testing.T) {
-	run := func(cores int) float64 {
-		e, g := gupsEngine(t, cores, 2)
+	run := func(intensity workloads.Intensity) float64 {
+		e, g := gupsEngine(t, intensity, 2)
 		packHotSet(t, e, g)
 		if err := e.Run(5); err != nil {
 			t.Fatal(err)
@@ -85,7 +85,7 @@ func TestContentionReducesThroughput(t *testing.T) {
 		return e.SteadyState(3).OpsPerSec
 	}
 	t0 := run(0)
-	t3 := run(15)
+	t3 := run(workloads.Intensity3x)
 	// Packed placement under 3x contention: the paper reports ~3.4x
 	// throughput loss for contention-agnostic systems.
 	ratio := t0 / t3
@@ -187,7 +187,7 @@ func TestMigrationTrafficAppearsInLoad(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	run := func() []float64 {
-		e, _ := gupsEngine(t, 5, 42, WithSystem(&demoter{}))
+		e, _ := gupsEngine(t, workloads.Intensity1x, 42, WithSystem(&demoter{}))
 		if err := e.Run(3); err != nil {
 			t.Fatal(err)
 		}
@@ -323,7 +323,8 @@ func TestValidateReportsAllProblems(t *testing.T) {
 	cfg := Config{
 		QuantumSec:                -1,
 		SampleEverySec:            -2,
-		AntagonistCores:           -3,
+		Antagonist:                -1,
+		AntagonistCores:           15,
 		MigrationLimitBytesPerSec: -5e9,
 		CHANoiseStdDev:            -0.5,
 	}
@@ -337,7 +338,8 @@ func TestValidateReportsAllProblems(t *testing.T) {
 		"working set required",
 		"negative quantum",
 		"negative sample interval",
-		"negative antagonist cores",
+		"negative antagonist intensity",
+		"AntagonistCores was removed",
 		"negative migration limit",
 		"negative CHA noise",
 	} {

@@ -28,10 +28,9 @@ func TestValidateRejectsPageLargerThanWorkingSet(t *testing.T) {
 	}
 }
 
-// The typed intensity scale and its deprecated raw-cores alias: the
-// alias must be a whole number of intensity steps, must agree with the
-// typed field when both are set, and maps through withDefaults when
-// only the typed field is set.
+// The typed intensity scale is the only antagonist knob: any use of the
+// removed raw-cores alias fails with a migration hint naming the value
+// that was set, and negative intensities are rejected outright.
 func TestAntagonistIntensityValidation(t *testing.T) {
 	cases := []struct {
 		name      string
@@ -40,12 +39,10 @@ func TestAntagonistIntensityValidation(t *testing.T) {
 		want      string // "" = valid
 	}{
 		{"typed only", workloads.Intensity2x, 0, ""},
-		{"alias only", 0, 10, ""},
-		{"agreeing", workloads.Intensity2x, 10, ""},
+		{"removed alias", 0, 10, "AntagonistCores was removed"},
+		{"removed alias hint", 0, 15, "workloads.IntensityForCores(15)"},
+		{"removed alias negative", 0, -5, "AntagonistCores was removed"},
 		{"negative intensity", -1, 0, "negative antagonist intensity"},
-		{"negative cores", 0, -5, "negative antagonist cores"},
-		{"fractional steps", 0, workloads.CoresPerIntensity + 1, "not a whole number of intensity steps"},
-		{"conflict", workloads.Intensity1x, 10, "conflicts with deprecated AntagonistCores"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -63,19 +60,5 @@ func TestAntagonistIntensityValidation(t *testing.T) {
 				t.Fatalf("err = %v, want substring %q", err, tc.want)
 			}
 		})
-	}
-}
-
-// withDefaults resolves the typed intensity into the raw core count the
-// engine's antagonist actually runs.
-func TestAntagonistDefaultsResolveIntensity(t *testing.T) {
-	cfg := Config{Antagonist: workloads.Intensity3x}.withDefaults()
-	if got, want := cfg.AntagonistCores, workloads.Intensity3x.Cores(); got != want {
-		t.Fatalf("withDefaults cores = %d, want %d", got, want)
-	}
-	// An explicitly set alias survives untouched.
-	cfg = Config{AntagonistCores: 10}.withDefaults()
-	if cfg.AntagonistCores != 10 {
-		t.Fatalf("withDefaults clobbered explicit AntagonistCores: %d", cfg.AntagonistCores)
 	}
 }

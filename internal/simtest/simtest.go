@@ -9,6 +9,7 @@ package simtest
 import (
 	"testing"
 
+	"colloid/internal/heat"
 	"colloid/internal/memsys"
 	"colloid/internal/obs"
 	"colloid/internal/scenario"
@@ -24,8 +25,11 @@ type Scenario struct {
 	Topology *memsys.Topology
 	// GUPS overrides workloads.DefaultGUPS().
 	GUPS *workloads.GUPS
-	// AntagonistCores sets the initial contention (0 = none).
-	AntagonistCores int
+	// Antagonist sets the initial contention on the paper's 0x-3x
+	// intensity scale (0 = none).
+	Antagonist workloads.Intensity
+	// Heat selects the access-tracking fidelity (zero = exact).
+	Heat heat.Spec
 	// Seconds is the simulated duration (required).
 	Seconds float64
 	// Seed drives all randomness.
@@ -68,7 +72,8 @@ func Run(tb testing.TB, sys sim.System, sc Scenario) (*sim.Engine, sim.Steady) {
 		Topology:        topo,
 		WorkingSetBytes: g.WorkingSetBytes,
 		Profile:         g.Profile(),
-		AntagonistCores: sc.AntagonistCores,
+		Antagonist:      sc.Antagonist,
+		Heat:            sc.Heat,
 		Seed:            sc.Seed,
 		Workers:         sc.Workers,
 		Obs:             sc.Obs,
@@ -87,11 +92,11 @@ func Run(tb testing.TB, sys sim.System, sc Scenario) (*sim.Engine, sim.Steady) {
 
 // RunGUPS runs the standard testbed — the signature every system test
 // package used to duplicate as a private runGUPS helper.
-func RunGUPS(tb testing.TB, sys sim.System, antagonistCores int, seconds float64, seed uint64) (*sim.Engine, sim.Steady) {
+func RunGUPS(tb testing.TB, sys sim.System, intensity workloads.Intensity, seconds float64, seed uint64) (*sim.Engine, sim.Steady) {
 	tb.Helper()
 	return Run(tb, sys, Scenario{
-		AntagonistCores: antagonistCores,
-		Seconds:         seconds,
-		Seed:            seed,
+		Antagonist: intensity,
+		Seconds:    seconds,
+		Seed:       seed,
 	})
 }

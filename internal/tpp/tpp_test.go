@@ -6,6 +6,7 @@ import (
 	"colloid/internal/core"
 	"colloid/internal/memsys"
 	"colloid/internal/simtest"
+	"colloid/internal/workloads"
 )
 
 func TestVanillaPromotesHotPages(t *testing.T) {
@@ -27,7 +28,7 @@ func TestVanillaStaysPackedUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, _ := simtest.RunGUPS(t, New(Config{}), 15, 120, 2)
+	e, _ := simtest.RunGUPS(t, New(Config{}), workloads.Intensity3x, 120, 2)
 	if p := e.AS().DefaultShare(); p < 0.75 {
 		t.Fatalf("vanilla TPP unpacked under contention: p = %v", p)
 	}
@@ -37,7 +38,7 @@ func TestColloidDemotesUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	e, st := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 240, 3)
+	e, st := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), workloads.Intensity3x, 240, 3)
 	if p := e.AS().DefaultShare(); p > 0.55 {
 		t.Fatalf("tpp+colloid did not demote: p = %v", p)
 	}
@@ -50,8 +51,8 @@ func TestColloidBeatsVanillaUnderContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	_, vanilla := simtest.RunGUPS(t, New(Config{}), 15, 240, 4)
-	_, colloid := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), 15, 240, 4)
+	_, vanilla := simtest.RunGUPS(t, New(Config{}), workloads.Intensity3x, 240, 4)
+	_, colloid := simtest.RunGUPS(t, New(Config{Colloid: &core.Options{}}), workloads.Intensity3x, 240, 4)
 	gain := colloid.OpsPerSec / vanilla.OpsPerSec
 	if gain < 1.5 {
 		t.Fatalf("tpp+colloid gain at 3x = %.2fx, want > 1.5x", gain)
