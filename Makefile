@@ -70,9 +70,12 @@ bench-scale:
 	$(GO) test -run '^$$' -bench='ScaleQuantumStep/pages=10000/|^BenchmarkScale$$' -benchtime=1x .
 
 # One-iteration smoke of the multi-tenant cluster: the quick tenants
-# experiment (8 tenants, both arbitration policies) through the
-# standard runner. For real numbers run
-# `go run ./cmd/colloidsim -exp tenants` (100 tenants x 10^5 pages).
+# experiment (8 tenants, both arbitration policies, heat modes exact +
+# qos — the latter runs region/64 and region/1024 trackers, so the
+# coarse-tracking seam is exercised — plus the 10^6-page scale arm)
+# through the standard runner. For real numbers run
+# `go run ./cmd/colloidsim -exp tenants` (100 tenants x 10^5 pages,
+# full heat axis, 10^8-page scale arm).
 bench-tenants:
 	$(GO) test -run '^$$' -bench='^BenchmarkTenants$$' -benchtime=1x .
 

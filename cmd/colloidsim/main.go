@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"colloid/internal/experiments"
+	"colloid/internal/heat"
 	"colloid/internal/obs"
 	"colloid/internal/scenario"
 	"colloid/internal/trace"
@@ -43,6 +44,8 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
 		parallel = flag.Int("parallel", 0, "arm workers per experiment (0 = GOMAXPROCS, 1 = serial)")
 		shardW   = flag.Int("shard-workers", 0, "per-quantum page-pipeline workers inside each simulation (0 = serial; results are identical at any value)")
+		region   = flag.Int("region", 0, "default heat-tracking granularity: track per N-page region instead of exactly (power of two, 0 = exact); families sweeping their own fidelity axis override it per arm")
+		forecast = flag.String("forecast", "", "region-heat forecaster for the default tracker: passthrough, trend, ewma[:alpha], or a '>' chain (requires -region)")
 		benchDir = flag.String("bench", ".", "directory for BENCH_<id>.json timing reports (empty = off)")
 		metrics  = flag.String("metrics", "", "write the merged obs metric summary JSON here")
 		scName   = flag.String("scenario", "", "run one builtin fault-injection scenario by name (see -list)")
@@ -96,7 +99,8 @@ func main() {
 		}
 	}
 
-	if err := validateFlags(ids, *parallel, *shardW); err != nil {
+	heatSpec, heatErr := heatSpecFor(*region, *forecast)
+	if err := validateFlags(ids, *parallel, *shardW, heatErr, heatSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "colloidsim:", err)
 		os.Exit(2)
 	}
@@ -107,6 +111,7 @@ func main() {
 		Parallelism:  *parallel,
 		BenchDir:     *benchDir,
 		ShardWorkers: *shardW,
+		Heat:         heatSpec,
 	}
 	if *metrics != "" {
 		opts.Metrics = obs.NewRegistry()
@@ -143,7 +148,7 @@ func main() {
 // validateFlags reports every bad flag at once (experiment ids are
 // checked against the registry; the sim configs themselves are
 // validated by sim.New inside each arm).
-func validateFlags(ids []string, parallel, shardWorkers int) error {
+func validateFlags(ids []string, parallel, shardWorkers int, heatErr error, heatSpec heat.Spec) error {
 	var errs []error
 	known := make(map[string]bool, len(experiments.List()))
 	for _, id := range experiments.List() {
@@ -160,7 +165,26 @@ func validateFlags(ids []string, parallel, shardWorkers int) error {
 	if shardWorkers < 0 {
 		errs = append(errs, fmt.Errorf("negative -shard-workers %d", shardWorkers))
 	}
+	if heatErr != nil {
+		errs = append(errs, heatErr)
+	} else if err := heatSpec.Validate(); err != nil {
+		errs = append(errs, fmt.Errorf("-region/-forecast: %w", err))
+	}
 	return errors.Join(errs...)
+}
+
+// heatSpecFor maps -region/-forecast onto the default tracker spec
+// (experiments.Options.Heat): region 0 keeps exact counters, anything
+// else tracks at that granularity with the requested forecaster chain.
+func heatSpecFor(regionPages int, forecast string) (heat.Spec, error) {
+	f, err := heat.ParseForecaster(forecast)
+	if err != nil {
+		return heat.Spec{}, err
+	}
+	if regionPages == 0 {
+		return heat.Spec{Forecaster: f}, nil
+	}
+	return heat.Spec{Kind: heat.Region, RegionPages: regionPages, Forecaster: f}, nil
 }
 
 // writeMetrics dumps the cross-experiment merged metric summary.

@@ -50,6 +50,7 @@ func main() {
 		object     = flag.Int64("object", 64, "GUPS object size (bytes)")
 		cores      = flag.Int("cores", 15, "application cores")
 		region     = flag.Int("region", 0, "track heat per N-page region instead of exactly (power of two, 0 = exact)")
+		forecast   = flag.String("forecast", "", "region-heat forecaster: passthrough, trend, ewma[:alpha], or a '>' chain like trend>ewma:0.5 (requires -region)")
 		sample     = flag.Float64("sample", 1, "trace sampling interval (sec)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		out        = flag.String("o", "", "output CSV path (default stdout)")
@@ -63,7 +64,7 @@ func main() {
 		intensity: *intensity, stepAt: *stepAt, stepTo: *stepTo,
 		hotshiftAt: *hotshiftAt, duration: *duration,
 		wsGB: *wsGB, hotGB: *hotGB, object: *object, cores: *cores,
-		region: *region, sample: *sample, seed: *seed, out: *out,
+		region: *region, forecast: *forecast, sample: *sample, seed: *seed, out: *out,
 		metrics: *metrics, metricsSummary: *metricsSum,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "colloidtrace:", err)
@@ -81,6 +82,7 @@ type settings struct {
 	object             int64
 	cores              int
 	region             int
+	forecast           string
 	sample             float64
 	seed               uint64
 	out                string
@@ -134,12 +136,16 @@ func run(s settings) error {
 		reg = obs.NewRegistry()
 		reg.EnableTrace(0)
 	}
+	spec, err := heatSpec(s.region, s.forecast)
+	if err != nil {
+		return err
+	}
 	cfg := sim.Config{
 		Topology:        topo,
 		WorkingSetBytes: gups.WorkingSetBytes,
 		Profile:         gups.Profile(),
 		Antagonist:      workloads.Intensity(s.intensity),
-		Heat:            heatSpec(s.region),
+		Heat:            spec,
 		Seed:            s.seed,
 		SampleEverySec:  s.sample,
 		Obs:             reg,
@@ -226,14 +232,20 @@ func writeMetrics(s settings, reg *obs.Registry) error {
 	return nil
 }
 
-// heatSpec maps the -region flag onto a tracker spec: 0 keeps the
-// exact per-page counters, anything else selects region tracking at
-// that granularity (validated by sim.Config.Validate).
-func heatSpec(regionPages int) heat.Spec {
-	if regionPages == 0 {
-		return heat.Spec{}
+// heatSpec maps the -region/-forecast flags onto a tracker spec: region
+// 0 keeps the exact per-page counters, anything else selects region
+// tracking at that granularity with the requested forecaster chain. A
+// forecaster with -region 0 is rejected by sim.Config.Validate (exact
+// tracking has nothing to forecast), as is a bad granularity.
+func heatSpec(regionPages int, forecast string) (heat.Spec, error) {
+	f, err := heat.ParseForecaster(forecast)
+	if err != nil {
+		return heat.Spec{}, err
 	}
-	return heat.Spec{Kind: heat.Region, RegionPages: regionPages}
+	if regionPages == 0 {
+		return heat.Spec{Forecaster: f}, nil
+	}
+	return heat.Spec{Kind: heat.Region, RegionPages: regionPages, Forecaster: f}, nil
 }
 
 // makeSystem builds the requested tiering system; "none" runs static

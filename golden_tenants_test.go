@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"colloid/internal/core"
+	"colloid/internal/heat"
 	"colloid/internal/hemem"
 	"colloid/internal/memsys"
 	"colloid/internal/pages"
@@ -28,7 +29,8 @@ var goldenTenantsChecksums = map[tenant.Policy]uint64{
 // goldenCluster builds the pinned cluster: three tenants of distinct
 // QoS classes, each running hemem+colloid over its own GUPS workload,
 // on a machine whose default tier cannot hold the combined hot set.
-func goldenCluster(t *testing.T, policy tenant.Policy, workers int, reverse bool) *tenant.Cluster {
+// heatSpec is the cluster-wide tracker fidelity (zero = exact).
+func goldenCluster(t *testing.T, policy tenant.Policy, workers int, reverse bool, heatSpec heat.Spec) *tenant.Cluster {
 	t.Helper()
 	const page = 64 << 10
 	fast := memsys.DualSocketXeonDefault()
@@ -70,6 +72,7 @@ func goldenCluster(t *testing.T, policy tenant.Policy, workers int, reverse bool
 		Seed:           42,
 		Workers:        workers,
 		SampleEverySec: 0.25,
+		Heat:           heatSpec,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +145,7 @@ func TestGoldenTenantTraces(t *testing.T) {
 		for _, w := range workerCounts {
 			w := w
 			t.Run(fmt.Sprintf("%s/workers=%d", policy, w), func(t *testing.T) {
-				c := goldenCluster(t, policy, w, false)
+				c := goldenCluster(t, policy, w, false, heat.Spec{})
 				if err := c.Run(3); err != nil {
 					t.Fatal(err)
 				}
@@ -152,7 +155,7 @@ func TestGoldenTenantTraces(t *testing.T) {
 			})
 		}
 		t.Run(fmt.Sprintf("%s/reversed-registration", policy), func(t *testing.T) {
-			c := goldenCluster(t, policy, 3, true)
+			c := goldenCluster(t, policy, 3, true, heat.Spec{})
 			if err := c.Run(3); err != nil {
 				t.Fatal(err)
 			}
@@ -160,5 +163,38 @@ func TestGoldenTenantTraces(t *testing.T) {
 				t.Fatalf("cluster checksum = %#x, golden %#x (reversed registration order)", got, golden)
 			}
 		})
+	}
+}
+
+// TestGoldenTenantTracesRegionOne pins the cluster-wide heat seam with
+// the identity configuration: a granularity-1 RegionTracker with a
+// passthrough forecaster is, by construction, bit-identical to the
+// exact tracker, so running the whole cluster under
+// {Kind: Region, RegionPages: 1} must reproduce the exact goldens for
+// both policies at every worker count. A divergence means the tenant
+// layer is no longer threading Config.Heat faithfully into each
+// tenant's simulation (the bug this PR fixed: cluster mode silently
+// pinned every tenant to exact tracking) or the region tracker's
+// degenerate case drifted from the exact one.
+func TestGoldenTenantTracesRegionOne(t *testing.T) {
+	workerCounts := []int{1, 2, 4, 7}
+	if testing.Short() {
+		workerCounts = []int{1, 4}
+	}
+	spec := heat.Spec{Kind: heat.Region, RegionPages: 1, Forecaster: heat.Passthrough{}}
+	for policy, golden := range goldenTenantsChecksums {
+		policy, golden := policy, golden
+		for _, w := range workerCounts {
+			w := w
+			t.Run(fmt.Sprintf("%s/workers=%d", policy, w), func(t *testing.T) {
+				c := goldenCluster(t, policy, w, false, spec)
+				if err := c.Run(3); err != nil {
+					t.Fatal(err)
+				}
+				if got := tenantsChecksum(c); got != golden {
+					t.Fatalf("region/1+passthrough cluster checksum = %#x, exact golden %#x (workers=%d)", got, golden, w)
+				}
+			})
+		}
 	}
 }

@@ -97,7 +97,7 @@ func runAblationArm(arm ablationArm, o Options, seed uint64, reg *obs.Registry) 
 	sc := &scenario.Scenario{Name: "ablation-contention-drop", Events: []scenario.Event{
 		scenario.AntagonistStep{AtSec: phase1, Intensity: workloads.Intensity0x},
 	}}
-	e, err := newGUPSSim(paperTopology(0, 0), g, 2, seed, o.ShardWorkers, reg,
+	e, err := newGUPSSim(paperTopology(0, 0), g, 2, seed, o.ShardWorkers, o.Heat, reg,
 		sim.WithSystem(hemem.New(hemem.Config{Colloid: &arm.opts})),
 		sim.WithScenario(sc))
 	if err != nil {

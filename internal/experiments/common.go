@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"colloid/internal/core"
+	"colloid/internal/heat"
 	"colloid/internal/hemem"
 	"colloid/internal/memsys"
 	"colloid/internal/memtis"
@@ -73,7 +74,9 @@ func paperTopology(latencyScale, bandwidthScale float64) *memsys.Topology {
 // contention intensity; reg (usually ArmContext.Obs, may be nil)
 // receives the run's instrumentation. workers is the sharded
 // page-pipeline worker count (0 = serial); it never changes results.
-func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity workloads.Intensity, seed uint64, workers int, reg *obs.Registry) sim.Config {
+// heatSpec (usually Options.Heat) is the default tracking fidelity; an
+// arm-specific sim.WithHeat still overrides it, options apply last.
+func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity workloads.Intensity, seed uint64, workers int, heatSpec heat.Spec, reg *obs.Registry) sim.Config {
 	return sim.Config{
 		Topology:        topo,
 		WorkingSetBytes: g.WorkingSetBytes,
@@ -81,6 +84,7 @@ func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity workloads.In
 		Antagonist:      intensity,
 		Seed:            seed,
 		Workers:         workers,
+		Heat:            heatSpec,
 		Obs:             reg,
 	}
 }
@@ -90,8 +94,8 @@ func gupsConfig(topo *memsys.Topology, g *workloads.GUPS, intensity workloads.In
 // one step, so the construction sequence (and thus the RNG draw order)
 // can never drift between experiments. Only the oracle sweep bypasses
 // it — it needs the raw sim.Config, not an engine.
-func newGUPSSim(topo *memsys.Topology, g *workloads.GUPS, intensity workloads.Intensity, seed uint64, workers int, reg *obs.Registry, opts ...sim.Option) (*sim.Engine, error) {
-	e, err := sim.New(gupsConfig(topo, g, intensity, seed, workers, reg), opts...)
+func newGUPSSim(topo *memsys.Topology, g *workloads.GUPS, intensity workloads.Intensity, seed uint64, workers int, heatSpec heat.Spec, reg *obs.Registry, opts ...sim.Option) (*sim.Engine, error) {
+	e, err := sim.New(gupsConfig(topo, g, intensity, seed, workers, heatSpec, reg), opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +125,7 @@ var (
 // the base seed keeps every figure reporting one consistent dataset
 // (and keeps the cache shareable across figures).
 func runSteady(system string, withColloid bool, intensity workloads.Intensity, o Options, reg *obs.Registry) (*sim.Engine, sim.Steady, error) {
-	key := fmt.Sprintf("%s/%v/%d/%d/%v", system, withColloid, intensity, o.Seed, o.Quick)
+	key := fmt.Sprintf("%s/%v/%d/%d/%v/%s", system, withColloid, intensity, o.Seed, o.Quick, o.Heat)
 	steadyMu.Lock()
 	st, ok := steadyCache[key]
 	steadyMu.Unlock()
@@ -150,7 +154,7 @@ func runSteadyOn(topo *memsys.Topology, g *workloads.GUPS, system string, withCo
 	if err != nil {
 		return nil, sim.Steady{}, err
 	}
-	e, err := newGUPSSim(topo, g, intensity, seed, o.ShardWorkers, reg, sim.WithSystem(sys))
+	e, err := newGUPSSim(topo, g, intensity, seed, o.ShardWorkers, o.Heat, reg, sim.WithSystem(sys))
 	if err != nil {
 		return nil, sim.Steady{}, err
 	}
@@ -172,7 +176,7 @@ var (
 // runSteady it is keyed to the base seed so every figure compares
 // against the same best-case dataset.
 func bestCase(intensity workloads.Intensity, o Options) (*oracle.Result, error) {
-	key := fmt.Sprintf("%d/%d", intensity, o.Seed)
+	key := fmt.Sprintf("%d/%d/%s", intensity, o.Seed, o.Heat)
 	bestMu.Lock()
 	r, ok := bestCache[key]
 	bestMu.Unlock()
@@ -180,7 +184,7 @@ func bestCase(intensity workloads.Intensity, o Options) (*oracle.Result, error) 
 		return r, nil
 	}
 	g := workloads.DefaultGUPS()
-	cfg := gupsConfig(paperTopology(0, 0), g, intensity, o.Seed, o.ShardWorkers, nil)
+	cfg := gupsConfig(paperTopology(0, 0), g, intensity, o.Seed, o.ShardWorkers, o.Heat, nil)
 	r, err := oracle.BestCase(oracle.Config{Sim: cfg, Workload: g})
 	if err == nil {
 		bestMu.Lock()

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"colloid/internal/heat"
 	"colloid/internal/obs"
 )
 
@@ -39,6 +40,13 @@ type Options struct {
 	// the shard index, never the worker — so this is purely a wall-clock
 	// knob. It also overrides the scale experiment's worker-count axis.
 	ShardWorkers int
+	// Heat is the default access-tracking fidelity for every GUPS-driven
+	// simulation (sim.Config.Heat semantics: zero spec = exact). Unlike
+	// ShardWorkers this knob changes results — coarse tracking smears
+	// heat. Experiments that sweep their own fidelity axis (the heat and
+	// tenants families) override it per arm with sim.WithHeat or explicit
+	// cluster specs.
+	Heat heat.Spec
 }
 
 func (o Options) withDefaults() Options {

@@ -85,7 +85,7 @@ func sensArms(Options) ([]Arm, error) {
 			name := fmt.Sprintf("eps=%.3f/delta=%.2f", eps, delta)
 			arms = append(arms, Arm{Name: name, Run: func(ctx ArmContext) (any, error) {
 				g := workloads.DefaultGUPS()
-				e, err := newGUPSSim(paperTopology(0, 0), g, 1, ctx.Seed, ctx.Options.ShardWorkers, ctx.Obs,
+				e, err := newGUPSSim(paperTopology(0, 0), g, 1, ctx.Seed, ctx.Options.ShardWorkers, ctx.Options.Heat, ctx.Obs,
 					sim.WithSystem(hemem.New(hemem.Config{Colloid: &core.Options{Epsilon: eps, Delta: delta}})))
 				if err != nil {
 					return nil, err

@@ -88,7 +88,7 @@ func runScenarioArm(name, system string, o Options, seed uint64, reg *obs.Regist
 			Colloid: &core.Options{Epsilon: 0.01, Delta: 0.05},
 		})))
 	}
-	e, err := newGUPSSim(paperTopology(0, 0), g, 0, seed, o.ShardWorkers, reg, opts...)
+	e, err := newGUPSSim(paperTopology(0, 0), g, 0, seed, o.ShardWorkers, o.Heat, reg, opts...)
 	if err != nil {
 		return res, err
 	}

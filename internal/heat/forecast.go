@@ -137,3 +137,43 @@ func (c Chain) Forecast(state []float64, observed float64) float64 {
 	}
 	return observed
 }
+
+// ParseForecaster builds a forecaster from a spec string, the grammar
+// the cmds' -forecast flags speak: "" and "passthrough" mean no
+// forecasting (nil), "trend" is LinearTrend, "ewma" is EWMA at alpha
+// 0.5 and "ewma:0.3" sets the alpha, and ">" chains stages in order
+// ("trend>ewma:0.5"), each stage feeding the next as Chain does.
+func ParseForecaster(s string) (Forecaster, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "passthrough" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ">")
+	chain := make(Chain, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		switch {
+		case p == "trend":
+			chain = append(chain, LinearTrend{})
+		case p == "ewma":
+			chain = append(chain, EWMA{Alpha: 0.5})
+		case strings.HasPrefix(p, "ewma:"):
+			var alpha float64
+			if _, err := fmt.Sscanf(p[len("ewma:"):], "%g", &alpha); err != nil {
+				return nil, fmt.Errorf("heat: bad ewma alpha in %q", p)
+			}
+			if alpha <= 0 || alpha > 1 {
+				return nil, fmt.Errorf("heat: ewma alpha %v out of (0, 1]", alpha)
+			}
+			chain = append(chain, EWMA{Alpha: alpha})
+		case p == "passthrough":
+			chain = append(chain, Passthrough{})
+		default:
+			return nil, fmt.Errorf("heat: unknown forecaster %q (want passthrough, trend, ewma[:alpha], or a '>' chain)", p)
+		}
+	}
+	if len(chain) == 1 {
+		return chain[0], nil
+	}
+	return chain, nil
+}

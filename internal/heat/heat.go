@@ -160,6 +160,11 @@ func (s Spec) Validate() error {
 		if s.RegionPages != 0 {
 			return fmt.Errorf("heat: RegionPages %d is meaningless for the exact tracker (use Kind: heat.Region)", s.RegionPages)
 		}
+		if s.Forecaster != nil {
+			if _, pass := s.Forecaster.(Passthrough); !pass {
+				return fmt.Errorf("heat: forecaster %q is meaningless for the exact tracker (use Kind: heat.Region)", s.Forecaster.Name())
+			}
+		}
 		return nil
 	case Region:
 		g := s.RegionPages
@@ -176,13 +181,16 @@ func (s Spec) Validate() error {
 }
 
 // String names the configuration ("exact", "region/64", or
-// "region/64+ewma" with a non-trivial forecaster).
+// "region/64+ewma" with a non-trivial forecaster). An invalid
+// forecaster-on-exact combination renders as "exact+<name>" rather than
+// dropping the forecaster, so the spec Validate rejects is the spec the
+// diagnostic shows.
 func (s Spec) String() string {
 	s = s.withDefaults()
-	if s.Kind == Exact {
-		return "exact"
+	name := "exact"
+	if s.Kind != Exact {
+		name = fmt.Sprintf("region/%d", s.RegionPages)
 	}
-	name := fmt.Sprintf("region/%d", s.RegionPages)
 	if f := s.Forecaster.Name(); f != "passthrough" {
 		name += "+" + f
 	}

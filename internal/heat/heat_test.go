@@ -15,6 +15,9 @@ func TestSpecValidate(t *testing.T) {
 		{"region default", Spec{Kind: Region}, ""},
 		{"region pow2", Spec{Kind: Region, RegionPages: 256}, ""},
 		{"exact with granularity", Spec{RegionPages: 64}, "meaningless for the exact tracker"},
+		{"exact with forecaster", Spec{Forecaster: EWMA{Alpha: 0.3}}, "meaningless for the exact tracker"},
+		{"exact with chained forecaster", Spec{Forecaster: Chain{LinearTrend{}}}, "meaningless for the exact tracker"},
+		{"exact with explicit passthrough", Spec{Forecaster: Passthrough{}}, ""},
 		{"region non-pow2", Spec{Kind: Region, RegionPages: 3}, "power of two"},
 		{"region negative", Spec{Kind: Region, RegionPages: -8}, "power of two"},
 		{"region too large", Spec{Kind: Region, RegionPages: MaxRegionPages * 2}, "power of two"},
@@ -42,6 +45,10 @@ func TestSpecString(t *testing.T) {
 		want string
 	}{
 		{Spec{}, "exact"},
+		{Spec{Forecaster: Passthrough{}}, "exact"},
+		// Invalid, but String must show the forecaster Validate rejects
+		// rather than silently dropping it.
+		{Spec{Forecaster: EWMA{Alpha: 0.3}}, "exact+ewma(0.30)"},
 		{Spec{Kind: Region}, "region/64"},
 		{Spec{Kind: Region, RegionPages: 4}, "region/4"},
 		{Spec{Kind: Region, Forecaster: EWMA{Alpha: 0.3}}, "region/64+ewma(0.30)"},

@@ -82,6 +82,13 @@ type RegionTracker struct {
 	fpred   []float64
 	ftotal  float64
 	fprimed bool
+	// fextra is the raw count resting in cells grown after the last
+	// forecasting Cool (b >= len(fpred)). Those cells have no forecast
+	// yet and serve raw counts, so Probability folds fextra into the
+	// forecast denominator to keep the two regimes on one scale (the
+	// distribution sums to <= 1). Reset by the next Cool, which extends
+	// the forecast over every cell.
+	fextra uint64
 
 	// Per-shard scratch for the sharded bulk queries.
 	shardIDs  [shard.DefaultShards][]pages.PageID
@@ -176,6 +183,9 @@ func (r *RegionTracker) Touch(id pages.PageID) {
 		r.maxID = id
 	}
 	r.total++
+	if r.fprimed && b >= len(r.fpred) {
+		r.fextra++
+	}
 	c := &r.cells[b]
 	off := int(id) & (r.g - 1)
 	if c.sub == nil {
@@ -343,6 +353,7 @@ func (r *RegionTracker) Cool() {
 	if r.forecasting {
 		r.ftotal = ft
 		r.fprimed = true
+		r.fextra = 0
 	}
 }
 
@@ -368,6 +379,9 @@ func (r *RegionTracker) Forget(id pages.PageID) {
 		}
 		c.count -= per
 		r.total -= uint64(per)
+		if r.fprimed && b >= len(r.fpred) {
+			r.fextra -= uint64(per)
+		}
 		return
 	}
 	li := findLeaf(c.sub, int(id)&(r.g-1))
@@ -382,6 +396,9 @@ func (r *RegionTracker) Forget(id pages.PageID) {
 	lf.count -= per
 	c.count -= per
 	r.total -= uint64(per)
+	if r.fprimed && b >= len(r.fpred) {
+		r.fextra -= uint64(per)
+	}
 }
 
 // predicted reports whether cell b serves forecast output.
@@ -411,17 +428,25 @@ func (r *RegionTracker) Count(id pages.PageID) uint32 {
 	return lf.count / uint32(lf.size)
 }
 
-// Probability implements Tracker.
+// Probability implements Tracker. Once a forecast is primed, every
+// cell — forecast cells and cells grown after the last Cool alike —
+// divides by the same total (ftotal plus the raw count resting in the
+// unforecast cells), so the two regimes are comparable and the
+// distribution sums to at most 1.
 func (r *RegionTracker) Probability(id pages.PageID) float64 {
 	if id < 0 {
 		return 0
 	}
 	b := int(id) >> r.logG
-	if b < len(r.cells) && r.predicted(b) {
-		if r.ftotal <= 0 {
+	if r.fprimed {
+		denom := r.ftotal + float64(r.fextra)
+		if denom <= 0 {
 			return 0
 		}
-		return (r.fpred[b] / float64(r.g)) / r.ftotal
+		if b < len(r.cells) && r.predicted(b) {
+			return (r.fpred[b] / float64(r.g)) / denom
+		}
+		return float64(r.Count(id)) / denom
 	}
 	if r.total == 0 {
 		return 0
@@ -489,8 +514,20 @@ func (r *RegionTracker) ForEach(fn func(id pages.PageID, count uint32)) {
 	}
 }
 
+// span is one uniform-count page run [lo, hi), the unit ForEachHottest
+// buckets by so its memory tracks runs, not pages.
+type span struct {
+	lo, hi pages.PageID
+}
+
 // ForEachHottest implements Tracker via the same bounded counting sort
-// the exact tracker uses, over estimated per-page counts.
+// the exact tracker uses, over estimated per-page counts — but bucketing
+// the uniform-count runs cellRuns emits rather than their individual
+// page IDs, and expanding a run only when its count comes up. Memory is
+// O(runs + maxCount) instead of O(pages), which is what keeps the call
+// viable at the 10^8-page cluster scale the region tracker exists for.
+// Runs arrive in ascending page-ID order, so expansion preserves the
+// ID-ascending-within-a-count visit order.
 func (r *RegionTracker) ForEachHottest(fn func(id pages.PageID, count uint32) (stop bool)) {
 	maxCount := uint32(0)
 	for b := range r.cells {
@@ -503,18 +540,18 @@ func (r *RegionTracker) ForEachHottest(fn func(id pages.PageID, count uint32) (s
 	if maxCount == 0 {
 		return
 	}
-	buckets := make([][]pages.PageID, maxCount+1)
+	buckets := make([][]span, maxCount+1)
 	for b := range r.cells {
 		r.cellRuns(b, func(lo, hi pages.PageID, per uint32) {
-			for id := lo; id < hi; id++ {
-				buckets[per] = append(buckets[per], id)
-			}
+			buckets[per] = append(buckets[per], span{lo: lo, hi: hi})
 		})
 	}
 	for c := int(maxCount); c >= 1; c-- {
-		for _, id := range buckets[c] {
-			if fn(id, uint32(c)) {
-				return
+		for _, sp := range buckets[c] {
+			for id := sp.lo; id < sp.hi; id++ {
+				if fn(id, uint32(c)) {
+					return
+				}
 			}
 		}
 	}

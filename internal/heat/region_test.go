@@ -332,6 +332,148 @@ func TestForecastingServesPredictions(t *testing.T) {
 	}
 }
 
+// Probability regression: a cell grown after a forecasting Cool serves
+// raw counts (no forecast exists for it yet), but it must share a
+// denominator with the forecast cells — before the fix the new cell
+// divided by the decayed raw total while primed cells divided by the
+// forecast total, so equal effective counts got unequal probabilities
+// and the distribution summed past 1.
+func TestProbabilityNormalizedAcrossForecastBoundary(t *testing.T) {
+	r := NewRegionTracker(1000, 4, EWMA{Alpha: 0.5})
+	for id := pages.PageID(0); id < 4; id++ {
+		for i := 0; i < 8; i++ {
+			r.Touch(id)
+		}
+	}
+	r.Cool() // observe 16, prime: predict 16 over cell 0
+	// Grow a brand-new cell past the forecast arrays: 16 raw touches
+	// smeared over its 4 pages estimate 4 per page — the same effective
+	// count the forecast serves for cell 0's pages (16/4).
+	for i := 0; i < 16; i++ {
+		r.Touch(100)
+	}
+	if got, want := r.Count(0), r.Count(100); got != want {
+		t.Fatalf("effective counts diverge: count(0)=%d count(100)=%d", got, want)
+	}
+	p0, p100 := r.Probability(0), r.Probability(100)
+	if p0 != p100 {
+		t.Fatalf("equal effective counts, unequal probabilities: %v vs %v", p0, p100)
+	}
+	// Forecast mass 16 + raw mass 16 = 32; each regime's 4 pages hold
+	// 4/32 each.
+	if p0 != 0.125 {
+		t.Fatalf("probability = %v, want 0.125", p0)
+	}
+	sum := 0.0
+	for id := pages.PageID(0); id <= r.maxID; id++ {
+		sum += r.Probability(id)
+	}
+	if sum > 1+1e-9 {
+		t.Fatalf("distribution sums to %v > 1", sum)
+	}
+	// Forget drains the new cell's share from the shared denominator.
+	r.Forget(100)
+	if got := r.fextra; got != 12 {
+		t.Fatalf("fextra after Forget = %d, want 12", got)
+	}
+	// The next Cool extends the forecast over the new cell and resets
+	// the raw remainder.
+	r.Cool()
+	if r.fextra != 0 {
+		t.Fatalf("fextra survived Cool: %d", r.fextra)
+	}
+	sum = 0
+	for id := pages.PageID(0); id <= r.maxID; id++ {
+		sum += r.Probability(id)
+	}
+	if sum > 1+1e-9 {
+		t.Fatalf("post-cool distribution sums to %v > 1", sum)
+	}
+}
+
+// referenceHottest is the pre-optimization ForEachHottest: materialize
+// every page ID into per-count buckets. O(pages) memory — kept here only
+// as the order oracle for the span-bucketed implementation.
+func referenceHottest(r *RegionTracker, fn func(id pages.PageID, count uint32) (stop bool)) {
+	maxCount := uint32(0)
+	for b := range r.cells {
+		r.cellRuns(b, func(lo, hi pages.PageID, per uint32) {
+			if per > maxCount {
+				maxCount = per
+			}
+		})
+	}
+	if maxCount == 0 {
+		return
+	}
+	buckets := make([][]pages.PageID, maxCount+1)
+	for b := range r.cells {
+		r.cellRuns(b, func(lo, hi pages.PageID, per uint32) {
+			for id := lo; id < hi; id++ {
+				buckets[per] = append(buckets[per], id)
+			}
+		})
+	}
+	for c := int(maxCount); c >= 1; c-- {
+		for _, id := range buckets[c] {
+			if fn(id, uint32(c)) {
+				return
+			}
+		}
+	}
+}
+
+// The span-bucketed ForEachHottest must visit exactly what the per-ID
+// materialization visited, in the same order, at several granularities
+// and stop points — including a forecasting tracker, whose cellRuns
+// serve predictions.
+func TestForEachHottestSpanBucketsMatchReference(t *testing.T) {
+	build := func(g int, f Forecaster) *RegionTracker {
+		r := NewRegionTracker(16, g, f)
+		rng := stats.NewRNG(31)
+		const space = 4096
+		for i := 0; i < 9000; i++ {
+			var id pages.PageID
+			if rng.Intn(10) < 6 {
+				id = pages.PageID(rng.Intn(96))
+			} else {
+				id = pages.PageID(rng.Intn(space))
+			}
+			r.Touch(id)
+			if i%700 == 699 {
+				r.Forget(pages.PageID(rng.Intn(space)))
+				r.Cool()
+			}
+		}
+		return r
+	}
+	for _, tc := range []struct {
+		name string
+		g    int
+		f    Forecaster
+	}{
+		{"g1", 1, nil},
+		{"g16", 16, nil},
+		{"g64+ewma", 64, EWMA{Alpha: 0.5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := build(tc.g, tc.f)
+			for _, stopAt := range []int{0, 1, 137, 1 << 30} {
+				var want, got []pageCount
+				referenceHottest(r, func(id pages.PageID, c uint32) bool {
+					want = append(want, pageCount{id, c})
+					return len(want) >= stopAt
+				})
+				r.ForEachHottest(func(id pages.PageID, c uint32) bool {
+					got = append(got, pageCount{id, c})
+					return len(got) >= stopAt
+				})
+				comparePageCounts(t, "ForEachHottest", want, got)
+			}
+		})
+	}
+}
+
 // The footprint must scale with regions, not pages: granularity 1024
 // over a wide sparse space stays orders of magnitude under the exact
 // tracker's 4 bytes/page.

@@ -250,6 +250,65 @@ func noisyCool(rng *stats.RNG, totals []float64) {
 	}
 }
 
+// TestInjectedTenantHeatSeedFlowCaught probes the per-tenant fidelity
+// seam this PR added: tenant.Tenant.Heat must be deterministic
+// configuration (QoS class buys fidelity), so code that picks a
+// tenant's tracker granularity from a math/rand source is caught by
+// name of the seedflow check.
+func TestInjectedTenantHeatSeedFlowCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/tenant/bad.go": `package tenant
+
+import (
+	"math/rand"
+
+	"colloid/internal/heat"
+)
+
+func randomFidelity() *heat.Spec {
+	g := 1 << uint(rand.New(rand.NewSource(1)).Intn(11))
+	return &heat.Spec{Kind: heat.Region, RegionPages: g}
+}
+`,
+	})
+	var seedflow int
+	for _, line := range got {
+		if strings.Contains(line, "[seedflow]") && strings.Contains(line, "internal/tenant") {
+			seedflow++
+		}
+	}
+	if seedflow == 0 {
+		t.Fatalf("injected math/rand fidelity choice in internal/tenant not caught by seedflow, got %q", got)
+	}
+}
+
+// TestInjectedScaleArmSharedStreamCaught probes the cluster-scale arm's
+// discipline: the tenants experiment drives 10^8 pages through
+// per-tenant trackers, each on its own name-forked RNG stream. A
+// shard.Run callback in internal/experiments drawing from one captured
+// stream — which would make the scale checksum depend on the worker
+// count — is caught by name of the shardrng check.
+func TestInjectedScaleArmSharedStreamCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/experiments/bad.go": `package experiments
+
+import (
+	"colloid/internal/shard"
+	"colloid/internal/stats"
+)
+
+func scaleTouches(rng *stats.RNG, perTenant []uint64) {
+	shard.Run(4, len(perTenant), func(s int) {
+		perTenant[s] = rng.Uint64()
+	})
+}
+`,
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "[shardrng]") || !strings.Contains(got[0], "internal/experiments") {
+		t.Fatalf("injected captured-stream draw in internal/experiments not caught by shardrng, got %q", got)
+	}
+}
+
 // TestDeterminismPackageAllowlist covers the allowlist predicate and
 // its end-to-end effect: cmd/ trees are skipped, internal/ trees are
 // not, and the other checks still apply under cmd/.

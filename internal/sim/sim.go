@@ -76,10 +76,11 @@ type Context struct {
 	SetInflightScale func(scale float64)
 	// RNG is the system's private randomness stream.
 	RNG *stats.RNG
-	// Heat selects the access-tracking fidelity (Config.Heat). Systems
-	// that keep a frequency tracker build it with Heat.NewTracker
-	// instead of constructing access.FreqTracker directly, so one config
-	// knob moves every system between exact and region tracking.
+	// Heat selects the access-tracking fidelity (Config.Heat, or this
+	// tenant's TenantSpec.Heat override in cluster mode). Systems that
+	// keep a frequency tracker build it with Heat.NewTracker instead of
+	// constructing access.FreqTracker directly, so one config knob moves
+	// every system between exact and region tracking.
 	Heat heat.Spec
 	// Workers is the sharded-pipeline fan-out from Config.Workers.
 	// Systems pass it to shard.Run when assembling migration candidates;
@@ -350,6 +351,11 @@ type TenantSpec struct {
 	// Config.MigrationLimitBytesPerSec still applies through the shared
 	// budget all tenants drain.
 	MigrationLimitBytesPerSec float64
+	// Heat, when non-nil, overrides Config.Heat for this tenant alone:
+	// its system sees the override through Context.Heat, so QoS classes
+	// can buy tracking fidelity (premium exact, best-effort coarse
+	// regions) on one cluster. Nil inherits the cluster-wide spec.
+	Heat *heat.Spec
 }
 
 func (s TenantSpec) validate() []error {
@@ -374,6 +380,11 @@ func (s TenantSpec) validate() []error {
 			errs = append(errs, fmt.Errorf("sim: tenant %q: negative capacity quota %d on tier %d", s.Name, q, t))
 		}
 	}
+	if s.Heat != nil {
+		if err := s.Heat.Validate(); err != nil {
+			errs = append(errs, fmt.Errorf("sim: tenant %q: %w", s.Name, err))
+		}
+	}
 	return errs
 }
 
@@ -388,6 +399,7 @@ type tenantState struct {
 	sampler  *access.Sampler
 	system   System
 	profile  workloads.Profile
+	heat     heat.Spec // resolved fidelity: Config.Heat or the spec's override
 
 	rngWorkload *stats.RNG
 	rngSystem   *stats.RNG
@@ -473,8 +485,9 @@ func WithAntagonist(intensity workloads.Intensity) Option {
 // WithHeat selects the access-tracking fidelity, overriding
 // Config.Heat: the zero spec is exact per-page counting, Kind
 // heat.Region tracks at region granularity with optional forecasting.
-// Machine-wide in every mode — systems read it from Context.Heat when
-// building their trackers.
+// This is the machine-wide default in every mode — systems read it from
+// Context.Heat when building their trackers; in cluster mode a
+// TenantSpec.Heat override takes precedence for that tenant alone.
 func WithHeat(spec heat.Spec) Option {
 	return func(o *buildOptions) { o.heat = &spec }
 }
@@ -556,6 +569,7 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 		topo:          cfg.Topology,
 		migrator:      migrate.NewEngine(as, cfg.Topology.NumTiers(), cfg.MigrationLimitBytesPerSec),
 		profile:       cfg.Profile,
+		heat:          cfg.Heat,
 		rngWorkload:   root.Split(2),
 		rngSystem:     root.Split(3),
 		obs:           cfg.Obs,
@@ -700,6 +714,10 @@ func newCluster(cfg Config, bo *buildOptions) (*Engine, error) {
 		// before this one.
 		base := tenantRoot.Fork("tenant:" + spec.Name)
 		scoped := cfg.Obs.Scoped("tenant." + spec.Name + ".")
+		tenantHeat := cfg.Heat
+		if spec.Heat != nil {
+			tenantHeat = *spec.Heat
+		}
 		ts := &tenantState{
 			name:          spec.Name,
 			as:            as,
@@ -707,6 +725,7 @@ func newCluster(cfg Config, bo *buildOptions) (*Engine, error) {
 			migrator:      migrate.NewEngine(as, numTiers, spec.MigrationLimitBytesPerSec),
 			system:        spec.System,
 			profile:       spec.Profile,
+			heat:          tenantHeat,
 			rngWorkload:   base.Split(2),
 			rngSystem:     base.Split(3),
 			obs:           scoped,
@@ -917,6 +936,10 @@ func (h TenantHandle) System() System { return h.e.tenants[h.i].system }
 // Profile returns the tenant's active traffic profile.
 func (h TenantHandle) Profile() workloads.Profile { return h.e.tenants[h.i].profile }
 
+// Heat returns the tenant's resolved tracking-fidelity spec: the
+// TenantSpec override when one was set, Config.Heat otherwise.
+func (h TenantHandle) Heat() heat.Spec { return h.e.tenants[h.i].heat }
+
 // Obs returns the tenant's scoped obs view (the root registry in
 // single-workload mode; nil when instrumentation is off).
 func (h TenantHandle) Obs() *obs.Registry { return h.e.tenants[h.i].obs }
@@ -1033,7 +1056,7 @@ func (e *Engine) Step() error {
 					ts.inflightScale = scale
 				},
 				RNG:     ts.rngSystem,
-				Heat:    e.cfg.Heat,
+				Heat:    ts.heat,
 				Obs:     ts.obs,
 				Workers: e.cfg.Workers,
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"colloid/internal/heat"
 	"colloid/internal/memsys"
 	"colloid/internal/obs"
 	"colloid/internal/pages"
@@ -41,6 +42,11 @@ type Config struct {
 	// Antagonist seeds the machine-wide contention generator on the
 	// paper's 0x-3x scale.
 	Antagonist workloads.Intensity
+	// Heat is the cluster-wide access-tracking fidelity (sim.Config.Heat
+	// semantics: zero spec = exact per-page counting). Every tenant's
+	// system builds its tracker from this spec unless the tenant carries
+	// its own Tenant.Heat override.
+	Heat heat.Spec
 	// WatermarkFree is the free fraction of the default tier the
 	// shared-watermark policy defends (default 0.02, kswapd-style).
 	WatermarkFree float64
@@ -105,6 +111,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DemotePagesPerQuantum < 0 {
 		errs = append(errs, fmt.Errorf("tenant: negative demotion batch %d", cfg.DemotePagesPerQuantum))
 	}
+	if err := cfg.Heat.Validate(); err != nil {
+		errs = append(errs, err)
+	}
 	for _, t := range cfg.Tenants {
 		if err := t.validate(); err != nil {
 			errs = append(errs, err)
@@ -138,6 +147,7 @@ func New(cfg Config) (*Cluster, error) {
 			Profile:         t.Profile,
 			System:          t.System,
 			Scenario:        t.Scenario,
+			Heat:            t.Heat,
 		}
 	}
 	if cfg.Policy == Isolated {
@@ -156,6 +166,7 @@ func New(cfg Config) (*Cluster, error) {
 		MigrationLimitBytesPerSec: cfg.MigrationLimitBytesPerSec,
 		SampleEverySec:            cfg.SampleEverySec,
 		Antagonist:                cfg.Antagonist,
+		Heat:                      cfg.Heat,
 		Obs:                       cfg.Obs,
 	}
 	opts := []sim.Option{sim.WithTenants(specs...)}
@@ -350,6 +361,19 @@ func (c *Cluster) enforceWatermark() {
 // demoteColdest force-demotes up to *budget of tenant vi's coldest
 // default-tier pages to the nearest tier with room, decrementing *need
 // and *budget as bytes leave. Returns the number of pages moved.
+//
+// Capacity staleness audit: SyncTenantUsage runs only between victims,
+// but a victim cannot over-pack an alternate tier within its own batch.
+// The victim's view computes FreeBytes(to) as
+// min(quota, physical − ledger.Others(vi, to)) − as.TierBytes(to):
+// Others subtracts the victim's own (stale) ledger row from the ledger
+// total, so the stale row cancels exactly, and the victim's in-batch
+// moves are reflected immediately through its own as.TierBytes. Other
+// tenants' rows don't change during the batch (nothing else moves
+// between quanta), and pages.Move independently re-checks FreeBytes
+// against the same view before committing. The capacity-conservation
+// regression test in cluster_test.go pins this under watermark
+// pressure with nearly-full alternate tiers.
 func (c *Cluster) demoteColdest(vi int, need *int64, budget *int) int {
 	h := c.eng.Tenant(vi)
 	as := h.AS()

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"colloid/internal/core"
+	"colloid/internal/heat"
 	"colloid/internal/hemem"
 	"colloid/internal/memsys"
 	"colloid/internal/pages"
@@ -239,6 +240,142 @@ func TestWatermarkDemotesBestEffortFirst(t *testing.T) {
 	}
 }
 
+// runHeatCluster builds and runs a cluster for one simulated second with
+// the given cluster-wide tracker fidelity and optional per-tenant
+// overrides keyed by tenant name (nil entry or missing key = inherit).
+func runHeatCluster(t *testing.T, policy Policy, clusterHeat heat.Spec, overrides map[string]*heat.Spec) *Cluster {
+	t.Helper()
+	tenants := testTenants()
+	for i := range tenants {
+		tenants[i].Heat = overrides[tenants[i].Name]
+	}
+	c, err := New(Config{
+		Topology:  testTopology(128, 512),
+		Tenants:   tenants,
+		Policy:    policy,
+		PageBytes: testPage,
+		Seed:      42,
+		Workers:   2,
+		Heat:      clusterHeat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(1.0); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Per-tenant heat overrides must commute with the cluster default:
+// setting fidelity F on every tenant individually is bit-identical to
+// setting F as the cluster default, whichever of the two specs plays
+// the default role. This pins the inheritance seam (nil = inherit,
+// non-nil = replace) in both directions.
+func TestHeatOverrideCommutesWithClusterDefault(t *testing.T) {
+	exact := heat.Spec{}
+	region := heat.Spec{Kind: heat.Region, RegionPages: 64}
+	all := func(s heat.Spec) map[string]*heat.Spec {
+		m := make(map[string]*heat.Spec)
+		for _, name := range []string{"alpha", "beta", "gamma"} {
+			sc := s
+			m[name] = &sc
+		}
+		return m
+	}
+	for _, policy := range []Policy{SharedWatermark, Isolated} {
+		t.Run(policy.String(), func(t *testing.T) {
+			regionDefault := clusterChecksum(t, runHeatCluster(t, policy, region, nil))
+			exactDefault := clusterChecksum(t, runHeatCluster(t, policy, exact, nil))
+			if exactDefault == regionDefault {
+				t.Fatalf("exact and region/64 clusters hash identically (%#x); the fidelity axis is not reaching the trackers", exactDefault)
+			}
+			if got := clusterChecksum(t, runHeatCluster(t, policy, exact, all(region))); got != regionDefault {
+				t.Errorf("exact default + region/64 overrides = %#x, want region/64 default %#x", got, regionDefault)
+			}
+			if got := clusterChecksum(t, runHeatCluster(t, policy, region, all(exact))); got != exactDefault {
+				t.Errorf("region/64 default + exact overrides = %#x, want exact default %#x", got, exactDefault)
+			}
+		})
+	}
+}
+
+// Per-class fidelity must reach each tenant's own tracker: premium
+// overridden to exact, standard to region/64, best-effort inheriting
+// the cluster-wide region/1024 — visible through hemem's Stats, with
+// the coarse trackers costing less memory than the exact one.
+func TestPerTenantTrackerFidelity(t *testing.T) {
+	c := runHeatCluster(t, SharedWatermark,
+		heat.Spec{Kind: heat.Region, RegionPages: 1024},
+		map[string]*heat.Spec{
+			"alpha": {}, // Premium buys exact tracking.
+			"beta":  {Kind: heat.Region, RegionPages: 64},
+			// gamma inherits the cluster-wide region/1024.
+		})
+	want := map[string]string{"alpha": "exact", "beta": "region/64", "gamma": "region/1024"}
+	footprint := make(map[string]int64)
+	for i := 0; i < c.NumTenants(); i++ {
+		ten := c.Tenant(i)
+		st := ten.System.(*hemem.System).Stats()
+		if st.TrackerName != want[ten.Name] {
+			t.Errorf("tenant %s: tracker %q, want %q", ten.Name, st.TrackerName, want[ten.Name])
+		}
+		if st.TrackerBytes <= 0 {
+			t.Errorf("tenant %s: tracker footprint %d, want positive", ten.Name, st.TrackerBytes)
+		}
+		footprint[ten.Name] = st.TrackerBytes
+	}
+	// alpha tracks 90 pages exactly; gamma smears 60 pages over a single
+	// region/1024 cell. The whole point of the coarse tracker is that the
+	// latter is cheaper.
+	if footprint["gamma"] >= footprint["alpha"] {
+		t.Errorf("region/1024 footprint %d >= exact footprint %d; coarse tracking saved nothing",
+			footprint["gamma"], footprint["alpha"])
+	}
+}
+
+// Watermark demotion must conserve physical capacity even when the
+// alternate tier is nearly full: demoteColdest works from a tenant view
+// whose ledger row for the victim itself is stale within a batch, and
+// this pins that the stale row cancels (see the audit comment on
+// demoteColdest) — no tier ever holds more bytes than it has, across
+// sustained promote/demote churn from three hemem instances.
+func TestWatermarkCapacityConservation(t *testing.T) {
+	tenants := testTenants() // combined WSS 210 pages
+	topo := testTopology(128, 90)
+	c, err := New(Config{
+		Topology:  topo, // 218 pages physical: 8 pages of slack
+		Tenants:   tenants,
+		Policy:    SharedWatermark,
+		PageBytes: testPage,
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 100; step++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for tier := 0; tier < topo.NumTiers(); tier++ {
+			var sum int64
+			for i := 0; i < c.NumTenants(); i++ {
+				sum += c.Handle(i).AS().TierBytes(memsys.TierID(tier))
+			}
+			if physical := topo.Capacity(memsys.TierID(tier)); sum > physical {
+				t.Fatalf("step %d tier %d: tenants hold %d bytes > physical %d", step, tier, sum, physical)
+			}
+		}
+	}
+	var forced int64
+	for _, r := range c.Reports(0.5) {
+		forced += r.ForcedDemotions
+	}
+	if forced == 0 {
+		t.Fatal("no forced demotions: the watermark was never under pressure, so the test exercised nothing")
+	}
+}
+
 // Construction must reject bad configurations with one combined error.
 func TestClusterValidation(t *testing.T) {
 	topo := testTopology(128, 512)
@@ -255,6 +392,10 @@ func TestClusterValidation(t *testing.T) {
 		{"negative batch", Config{Topology: topo, Tenants: ok, DemotePagesPerQuantum: -1}, "negative demotion batch"},
 		{"unnamed tenant", Config{Topology: topo, Tenants: []Tenant{{WorkingSetBytes: 1}}}, "name required"},
 		{"bad class", Config{Topology: topo, Tenants: []Tenant{{Name: "x", WorkingSetBytes: 1, Class: Class(9)}}}, "unknown class"},
+		{"bad cluster heat", Config{Topology: topo, Tenants: ok,
+			Heat: heat.Spec{Kind: heat.Region, RegionPages: 3}}, "power of two"},
+		{"bad tenant heat", Config{Topology: topo, Tenants: []Tenant{{Name: "x", WorkingSetBytes: 1,
+			Heat: &heat.Spec{Kind: heat.Region, RegionPages: 3}}}}, `tenant: "x": heat: region granularity`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

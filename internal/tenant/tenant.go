@@ -16,6 +16,7 @@ package tenant
 import (
 	"fmt"
 
+	"colloid/internal/heat"
 	"colloid/internal/pages"
 	"colloid/internal/scenario"
 	"colloid/internal/sim"
@@ -98,6 +99,11 @@ type Tenant struct {
 	// Scenario is an optional per-tenant disturbance timeline (see
 	// sim.TenantSpec.Scenario for which event types are allowed).
 	Scenario *scenario.Scenario
+	// Heat, when non-nil, overrides the cluster's Config.Heat for this
+	// tenant alone — the per-tenant fidelity knob that lets QoS classes
+	// buy tracking accuracy (premium exact, best-effort coarse regions)
+	// while sharing one topology. Nil inherits the cluster default.
+	Heat *heat.Spec
 }
 
 func (t Tenant) validate() error {
@@ -109,6 +115,11 @@ func (t Tenant) validate() error {
 	}
 	if t.Class < BestEffort || t.Class > Premium {
 		return fmt.Errorf("tenant: %q: unknown class %d", t.Name, int(t.Class))
+	}
+	if t.Heat != nil {
+		if err := t.Heat.Validate(); err != nil {
+			return fmt.Errorf("tenant: %q: %w", t.Name, err)
+		}
 	}
 	return nil
 }
