@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 STATICCHECK := $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: ci verify vet staticcheck lint race bench bench-smoke bench-scale bench-tenants bench-heat clean
+.PHONY: ci verify vet staticcheck lint lint-fixtures race bench bench-smoke bench-scale bench-tenants bench-heat clean
 
 # Everything CI gates on.
 ci: verify vet staticcheck lint race bench-smoke bench-scale bench-tenants bench-heat
@@ -29,14 +29,28 @@ staticcheck:
 		echo "staticcheck: module proxy unreachable, skipping (pin: $(STATICCHECK_VERSION))"; \
 	fi
 
-# In-tree static analysis (internal/lint via cmd/colloidlint): enforces
-# the determinism and convention contracts — no wall clocks, global
-# math/rand, env reads or unsorted map iteration on simulation paths,
-# "<pkg>: " diagnostic prefixes, stats.RNG-only seed flow. Stdlib-only,
-# so unlike staticcheck it runs even with no module proxy. Suppress a
-# finding with `//colloid:allow <check> <reason>` (reason mandatory).
+# In-tree static analysis (internal/lint via cmd/colloidlint): eleven
+# typed checks enforcing the determinism and convention contracts — no
+# wall clocks, global math/rand, env reads or unsorted map iteration on
+# simulation paths, "<pkg>: " diagnostic prefixes, stats.RNG-only seed
+# flow, obs name grammar, no by-value lock copies, no loop-var/RNG
+# capture into goroutines, no references to Deprecated: identifiers, no
+# stale suppressions, no order-dependent float folds. Stdlib-only, so
+# unlike staticcheck it runs even with no module proxy. Findings are
+# diffed against the committed lint.baseline.json (kept empty: fix or
+# //colloid:allow <check> <reason>, don't baseline). The `|| { ...;
+# exit 1; }` tail re-asserts the failure explicitly so the nonzero exit
+# survives `make -k`/`make ci` composition instead of scrolling past.
 lint:
-	$(GO) run ./cmd/colloidlint ./...
+	@$(GO) run ./cmd/colloidlint -json -baseline lint.baseline.json ./... || { \
+		echo "lint: non-baselined findings above; fix them (do not grow lint.baseline.json)" >&2; \
+		exit 1; \
+	}
+
+# Fast iteration loop for check development: only the lint engine's own
+# tests (fixture golden file, injected-violation probes, driver flags).
+lint-fixtures:
+	$(GO) test ./internal/lint/ ./cmd/colloidlint/
 
 # Race-detector pass over the parallel experiment runner, the engine,
 # the scenario/fault-injection subsystem, the migration engine, the

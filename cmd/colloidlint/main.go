@@ -1,11 +1,13 @@
 // Command colloidlint runs the repo's in-tree static-analysis suite
-// (internal/lint): stdlib-only analyzers that enforce the simulator's
-// determinism and convention contracts. It needs no module proxy, so it
-// runs in CI environments where staticcheck's offline gate skips.
+// (internal/lint): stdlib-only analyzers, type-checked through a
+// file-system loader, that enforce the simulator's determinism and
+// convention contracts. It needs no module proxy, so it runs in CI
+// environments where staticcheck's offline gate skips.
 //
 // Usage:
 //
-//	colloidlint [-list] [-checks determinism,maprange] [./...]
+//	colloidlint [-list] [-checks determinism,maprange] [-json]
+//	            [-baseline lint.baseline.json] [-update-baseline] [./...]
 //
 // Each argument is a directory tree to lint ("dir/..." and "dir" are
 // equivalent; both walk recursively, skipping testdata, vendor and
@@ -15,12 +17,21 @@
 //
 //	file:line: [check] message
 //
-// and any unsuppressed finding makes the exit status nonzero. A finding
-// is suppressed by a `//colloid:allow <check> <reason>` comment on the
-// offending line or alone on the line above; the reason is mandatory.
+// or, under -json, as a JSON array of objects carrying the same fields
+// plus the finding's content-addressed id. Any unsuppressed finding
+// makes the exit status nonzero. A finding is suppressed by a
+// `//colloid:allow <check> <reason>` comment on the offending line or
+// alone on the line above; the reason is mandatory.
+//
+// With -baseline, findings whose id appears in the given baseline file
+// are acknowledged debt: they neither print nor fail the run (stale
+// baseline entries are reported on stderr for cleanup). With
+// -update-baseline, the current findings are written to the baseline
+// file instead and the run exits 0.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,11 +45,23 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	ID    string `json:"id"`
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("colloidlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the registered checks and exit")
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	baselinePath := fs.String("baseline", "", "baseline file; findings whose id it contains are acknowledged and do not fail the run")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -47,6 +70,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
 		}
 		return 0
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "colloidlint: -update-baseline requires -baseline <path>")
+		return 2
 	}
 	checks, err := selectChecks(*checksFlag)
 	if err != nil {
@@ -57,28 +84,75 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(roots) == 0 {
 		roots = []string{"./..."}
 	}
-	total := 0
+	var findings []lint.Finding
 	for _, root := range roots {
 		root = strings.TrimSuffix(root, "...")
 		root = strings.TrimSuffix(root, "/")
 		if root == "" || root == "." {
 			root = "."
 		}
-		findings, err := lint.TreeChecks(root, checks)
+		found, err := lint.TreeChecks(root, checks)
 		if err != nil {
 			fmt.Fprintln(stderr, "colloidlint:", err)
 			return 2
 		}
-		for _, f := range findings {
-			fmt.Fprintln(stdout, f.String())
-		}
-		total += len(findings)
+		findings = append(findings, found...)
 	}
-	if total > 0 {
-		fmt.Fprintf(stderr, "colloidlint: %d finding(s)\n", total)
+	if *updateBaseline {
+		if err := lint.NewBaseline(findings).Write(*baselinePath); err != nil {
+			fmt.Fprintln(stderr, "colloidlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "colloidlint: wrote %d finding(s) to %s\n", len(findings), *baselinePath)
+		return 0
+	}
+	if *baselinePath != "" {
+		baseline, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "colloidlint:", err)
+			return 2
+		}
+		fresh, stale := baseline.Filter(findings)
+		for _, e := range stale {
+			fmt.Fprintf(stderr, "colloidlint: baseline entry %s (%s in %s) no longer fires; remove it\n", e.ID, e.Check, e.File)
+		}
+		if n := len(findings) - len(fresh); n > 0 {
+			fmt.Fprintf(stderr, "colloidlint: %d finding(s) acknowledged by baseline %s\n", n, *baselinePath)
+		}
+		findings = fresh
+	}
+	if err := emit(stdout, findings, *jsonOut); err != nil {
+		fmt.Fprintln(stderr, "colloidlint:", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "colloidlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// emit writes findings in text or JSON form.
+func emit(stdout io.Writer, findings []lint.Finding, asJSON bool) error {
+	if !asJSON {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+		return nil
+	}
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			ID:    lint.FindingID(f),
+			File:  f.Pos.Filename,
+			Line:  f.Pos.Line,
+			Check: f.Check,
+			Msg:   f.Msg,
+		})
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // selectChecks resolves the -checks flag against the registry.

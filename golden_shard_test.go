@@ -1,32 +1,21 @@
 package colloid
 
 import (
-	"encoding/binary"
-	"hash/fnv"
-	"math"
 	"testing"
 
 	"colloid/internal/experiments"
 	"colloid/internal/memsys"
 	"colloid/internal/pages"
+	"colloid/internal/simtest"
 )
 
 // placementChecksum folds the full live placement (IDs, tiers, sizes,
-// weights, in iteration order) into one FNV-1a hash.
+// weights, in iteration order) into one FNV-1a hash via the shared
+// simtest.Digest stream.
 func placementChecksum(as *pages.AddressSpace) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	w := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
-	}
-	as.ForEachLive(func(p pages.Page) {
-		w(uint64(p.ID))
-		w(uint64(p.Tier))
-		w(uint64(p.Bytes))
-		w(math.Float64bits(p.Weight))
-	})
-	return h.Sum64()
+	d := simtest.NewDigest()
+	d.Placement(as)
+	return d.Sum()
 }
 
 // TestShardedChurnBitIdentical runs the scale pipeline with huge-page

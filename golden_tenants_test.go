@@ -1,17 +1,14 @@
 package colloid
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
-	"math"
 	"testing"
 
 	"colloid/internal/core"
 	"colloid/internal/heat"
 	"colloid/internal/hemem"
 	"colloid/internal/memsys"
-	"colloid/internal/pages"
+	"colloid/internal/simtest"
 	"colloid/internal/tenant"
 	"colloid/internal/workloads"
 )
@@ -81,52 +78,30 @@ func goldenCluster(t *testing.T, policy tenant.Policy, workers int, reverse bool
 }
 
 // tenantsChecksum folds every tenant's trace, final placement and
-// report, plus the cluster saturation vector, into one FNV-1a hash.
+// report, plus the cluster saturation vector, into one FNV-1a hash via
+// the shared simtest.Digest stream.
 func tenantsChecksum(c *tenant.Cluster) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	wf := func(v float64) {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
-	}
-	wi := func(v int64) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-	}
+	d := simtest.NewDigest()
 	for i, r := range c.Reports(1.0) {
-		h.Write([]byte(r.Name))
-		wf(r.OpsPerSec)
-		wf(r.AvgLatencyNs)
-		wf(r.Interference)
-		wi(r.MigratedBytes)
-		wi(r.Moves)
-		wi(r.ForcedDemotions)
-		wi(r.ForcedDemotedBytes)
-		wi(r.SharedThrottled)
+		d.Str(r.Name)
+		d.F64(r.OpsPerSec)
+		d.F64(r.AvgLatencyNs)
+		d.F64(r.Interference)
+		d.I64(r.MigratedBytes)
+		d.I64(r.Moves)
+		d.I64(r.ForcedDemotions)
+		d.I64(r.ForcedDemotedBytes)
+		d.I64(r.SharedThrottled)
 		for _, b := range r.TierBytes {
-			wi(b)
+			d.I64(b)
 		}
-		for _, s := range c.Handle(i).Samples() {
-			wf(s.TimeSec)
-			wf(s.OpsPerSec)
-			wf(s.MigrationBytesPerSec)
-			for _, vs := range [][]float64{s.LatencyNs, s.AppShare, s.AppBytesPerSec, s.TotalBytesPerSec} {
-				for _, v := range vs {
-					wf(v)
-				}
-			}
-		}
-		c.Handle(i).AS().ForEachLive(func(p pages.Page) {
-			wi(int64(p.ID))
-			wi(int64(p.Tier))
-			wi(p.Bytes)
-			wf(p.Weight)
-		})
+		d.Samples(c.Handle(i).Samples())
+		d.Placement(c.Handle(i).AS())
 	}
 	for _, u := range c.Saturation() {
-		wf(u)
+		d.F64(u)
 	}
-	return h.Sum64()
+	return d.Sum()
 }
 
 // TestGoldenTenantTraces pins the full multi-tenant behaviour under

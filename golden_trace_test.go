@@ -1,16 +1,12 @@
 package colloid
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
-	"math"
 	"testing"
 
 	"colloid/internal/core"
 	"colloid/internal/hemem"
 	"colloid/internal/memtis"
-	"colloid/internal/pages"
 	"colloid/internal/sim"
 	"colloid/internal/simtest"
 	"colloid/internal/tpp"
@@ -71,34 +67,11 @@ func TestGoldenPlacementTraces(t *testing.T) {
 }
 
 // traceChecksum folds every sample and the final placement into one
-// FNV-1a hash; any bit-level difference in the run's observable
-// behaviour changes it.
+// FNV-1a hash (via the shared simtest.Digest stream); any bit-level
+// difference in the run's observable behaviour changes it.
 func traceChecksum(e *sim.Engine) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	wf := func(v float64) {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
-	}
-	wi := func(v int64) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-	}
-	for _, s := range e.Samples() {
-		wf(s.TimeSec)
-		wf(s.OpsPerSec)
-		wf(s.MigrationBytesPerSec)
-		for _, vs := range [][]float64{s.LatencyNs, s.AppShare, s.AppBytesPerSec, s.TotalBytesPerSec} {
-			for _, v := range vs {
-				wf(v)
-			}
-		}
-	}
-	e.AS().ForEachLive(func(p pages.Page) {
-		wi(int64(p.ID))
-		wi(int64(p.Tier))
-		wi(p.Bytes)
-		wf(p.Weight)
-	})
-	return h.Sum64()
+	d := simtest.NewDigest()
+	d.Samples(e.Samples())
+	d.Placement(e.AS())
+	return d.Sum()
 }

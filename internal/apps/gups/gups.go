@@ -97,20 +97,20 @@ func (b *Bench) HotRange() (start, end int64) {
 func (b *Bench) Run(ops int64, seed uint64) int64 {
 	var wg sync.WaitGroup
 	per := ops / int64(b.cfg.Workers)
-	var total int64
-	var mu sync.Mutex
+	totals := make([]int64, b.cfg.Workers)
 	for w := 0; w < b.cfg.Workers; w++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			rng := stats.NewRNG(seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
-			n := b.runWorker(per, rng)
-			mu.Lock()
-			total += n
-			mu.Unlock()
+			totals[id] = b.runWorker(per, rng)
 		}(w)
 	}
 	wg.Wait()
+	var total int64
+	for _, n := range totals {
+		total += n
+	}
 	return total
 }
 

@@ -271,7 +271,7 @@ func runTenantsScale(ctx ArmContext) (any, error) {
 		tb := tr.MemoryFootprintBytes()
 		footprint += tb
 		cools += tr.Cools()
-		ctx.Obs.Gauge("scale_tracker_bytes_" + name).Set(float64(tb))
+		ctx.Obs.Gauge(fmt.Sprintf("scale_tracker_bytes_t%02d", ti)).Set(float64(tb))
 	}
 	totalPages := int64(nTenants) * int64(perTenant)
 	exactBytes := totalPages * 4

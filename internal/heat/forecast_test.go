@@ -2,6 +2,7 @@ package heat
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -98,5 +99,75 @@ func TestEmptyChainIsPassthrough(t *testing.T) {
 	}
 	if got := c.Forecast(nil, 7); got != 7 {
 		t.Fatalf("forecast = %v", got)
+	}
+}
+
+// TestParseForecasterGrammar pins the spec-string grammar end to end:
+// the forms the -forecast flags accept and the name each resolves to.
+func TestParseForecasterGrammar(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string // resolved Name(); "passthrough" for the nil forecaster
+	}{
+		{"", "passthrough"},
+		{"passthrough", "passthrough"},
+		{"  trend  ", "trend"},
+		{"ewma", "ewma(0.50)"},
+		{"ewma:0.25", "ewma(0.25)"},
+		{"ewma:1", "ewma(1.00)"},
+		{"trend>ewma:0.5", "trend>ewma(0.50)"},
+		{"trend > ewma", "trend>ewma(0.50)"},
+		{"passthrough>trend", "passthrough>trend"},
+	}
+	for _, tc := range cases {
+		f, err := ParseForecaster(tc.in)
+		if err != nil {
+			t.Errorf("ParseForecaster(%q) failed: %v", tc.in, err)
+			continue
+		}
+		name := "passthrough"
+		if f != nil {
+			name = f.Name()
+		}
+		if name != tc.name {
+			t.Errorf("ParseForecaster(%q) = %q, want %q", tc.in, name, tc.name)
+		}
+	}
+}
+
+// TestParseForecasterErrors covers the grammar's rejection paths:
+// unknown stage names, malformed chains, bad and out-of-range EWMA
+// alphas, and dangling '>' separators. Each error must name the
+// offending fragment so a mistyped -forecast flag is self-diagnosing.
+func TestParseForecasterErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // error substring
+	}{
+		{"exp", `unknown forecaster "exp"`},
+		{"trend>exp", `unknown forecaster "exp"`},
+		{"trend>>ewma", `unknown forecaster ""`},
+		{"trend>", `unknown forecaster ""`},
+		{">trend", `unknown forecaster ""`},
+		{">", `unknown forecaster ""`},
+		{"ewma:", `bad ewma alpha in "ewma:"`},
+		{"ewma:fast", `bad ewma alpha in "ewma:fast"`},
+		{"ewma:0", "out of (0, 1]"},
+		{"ewma:-0.5", "out of (0, 1]"},
+		{"ewma:1.5", "out of (0, 1]"},
+		{"trend>ewma:2>passthrough", "out of (0, 1]"},
+	}
+	for _, tc := range cases {
+		f, err := ParseForecaster(tc.in)
+		if err == nil {
+			t.Errorf("ParseForecaster(%q) accepted, resolved to %v", tc.in, f)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseForecaster(%q) error = %v, want substring %q", tc.in, err, tc.want)
+		}
+		if !strings.HasPrefix(err.Error(), "heat: ") {
+			t.Errorf("ParseForecaster(%q) error %q lacks the \"heat: \" prefix", tc.in, err)
+		}
 	}
 }

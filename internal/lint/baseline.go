@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline support: instead of a binary clean/dirty exit, CI diffs the
+// run's findings against a committed lint.baseline.json. A finding
+// already in the baseline is acknowledged debt and does not fail the
+// build; a finding outside it does. Entries are content-addressed — the
+// ID hashes the check, file and message but not the line — so edits
+// elsewhere in a file never invalidate the baseline, while fixing (or
+// rewording) the finding itself retires its entry.
+//
+// The repo's policy keeps the committed baseline empty: the file exists
+// so the gate is structurally ready for debt, but every finding is
+// fixed (or explicitly //colloid:allow-ed with a reason) rather than
+// baselined. -update-baseline exists for bulk onboarding of future
+// checks, not for day-to-day suppression.
+
+// FindingID returns the content address of a finding: the first 16 hex
+// digits of SHA-256 over check, file and message. Line numbers are
+// deliberately excluded so unrelated edits don't churn the baseline.
+func FindingID(f Finding) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s", f.Check, f.Pos.Filename, f.Msg)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// BaselineEntry is one acknowledged finding in the baseline file. The
+// check/file/msg fields are retained for human review; matching is by
+// ID alone.
+type BaselineEntry struct {
+	ID    string `json:"id"`
+	Check string `json:"check"`
+	File  string `json:"file"`
+	Msg   string `json:"msg"`
+}
+
+// Baseline is the committed findings baseline (lint.baseline.json).
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// NewBaseline builds a baseline from a findings list, deduplicated and
+// sorted by ID so the serialized form is stable.
+func NewBaseline(findings []Finding) *Baseline {
+	seen := map[string]bool{}
+	b := &Baseline{Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		id := FindingID(f)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		b.Findings = append(b.Findings, BaselineEntry{
+			ID:    id,
+			Check: f.Check,
+			File:  f.Pos.Filename,
+			Msg:   f.Msg,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].ID < b.Findings[j].ID })
+	return b
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(src, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write serializes the baseline to path (indented JSON, trailing
+// newline, stable order).
+func (b *Baseline) Write(path string) error {
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lint: baseline: %w", err)
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Filter splits findings into those not covered by the baseline (fresh,
+// order preserved) and the baseline entries that no longer fire
+// (stale, baseline order). Stale entries are reported for cleanup but
+// do not fail a run.
+func (b *Baseline) Filter(findings []Finding) (fresh []Finding, stale []BaselineEntry) {
+	known := make(map[string]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		known[e.ID] = true
+	}
+	fired := map[string]bool{}
+	for _, f := range findings {
+		id := FindingID(f)
+		fired[id] = true
+		if !known[id] {
+			fresh = append(fresh, f)
+		}
+	}
+	for _, e := range b.Findings {
+		if !fired[e.ID] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

@@ -65,28 +65,55 @@ func runDeterminism(p *Package) []Finding {
 			if !ok {
 				return true
 			}
+			// Typed-first: a resolved selector names its package
+			// authoritatively (aliases included); a selector resolved to
+			// a variable or field is definitely not one of ours.
+			pkgPath, name, kind := p.pkgRef(sel)
+			switch kind {
+			case selPkg:
+				out = append(out, determinismRef(p, sel, pkgPath, name)...)
+				return true
+			case selOther:
+				return true
+			}
 			if name, ok := pkgSelector(sel, timeName); ok {
-				if name == "Now" || name == "Since" || name == "Until" {
-					out = append(out, p.finding("determinism", n,
-						fmt.Sprintf("time.%s reads the wall clock; simulation-path code must use simulated time (sim quantum / Context time)", name)))
-				}
+				out = append(out, determinismRef(p, sel, "time", name)...)
 				return true
 			}
 			if name, ok := pkgSelector(sel, osName); ok {
-				if forbiddenEnvFuncs[name] {
-					out = append(out, p.finding("determinism", n,
-						fmt.Sprintf("os.%s makes behaviour depend on ambient process state; thread configuration through Config values instead", name)))
-				}
+				out = append(out, determinismRef(p, sel, "os", name)...)
 				return true
 			}
-			for _, rn := range []string{randName, randV2Name} {
-				if name, ok := pkgSelector(sel, rn); ok && !randConstructors[name] {
-					out = append(out, p.finding("determinism", n,
-						fmt.Sprintf("global math/rand (rand.%s) is seeded outside the experiment's control; draw from a stats.RNG stream instead", name)))
+			for i, rn := range []string{randName, randV2Name} {
+				if name, ok := pkgSelector(sel, rn); ok {
+					out = append(out, determinismRef(p, sel, []string{"math/rand", "math/rand/v2"}[i], name)...)
 				}
 			}
 			return true
 		})
 	}
 	return out
+}
+
+// determinismRef classifies one package-qualified reference against the
+// determinism contract.
+func determinismRef(p *Package, n ast.Node, pkgPath, name string) []Finding {
+	switch pkgPath {
+	case "time":
+		if name == "Now" || name == "Since" || name == "Until" {
+			return []Finding{p.finding("determinism", n,
+				fmt.Sprintf("time.%s reads the wall clock; simulation-path code must use simulated time (sim quantum / Context time)", name))}
+		}
+	case "os":
+		if forbiddenEnvFuncs[name] {
+			return []Finding{p.finding("determinism", n,
+				fmt.Sprintf("os.%s makes behaviour depend on ambient process state; thread configuration through Config values instead", name))}
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[name] {
+			return []Finding{p.finding("determinism", n,
+				fmt.Sprintf("global math/rand (rand.%s) is seeded outside the experiment's control; draw from a stats.RNG stream instead", name))}
+		}
+	}
+	return nil
 }

@@ -1,5 +1,5 @@
 // Package lint is colloid's in-tree static-analysis framework: a
-// stdlib-only (go/parser, go/ast, go/token — no module proxy, no
+// stdlib-only (go/parser, go/types, go/token — no module proxy, no
 // go/packages) analyzer harness that enforces the simulator's
 // determinism and convention contracts at `make ci` time.
 //
@@ -13,6 +13,15 @@
 // violations at lint time, on every PR, instead of when a golden
 // checksum mysteriously drifts.
 //
+// Since the typed rebuild, every package is loaded through one shared
+// type-checked loader (see load.go): checks see resolved types.Objects
+// — an aliased time import, a cross-package map return, a mutex buried
+// three structs deep — instead of raw identifiers, and tree-wide checks
+// (obsnames, tombstone) correlate facts across packages. Type checking
+// is best-effort: where resolution fails (fixture trees reference
+// packages that are not there), checks fall back to the original
+// syntactic analysis, so a partial tree still lints.
+//
 // A finding can be suppressed in-source with
 //
 //	//colloid:allow <check> <reason>
@@ -20,16 +29,17 @@
 // either trailing the offending line or alone on the line directly
 // above it. The reason string is mandatory: a bare suppression is
 // itself reported (as check "suppression"), so every exemption carries
-// its rationale next to the code it exempts.
+// its rationale next to the code it exempts. A suppression whose check
+// no longer fires on its line is reported too (as check "staleallow"),
+// so exemptions cannot outlive the code they excused.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -53,21 +63,47 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
 }
 
-// Package is one parsed, non-test Go package handed to each check.
+// Package is one parsed, type-checked, non-test Go package handed to
+// each check.
 type Package struct {
 	// Path is the slash-separated directory path relative to the lint
 	// root ("internal/core", "cmd/colloidsim"). Checks use it for
 	// package allowlists.
 	Path string
+	// Module is the module path the tree was loaded under ("colloid"
+	// unless the root's go.mod says otherwise); Path appended to it
+	// gives the package's import path.
+	Module string
 	// Name is the package clause name ("core").
 	Name string
-	// Fset positions every node in Files.
+	// Fset positions every node in Files. One fileset is shared by all
+	// packages of a run.
 	Fset *token.FileSet
 	// Files holds the parsed non-test files, sorted by file name.
 	Files []*ast.File
+	// Types is the type-checked package (possibly marked incomplete
+	// when the tree is partial; never nil after loading).
+	Types *types.Package
+	// Info holds the resolved identifier uses, definitions, expression
+	// types and selections. Lookups that miss mean "no type information
+	// here" and checks must degrade to syntax.
+	Info *types.Info
 }
 
-// Check is one registered analyzer.
+// ImportPath returns the package's module-qualified import path.
+func (p *Package) ImportPath() string {
+	if p.Path == "" {
+		return p.Module
+	}
+	return p.Module + "/" + p.Path
+}
+
+// Check is one registered analyzer. Exactly one of Run and RunTree is
+// set: Run inspects a single package, RunTree sees every package of the
+// run at once (for cross-package facts such as metric-name collisions
+// or deprecated-identifier references). The staleallow check sets
+// neither — it is implemented by the harness itself, which owns the
+// suppression table.
 type Check struct {
 	// Name tags findings and is the token suppression comments refer
 	// to.
@@ -76,6 +112,8 @@ type Check struct {
 	Doc string
 	// Run inspects one package and returns its findings.
 	Run func(p *Package) []Finding
+	// RunTree inspects the whole loaded tree at once.
+	RunTree func(pkgs []*Package) []Finding
 }
 
 // registry holds the built-in checks in registration order.
@@ -114,6 +152,10 @@ func CheckNames() []string {
 // check name). It cannot be suppressed.
 const SuppressionCheck = "suppression"
 
+// StaleAllowCheck names the harness-implemented check that reports
+// //colloid:allow directives whose check no longer fires on their line.
+const StaleAllowCheck = "staleallow"
+
 // allowDirective is the comment prefix that suppresses a finding.
 const allowDirective = "//colloid:allow"
 
@@ -129,7 +171,7 @@ type suppression struct {
 // parsed file, keyed by the line it applies to. A directive applies to
 // its own line when it trails code, and to the following line when it
 // stands alone.
-func parseSuppressions(fset *token.FileSet, file *ast.File, known map[string]bool) (bySite map[string][]*suppression, problems []Finding) {
+func parseSuppressions(fset *token.FileSet, file *ast.File, known map[string]bool) (bySite map[string][]*suppression, all []*suppression, problems []Finding) {
 	bySite = make(map[string][]*suppression)
 	for _, group := range file.Comments {
 		for _, c := range group.List {
@@ -172,6 +214,7 @@ func parseSuppressions(fset *token.FileSet, file *ast.File, known map[string]boo
 				continue
 			}
 			s := &suppression{pos: pos, check: check, reason: strings.Join(fields[1:], " ")}
+			all = append(all, s)
 			// A trailing comment suppresses its own line; a standalone
 			// comment suppresses the next line. Registering both sites
 			// covers either placement without tracking code layout.
@@ -181,7 +224,7 @@ func parseSuppressions(fset *token.FileSet, file *ast.File, known map[string]boo
 			}
 		}
 	}
-	return bySite, problems
+	return bySite, all, problems
 }
 
 func siteKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
@@ -204,50 +247,103 @@ func Tree(root string) ([]Finding, error) {
 }
 
 // TreeChecks is Tree with an explicit check list (used by tests and by
-// the driver's -checks flag).
+// the driver's -checks flag). All packages load — and type-check —
+// before any check runs, so tree-wide checks see the full picture.
 func TreeChecks(root string, checks []*Check) ([]Finding, error) {
 	dirs, err := packageDirs(root)
 	if err != nil {
 		return nil, err
 	}
-	var all []Finding
+	l := newLoader(root)
+	var pkgs []*Package
 	for _, dir := range dirs {
-		pkg, err := load(root, dir)
+		rel, err := filepath.Rel(root, dir)
 		if err != nil {
 			return nil, err
 		}
-		if pkg == nil {
-			continue
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
 		}
-		all = append(all, lintPackage(pkg, checks)...)
+		pkg, err := l.pkg(rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
 	}
-	sortFindings(all)
-	return all, nil
+	return runChecks(pkgs, checks), nil
 }
 
-// lintPackage runs the checks over one package, applies suppressions
-// and appends findings about the suppression comments themselves.
-func lintPackage(pkg *Package, checks []*Check) []Finding {
+// runChecks runs the selected checks over the loaded tree, applies
+// suppressions, reports problems with the suppression comments
+// themselves, and — when the staleallow check is selected — reports
+// directives no selected check still needs.
+func runChecks(pkgs []*Package, checks []*Check) []Finding {
 	known := make(map[string]bool, len(registry))
 	for _, c := range registry {
 		known[c.Name] = true
 	}
 	bySite := make(map[string][]*suppression)
+	var suppressions []*suppression
 	var out []Finding
-	for _, file := range pkg.Files {
-		sites, problems := parseSuppressions(pkg.Fset, file, known)
-		for k, v := range sites {
-			bySite[k] = append(bySite[k], v...)
-		}
-		out = append(out, problems...)
-	}
-	for _, c := range checks {
-		for _, f := range c.Run(pkg) {
-			if suppressed(bySite, f) {
-				continue
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			sites, all, problems := parseSuppressions(pkg.Fset, file, known)
+			for k, v := range sites {
+				bySite[k] = append(bySite[k], v...)
 			}
-			out = append(out, f)
+			suppressions = append(suppressions, all...)
+			out = append(out, problems...)
 		}
+	}
+	selected := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		selected[c.Name] = true
+		var found []Finding
+		switch {
+		case c.Run != nil:
+			for _, pkg := range pkgs {
+				found = append(found, c.Run(pkg)...)
+			}
+		case c.RunTree != nil:
+			found = c.RunTree(pkgs)
+		}
+		for _, f := range found {
+			if !suppressed(bySite, f) {
+				out = append(out, f)
+			}
+		}
+	}
+	if selected[StaleAllowCheck] {
+		for _, f := range staleSuppressions(suppressions, selected) {
+			if !suppressed(bySite, f) {
+				out = append(out, f)
+			}
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// staleSuppressions reports every directive whose check ran in this
+// invocation but no longer fires on the directive's line. Directives
+// for checks outside the selected subset are left alone (their check
+// did not get a chance to fire), as are staleallow directives
+// themselves (their target findings are produced by this very pass).
+func staleSuppressions(suppressions []*suppression, selected map[string]bool) []Finding {
+	var out []Finding
+	for _, s := range suppressions {
+		if s.used || !selected[s.check] || s.check == StaleAllowCheck {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:   s.pos,
+			Check: StaleAllowCheck,
+			Msg: fmt.Sprintf("colloid:allow %s no longer suppresses anything on this line; delete the directive (reason was %q)",
+				s.check, s.reason),
+		})
 	}
 	return out
 }
@@ -287,56 +383,6 @@ func packageDirs(root string) ([]string, error) {
 	}
 	sort.Strings(dirs)
 	return dirs, nil
-}
-
-// load parses dir's non-test Go files into a Package (nil when the
-// directory holds none). File paths in the returned fileset are
-// relative to root so findings print stably regardless of the working
-// directory.
-func load(root, dir string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var names []string
-	for _, e := range entries {
-		n := e.Name()
-		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
-			continue
-		}
-		names = append(names, n)
-	}
-	if len(names) == 0 {
-		return nil, nil
-	}
-	sort.Strings(names)
-	rel, err := filepath.Rel(root, dir)
-	if err != nil {
-		return nil, err
-	}
-	pkg := &Package{
-		Path: filepath.ToSlash(rel),
-		Fset: token.NewFileSet(),
-	}
-	if pkg.Path == "." {
-		pkg.Path = ""
-	}
-	for _, n := range names {
-		relFile := filepath.ToSlash(filepath.Join(pkg.Path, n))
-		src, err := os.ReadFile(filepath.Join(dir, n))
-		if err != nil {
-			return nil, err
-		}
-		file, err := parser.ParseFile(pkg.Fset, relFile, src, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
-		}
-		if pkg.Name == "" {
-			pkg.Name = file.Name.Name
-		}
-		pkg.Files = append(pkg.Files, file)
-	}
-	return pkg, nil
 }
 
 func sortFindings(fs []Finding) {

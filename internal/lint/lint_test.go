@@ -406,8 +406,14 @@ func Now() float64 {
 }
 `,
 		})
-		if len(got) != 1 || !strings.Contains(got[0], "[determinism]") {
-			t.Errorf("mismatched suppression hid the finding: %q", got)
+		if len(got) != 2 {
+			t.Fatalf("want determinism + staleallow findings, got %q", got)
+		}
+		joined := strings.Join(got, "\n")
+		for _, want := range []string{"[determinism]", "[staleallow]", "no longer suppresses"} {
+			if !strings.Contains(joined, want) {
+				t.Errorf("missing %q in %q", want, got)
+			}
 		}
 	})
 	t.Run("bare suppression is itself a finding and suppresses nothing", func(t *testing.T) {
@@ -444,16 +450,182 @@ func Now() float64 {
 }
 `,
 		})
-		if len(got) != 1 || !strings.Contains(got[0], "[determinism]") {
-			t.Errorf("distant suppression leaked: %q", got)
+		if len(got) != 2 {
+			t.Fatalf("want determinism + staleallow findings, got %q", got)
+		}
+		joined := strings.Join(got, "\n")
+		for _, want := range []string{"[determinism]", "[staleallow]"} {
+			if !strings.Contains(joined, want) {
+				t.Errorf("missing %q in %q", want, got)
+			}
 		}
 	})
+}
+
+// TestInjectedObsNameCollisionCaught is the obsnames acceptance probe:
+// the same constant name registered as both a counter and a gauge —
+// across call sites, resolved through the typed loader — is caught by
+// name of the obsnames check, once per registration site.
+func TestInjectedObsNameCollisionCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/obs/obs.go": `package obs
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+func (r *Registry) Scoped(prefix string) *Registry   { return r }
+`,
+		"internal/core/bad.go": `package core
+
+import "colloid/internal/obs"
+
+func Wire(r *obs.Registry) {
+	r.Counter("ctrl.pressure")
+	r.Gauge("ctrl.pressure")
+}
+`,
+	})
+	var collisions int
+	for _, line := range got {
+		if strings.Contains(line, "[obsnames]") && strings.Contains(line, "counter and gauge") {
+			collisions++
+		}
+	}
+	if collisions != 2 {
+		t.Fatalf("injected counter/gauge kind collision not caught at both sites by obsnames, got %q", got)
+	}
+}
+
+// TestInjectedLockCopyCaught is the lockcopy acceptance probe: passing
+// a mutex-holding struct by value (here via deref into a call argument)
+// is caught by name of the lockcopy check.
+func TestInjectedLockCopyCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/core/bad.go": `package core
+
+import "sync"
+
+type table struct {
+	mu   sync.Mutex
+	rows map[int]int
+}
+
+func snapshot(t table) int { return len(t.rows) }
+
+func Rows(t *table) int { return snapshot(*t) }
+`,
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "[lockcopy]") || !strings.Contains(got[0], "sync.Mutex") {
+		t.Fatalf("injected by-value mutex copy not caught by lockcopy, got %q", got)
+	}
+}
+
+// TestInjectedGoCaptureCaught is the gocapture acceptance probe: a
+// loop variable read inside a `go` literal instead of being passed as
+// an argument is caught by name of the gocapture check.
+func TestInjectedGoCaptureCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/core/bad.go": `package core
+
+func FanOut(n int, out []int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			out[i] = i * 2
+		}()
+	}
+}
+`,
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "[gocapture]") || !strings.Contains(got[0], `loop variable "i"`) {
+		t.Fatalf("injected loop-variable capture not caught by gocapture, got %q", got)
+	}
+}
+
+// TestInjectedTombstoneCaught is the tombstone acceptance probe: a
+// cross-package reference to an identifier whose doc comment carries a
+// Deprecated: marker is caught by name of the tombstone check.
+func TestInjectedTombstoneCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/old/old.go": `package old
+
+// Legacy returns the pre-rescale factor.
+//
+// Deprecated: use Scale instead.
+func Legacy() int { return 1 }
+
+// Scale returns the factor.
+func Scale() int { return 2 }
+`,
+		"internal/core/bad.go": `package core
+
+import "colloid/internal/old"
+
+func Factor() int { return old.Legacy() }
+`,
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "[tombstone]") || !strings.Contains(got[0], `deprecated identifier "Legacy"`) {
+		t.Fatalf("injected deprecated reference not caught by tombstone, got %q", got)
+	}
+}
+
+// TestInjectedStaleAllowCaught is the staleallow acceptance probe: a
+// //colloid:allow directive on a line where its check no longer fires
+// is itself reported, by name of the staleallow check.
+func TestInjectedStaleAllowCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/core/bad.go": `package core
+
+func Twice(x int) int {
+	return x * 2 //colloid:allow determinism nothing deterministic left here
+}
+`,
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "[staleallow]") || !strings.Contains(got[0], "no longer suppresses") {
+		t.Fatalf("stale suppression not caught by staleallow, got %q", got)
+	}
+}
+
+// TestInjectedFloatOrderCaught is the floatorder acceptance probe: a
+// float64 accumulation inside a map range folds terms in random order
+// and is caught by name of the floatorder check (maprange may flag the
+// same line with its coarser net; only the typed finding is asserted).
+func TestInjectedFloatOrderCaught(t *testing.T) {
+	got := lintTree(t, map[string]string{
+		"internal/core/bad.go": `package core
+
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+	})
+	var floatorder int
+	for _, line := range got {
+		if strings.Contains(line, "[floatorder]") && strings.Contains(line, `"total"`) {
+			floatorder++
+		}
+	}
+	if floatorder != 1 {
+		t.Fatalf("injected float map-range accumulation not caught by floatorder, got %q", got)
+	}
 }
 
 // TestCheckRegistry pins the suite composition so a dropped init() is
 // noticed.
 func TestCheckRegistry(t *testing.T) {
-	want := []string{"determinism", "maprange", "msgprefix", "seedflow", "shardrng"}
+	want := []string{
+		"determinism", "floatorder", "gocapture", "lockcopy", "maprange",
+		"msgprefix", "obsnames", "seedflow", "shardrng", "staleallow", "tombstone",
+	}
 	got := CheckNames()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Errorf("registered checks = %v, want %v", got, want)

@@ -24,12 +24,14 @@ import (
 // order-independent sites (e.g. integer accumulation, which commutes)
 // carry a //colloid:allow maprange <reason> suppression.
 //
-// Map detection is syntactic (no go/types): an expression counts as a
-// map when it is an identifier declared with a map type or assigned a
-// make(map...)/map literal in scope, a selector whose field name is
-// map-typed anywhere in the package, or a call to a package function
-// whose first result is a map. Cross-package map returns are outside
-// the heuristic's reach — the golden tests pin the real hazards.
+// Map detection is typed-first: where the loader resolved the range
+// operand's type, that answer is authoritative (cross-package map
+// returns included). Where type information is missing (partial fixture
+// trees), the original syntactic heuristic applies: an expression
+// counts as a map when it is an identifier declared with a map type or
+// assigned a make(map...)/map literal in scope, a selector whose field
+// name is map-typed anywhere in the package, or a call to a package
+// function whose first result is a map.
 func init() {
 	Register(&Check{
 		Name: "maprange",
@@ -78,7 +80,18 @@ func runMapRange(p *Package) []Finding {
 			locals := localMapVars(fn)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				rs, ok := n.(*ast.RangeStmt)
-				if !ok || !isMapValued(rs.X, locals, info) {
+				if !ok {
+					return true
+				}
+				// Typed-first: the resolved type of the range operand is
+				// authoritative both ways — it sees cross-package map
+				// returns the name heuristic cannot, and clears the
+				// heuristic's name-collision false positives.
+				isMap, known := p.mapTyped(rs.X)
+				if !known {
+					isMap = isMapValued(rs.X, locals, info)
+				}
+				if !isMap {
 					return true
 				}
 				for _, f := range checkMapBody(p, fn, rs) {

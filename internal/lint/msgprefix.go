@@ -40,14 +40,24 @@ func runMsgPrefix(p *Package) []Finding {
 			var kind string
 			switch fun := call.Fun.(type) {
 			case *ast.Ident:
-				if fun.Name == "panic" {
+				// Only the predeclared panic builtin; a shadowing local
+				// function resolves to a non-builtin object and is skipped.
+				if fun.Name == "panic" && p.isBuiltinOrUnknown(fun) {
 					kind = "panic"
 				}
 			case *ast.SelectorExpr:
-				if name, ok := pkgSelector(fun, fmtName); ok && name == "Errorf" {
-					kind = "fmt.Errorf"
-				} else if name, ok := pkgSelector(fun, errorsName); ok && name == "New" {
-					kind = "errors.New"
+				if pkgPath, name, sk := p.pkgRef(fun); sk == selPkg {
+					if pkgPath == "fmt" && name == "Errorf" {
+						kind = "fmt.Errorf"
+					} else if pkgPath == "errors" && name == "New" {
+						kind = "errors.New"
+					}
+				} else if sk == selUnknown {
+					if name, ok := pkgSelector(fun, fmtName); ok && name == "Errorf" {
+						kind = "fmt.Errorf"
+					} else if name, ok := pkgSelector(fun, errorsName); ok && name == "New" {
+						kind = "errors.New"
+					}
 				}
 			}
 			if kind == "" {

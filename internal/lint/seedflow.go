@@ -41,22 +41,37 @@ func runSeedFlow(p *Package) []Finding {
 					fmt.Sprintf("import of %s outside internal/stats; derive randomness from a stats.RNG stream (Split/SplitString)", path)))
 			}
 		}
-		for _, rn := range []string{importName(file, "math/rand"), importName(file, "math/rand/v2")} {
-			if rn == "" {
-				continue
+		randName := importName(file, "math/rand")
+		randV2Name := importName(file, "math/rand/v2")
+		if randName == "" && randV2Name == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
 			}
-			ast.Inspect(file, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				if name, ok := pkgSelector(sel, rn); ok && randConstructors[name] {
+			// Typed-first: aliased imports resolve to their true path;
+			// selectors on shadowing locals resolve away entirely.
+			pkgPath, name, kind := p.pkgRef(sel)
+			switch kind {
+			case selPkg:
+				if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && randConstructors[name] {
 					out = append(out, p.finding("seedflow", sel,
 						fmt.Sprintf("rand.%s builds an RNG outside the stats.RNG split hierarchy; take a *stats.RNG (or a Split of one) instead", name)))
 				}
 				return true
-			})
-		}
+			case selOther:
+				return true
+			}
+			for _, rn := range []string{randName, randV2Name} {
+				if name, ok := pkgSelector(sel, rn); ok && randConstructors[name] {
+					out = append(out, p.finding("seedflow", sel,
+						fmt.Sprintf("rand.%s builds an RNG outside the stats.RNG split hierarchy; take a *stats.RNG (or a Split of one) instead", name)))
+				}
+			}
+			return true
+		})
 	}
 	return out
 }

@@ -54,7 +54,7 @@ func runShardRNG(p *Package) []Finding {
 					out = append(out, checkConcurrentBody(p, lit)...)
 				}
 			case *ast.CallExpr:
-				if lit := shardRunCallback(v, shardPkg, p.Path); lit != nil {
+				if lit := shardRunLit(p, v, shardPkg); lit != nil {
 					out = append(out, checkConcurrentBody(p, lit)...)
 				}
 			}
@@ -62,6 +62,24 @@ func runShardRNG(p *Package) []Finding {
 		})
 	}
 	return out
+}
+
+// shardRunLit returns the FuncLit callback of a shard.Run call,
+// resolved through type information when available (so wrappers and
+// aliases can't hide the call) and falling back to the syntactic
+// matcher otherwise.
+func shardRunLit(p *Package, call *ast.CallExpr, shardPkg string) *ast.FuncLit {
+	if obj := p.calleeObj(call); obj != nil {
+		if obj.Name() != "Run" || obj.Pkg() == nil || obj.Pkg().Path() != p.internalPkg("internal/shard") {
+			return nil
+		}
+		if len(call.Args) == 0 {
+			return nil
+		}
+		lit, _ := call.Args[len(call.Args)-1].(*ast.FuncLit)
+		return lit
+	}
+	return shardRunCallback(call, shardPkg, p.Path)
 }
 
 // shardRunCallback returns the FuncLit argument of a shard.Run call

@@ -1,0 +1,25 @@
+package lint
+
+// staleallow keeps the suppression inventory honest: a
+// //colloid:allow directive earns its place by suppressing a live
+// finding, and the moment the code it excused is fixed or deleted the
+// directive itself becomes the finding. Without this, allows fossilize
+// — the next reader assumes the hazard is still there, and a *new*
+// violation on the same line would be silently absorbed by the stale
+// directive.
+//
+// The check is implemented by the harness (see runChecks/
+// staleSuppressions in lint.go), because only the harness knows which
+// directives matched a finding this run. Registering it here gives it
+// a name for -checks selection, -list output and the registry test.
+// Two carve-outs keep it sound: directives for checks outside the
+// selected subset are left alone (their check never got the chance to
+// fire), and staleallow directives themselves are skipped (their
+// target findings are produced by this very pass, which would
+// otherwise be order-dependent).
+func init() {
+	Register(&Check{
+		Name: StaleAllowCheck,
+		Doc:  "flag //colloid:allow directives whose check no longer fires on their line (harness-implemented)",
+	})
+}

@@ -1,0 +1,32 @@
+// Package badfloat is a lint fixture: float accumulations whose fold
+// order is not deterministic.
+package badfloat
+
+import "colloid/internal/shard"
+
+func mapSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // random iteration order
+	}
+	return sum
+}
+
+func shardSum(vals []float64) float64 {
+	var total float64
+	shard.Run(4, len(vals), func(s int) {
+		total += vals[s] // completion order
+	})
+	return total
+}
+
+func goSum(vals []float64, done chan struct{}) float64 {
+	var total float64
+	for i := range vals {
+		go func(x float64) {
+			total -= x // completion order
+			done <- struct{}{}
+		}(vals[i])
+	}
+	return total
+}

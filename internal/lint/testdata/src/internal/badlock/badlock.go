@@ -1,0 +1,27 @@
+// Package badlock is a lint fixture: by-value copies of values whose
+// type transitively holds a sync.Mutex.
+package badlock
+
+import "sync"
+
+type counters struct {
+	mu   sync.Mutex
+	vals map[string]int64
+}
+
+type registry struct {
+	byName map[string]counters
+}
+
+func snapshot(c counters) int { return len(c.vals) }
+
+func use(r *registry, c *counters) {
+	snapshot(*c)           // deref copy into a call argument
+	local := r.byName["a"] // assignment from a live map element
+	var dup = *c           // declaration initialized from a deref
+	_ = local
+	_ = dup
+	for _, v := range r.byName { // range value binding copies each element
+		_ = v.vals
+	}
+}

@@ -1,0 +1,22 @@
+// Package badobs is a lint fixture: one of every obsnames violation
+// class, resolved through the fixture obs registry.
+package badobs
+
+import (
+	"fmt"
+
+	"colloid/internal/obs"
+)
+
+func wire(r *obs.Registry, tenant string, tier int) {
+	r.Counter("Bad.Name")                         // grammar: uppercase segment
+	r.Gauge("tenant.t00.lat")                     // reserved Scoped namespace
+	r.Counter("dyn_" + tenant)                    // non-constant name
+	r.Histogram(fmt.Sprintf("lat_%s_ns", tenant)) // %s family drifts unboundedly
+	r.Gauge(fmt.Sprintf("Tier%d_Bytes", tier))    // %d family failing the grammar
+	r.Counter("dual.use")                         // kind collision, site 1
+	r.Gauge("dual.use")                           // kind collision, site 2
+	r.Scoped("Tenant.")                           // scope grammar
+	r.Scoped(tenant + ".")                        // dynamic lead segment
+	r.Scoped("tenant." + tenant + "_")            // trailing literal not dot-closed
+}

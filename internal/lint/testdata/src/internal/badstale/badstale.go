@@ -1,0 +1,12 @@
+// Package badstale is a lint fixture: suppression directives that
+// outlived the findings they once excused.
+package badstale
+
+func twice(x int) int {
+	return x * 2 //colloid:allow determinism the wall-clock read was removed
+}
+
+func thrice(x int) int {
+	//colloid:allow maprange iteration was rewritten over sorted keys
+	return x * 3
+}

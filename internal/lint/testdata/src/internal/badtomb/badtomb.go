@@ -1,0 +1,11 @@
+// Package badtomb is a lint fixture: cross-package references to
+// tombstoned identifiers.
+package badtomb
+
+import "colloid/internal/tombsrc"
+
+func scale() int { return tombsrc.LegacyScale }
+
+func run() int { return tombsrc.OldRun() }
+
+func workers(c tombsrc.Config) int { return c.Workers }

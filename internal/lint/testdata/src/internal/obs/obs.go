@@ -1,0 +1,29 @@
+// Package obs is a fixture stand-in for the real colloid/internal/obs:
+// the registry surface obsnames resolves registrations through. The
+// package path matters (obsnames exempts internal/obs itself); the
+// bodies do not.
+package obs
+
+// Counter is a monotonic metric.
+type Counter struct{}
+
+// Gauge is a point-in-time metric.
+type Gauge struct{}
+
+// Histogram is a distribution metric.
+type Histogram struct{}
+
+// Registry names metrics.
+type Registry struct{}
+
+// Counter returns the named counter.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram returns the named histogram.
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+// Scoped returns a prefixed view.
+func (r *Registry) Scoped(prefix string) *Registry { return r }

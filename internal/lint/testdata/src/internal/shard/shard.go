@@ -1,0 +1,11 @@
+// Package shard is a fixture stand-in for the real colloid/internal/shard:
+// the Run entry point the checks resolve callbacks through, run serially
+// so the fixture itself stays trivially deterministic.
+package shard
+
+// Run invokes fn for every index in [0, n).
+func Run(workers, n int, fn func(s int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

@@ -1,0 +1,19 @@
+// Package stats is a fixture stand-in for the real colloid/internal/stats:
+// just enough surface for the typed loader to resolve RNG streams in the
+// bad fixtures. Deliberately free of math/rand so it trips no checks.
+package stats
+
+// RNG is a deterministic stream.
+type RNG struct{ s uint64 }
+
+// Uint64 advances the stream.
+func (r *RNG) Uint64() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s
+}
+
+// Uint64n draws in [0, n).
+func (r *RNG) Uint64n(n uint64) uint64 { return r.Uint64() % n }
+
+// Float64 draws in [0, 1).
+func (r *RNG) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }

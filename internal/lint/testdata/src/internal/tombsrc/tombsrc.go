@@ -1,0 +1,29 @@
+// Package tombsrc is a lint fixture: declarations carrying Deprecated:
+// markers for the tombstone check to resolve references against.
+package tombsrc
+
+// LegacyScale is the pre-rescale factor.
+//
+// Deprecated: use Scale instead.
+const LegacyScale = 100
+
+// Scale is the factor.
+const Scale = 1000
+
+// Config configures a fixture run.
+type Config struct {
+	// Workers is the worker count.
+	//
+	// Deprecated: use Shards.
+	Workers int
+	// Shards is the shard count.
+	Shards int
+}
+
+// OldRun runs at legacy scale.
+//
+// Deprecated: use Run.
+func OldRun() int { return 0 }
+
+// Run runs.
+func Run() int { return Scale }

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// tombstone keeps deprecations terminal: once an identifier's doc
+// comment carries a `Deprecated:` paragraph (the standard Go
+// convention), every remaining reference anywhere in the tree is a
+// finding. Migrations in this repo retire aliases by deprecating first
+// and deleting a PR later; without this check a new call site can
+// sneak in between the two and resurrect the alias. The check is
+// tree-wide and typed: references resolve through the shared loader to
+// the exact deprecated object, so same-named identifiers elsewhere are
+// never confused with it.
+//
+// The declaration itself (and anything inside its declaration node,
+// such as the deprecated function's own body) is exempt — the
+// tombstone may keep delegating to its replacement until deletion.
+func init() {
+	Register(&Check{
+		Name:    "tombstone",
+		Doc:     "flag references to identifiers whose doc comment carries a Deprecated: marker",
+		RunTree: runTombstone,
+	})
+}
+
+// deprecatedDecl records one deprecated declaration: its source span
+// (self-references inside it are exempt) and the first line of the
+// deprecation notice.
+type deprecatedDecl struct {
+	file     string // file the declaration lives in
+	from, to int    // within-file offsets of the declaring node
+	note     string
+}
+
+func runTombstone(pkgs []*Package) []Finding {
+	marked := make(map[types.Object]*deprecatedDecl)
+	for _, p := range pkgs {
+		collectDeprecated(p, marked)
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				d, ok := marked[obj]
+				if !ok {
+					return true
+				}
+				if withinDecl(p, id, d) {
+					return true
+				}
+				out = append(out, p.finding("tombstone", id,
+					fmt.Sprintf("reference to deprecated identifier %q (%s); migrate to the replacement before the tombstone is deleted", id.Name, d.note)))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// withinDecl reports whether the identifier sits inside the deprecated
+// declaration's own source span.
+func withinDecl(p *Package, id *ast.Ident, d *deprecatedDecl) bool {
+	pos := p.Fset.Position(id.Pos())
+	return pos.Filename == d.file && pos.Offset >= d.from && pos.Offset < d.to
+}
+
+// collectDeprecated records every object declared under a doc comment
+// with a Deprecated: paragraph: functions, types, consts, vars and
+// struct fields.
+func collectDeprecated(p *Package, marked map[types.Object]*deprecatedDecl) {
+	if p.Info == nil {
+		return
+	}
+	mark := func(names []*ast.Ident, span ast.Node, note string) {
+		from := p.Fset.Position(span.Pos())
+		to := p.Fset.Position(span.End()).Offset
+		for _, name := range names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				marked[obj] = &deprecatedDecl{file: from.Filename, from: from.Offset, to: to, note: note}
+			}
+		}
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			switch v := decl.(type) {
+			case *ast.FuncDecl:
+				if note, ok := deprecationNote(v.Doc); ok {
+					mark([]*ast.Ident{v.Name}, v, note)
+				}
+			case *ast.GenDecl:
+				declNote, declDeprecated := deprecationNote(v.Doc)
+				for _, spec := range v.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						note, ok := deprecationNote(s.Doc)
+						if !ok {
+							note, ok = declNote, declDeprecated
+						}
+						if ok {
+							mark([]*ast.Ident{s.Name}, v, note)
+						}
+						markDeprecatedFields(p, s.Type, marked)
+					case *ast.ValueSpec:
+						note, ok := deprecationNote(s.Doc)
+						if !ok {
+							note, ok = declNote, declDeprecated
+						}
+						if ok {
+							mark(s.Names, v, note)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// markDeprecatedFields records deprecated struct fields declared inside
+// a type spec.
+func markDeprecatedFields(p *Package, typ ast.Expr, marked map[types.Object]*deprecatedDecl) {
+	st, ok := typ.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, f := range st.Fields.List {
+		if note, ok := deprecationNote(f.Doc); ok {
+			from := p.Fset.Position(f.Pos())
+			to := p.Fset.Position(f.End()).Offset
+			for _, name := range f.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					marked[obj] = &deprecatedDecl{file: from.Filename, from: from.Offset, to: to, note: note}
+				}
+			}
+		}
+	}
+}
+
+// deprecationNote extracts the first Deprecated: line from a doc
+// comment (ok=false when the comment carries none).
+func deprecationNote(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Deprecated:") {
+			return line, true
+		}
+	}
+	return "", false
+}

@@ -121,12 +121,6 @@ type Config struct {
 	// intensity scale (0 = none); mid-run steps are expressed as
 	// scenario.AntagonistStep events.
 	Antagonist workloads.Intensity
-	// AntagonistCores is the removed raw-core-count alias for
-	// Antagonist. It no longer seeds anything: any nonzero value fails
-	// Validate with a migration hint, so old call sites surface loudly
-	// instead of silently running without contention. Set Antagonist
-	// (workloads.Intensity) or use the WithAntagonist option.
-	AntagonistCores int
 	// Heat selects the access-tracking fidelity every system's
 	// frequency tracker is built with: the zero value is exact per-page
 	// counting (the historical behavior); Kind heat.Region tracks at
@@ -196,15 +190,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// validateAntagonist checks the typed intensity and rejects any use of
-// the removed AntagonistCores alias with a migration hint.
+// validateAntagonist checks the typed intensity. (The raw-core-count
+// alias AntagonistCores that this once rejected with a migration hint
+// is fully deleted: the field is gone, so stale call sites fail to
+// compile, and the lint tombstone check guards any future deprecation
+// the same way.)
 func (c Config) validateAntagonist() []error {
 	var errs []error
-	if c.AntagonistCores != 0 {
-		errs = append(errs, fmt.Errorf(
-			"sim: Config.AntagonistCores was removed; set Config.Antagonist = workloads.IntensityForCores(%d) (or use WithAntagonist)",
-			c.AntagonistCores))
-	}
 	if c.Antagonist < 0 {
 		errs = append(errs, fmt.Errorf("sim: negative antagonist intensity %d", c.Antagonist))
 	}
@@ -472,8 +464,8 @@ func WithProfile(p workloads.Profile) Option {
 }
 
 // WithAntagonist seeds the contention generator from the paper's 0x-3x
-// intensity scale, overriding Config.Antagonist and the deprecated
-// Config.AntagonistCores. The antagonist is machine-wide in every mode
+// intensity scale, overriding Config.Antagonist. The antagonist is
+// machine-wide in every mode
 // (it models co-located streaming traffic, not a tenant).
 func WithAntagonist(intensity workloads.Intensity) Option {
 	return func(o *buildOptions) {

@@ -324,7 +324,6 @@ func TestValidateReportsAllProblems(t *testing.T) {
 		QuantumSec:                -1,
 		SampleEverySec:            -2,
 		Antagonist:                -1,
-		AntagonistCores:           15,
 		MigrationLimitBytesPerSec: -5e9,
 		CHANoiseStdDev:            -0.5,
 	}
@@ -339,7 +338,6 @@ func TestValidateReportsAllProblems(t *testing.T) {
 		"negative quantum",
 		"negative sample interval",
 		"negative antagonist intensity",
-		"AntagonistCores was removed",
 		"negative migration limit",
 		"negative CHA noise",
 	} {

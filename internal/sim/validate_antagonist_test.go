@@ -28,27 +28,22 @@ func TestValidateRejectsPageLargerThanWorkingSet(t *testing.T) {
 	}
 }
 
-// The typed intensity scale is the only antagonist knob: any use of the
-// removed raw-cores alias fails with a migration hint naming the value
-// that was set, and negative intensities are rejected outright.
+// The typed intensity scale is the only antagonist knob (the raw-cores
+// alias AntagonistCores is deleted outright — stale call sites now fail
+// to compile rather than validate): negative intensities are rejected.
 func TestAntagonistIntensityValidation(t *testing.T) {
 	cases := []struct {
 		name      string
 		intensity workloads.Intensity
-		cores     int
 		want      string // "" = valid
 	}{
-		{"typed only", workloads.Intensity2x, 0, ""},
-		{"removed alias", 0, 10, "AntagonistCores was removed"},
-		{"removed alias hint", 0, 15, "workloads.IntensityForCores(15)"},
-		{"removed alias negative", 0, -5, "AntagonistCores was removed"},
-		{"negative intensity", -1, 0, "negative antagonist intensity"},
+		{"typed only", workloads.Intensity2x, ""},
+		{"negative intensity", -1, "negative antagonist intensity"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := validBase()
 			cfg.Antagonist = tc.intensity
-			cfg.AntagonistCores = tc.cores
 			err := cfg.Validate()
 			if tc.want == "" {
 				if err != nil {

@@ -1,0 +1,73 @@
+package simtest
+
+import (
+	"encoding/binary"
+	"hash"
+	"hash/fnv"
+	"math"
+
+	"colloid/internal/pages"
+	"colloid/internal/sim"
+)
+
+// Digest is the golden-test checksum fold: an order-sensitive FNV-1a
+// hash over test-observable simulation state, every value serialized as
+// 8 little-endian bytes (floats via their IEEE-754 bit pattern, so the
+// digest changes on any bit-level behavioural difference, not just a
+// numeric one). The golden trace/shard/tenants/heat families all fold
+// through this one helper; new golden families must too, so their
+// checksums stay comparable run-to-run for the same reasons. The byte
+// stream is part of each golden value — reordering or retyping a fold
+// here invalidates every committed checksum at once.
+type Digest struct {
+	h   hash.Hash64
+	buf [8]byte
+}
+
+// NewDigest returns an empty fold.
+func NewDigest() *Digest { return &Digest{h: fnv.New64a()} }
+
+// U64 folds one unsigned word.
+func (d *Digest) U64(v uint64) {
+	binary.LittleEndian.PutUint64(d.buf[:], v)
+	d.h.Write(d.buf[:])
+}
+
+// I64 folds one signed word (two's-complement bit pattern).
+func (d *Digest) I64(v int64) { d.U64(uint64(v)) }
+
+// F64 folds one float's IEEE-754 bit pattern.
+func (d *Digest) F64(v float64) { d.U64(math.Float64bits(v)) }
+
+// Str folds a string's raw bytes (no length prefix — the historical
+// stream format; separate adjacent strings with a numeric fold).
+func (d *Digest) Str(s string) { d.h.Write([]byte(s)) }
+
+// Samples folds a sample trace: per sample the scalar rates, then the
+// per-tier/per-kind vectors in declaration order.
+func (d *Digest) Samples(samples []sim.Sample) {
+	for _, s := range samples {
+		d.F64(s.TimeSec)
+		d.F64(s.OpsPerSec)
+		d.F64(s.MigrationBytesPerSec)
+		for _, vs := range [][]float64{s.LatencyNs, s.AppShare, s.AppBytesPerSec, s.TotalBytesPerSec} {
+			for _, v := range vs {
+				d.F64(v)
+			}
+		}
+	}
+}
+
+// Placement folds the full live placement of as — IDs, tiers, sizes,
+// weights, in the index's deterministic iteration order.
+func (d *Digest) Placement(as *pages.AddressSpace) {
+	as.ForEachLive(func(p pages.Page) {
+		d.U64(uint64(p.ID))
+		d.U64(uint64(p.Tier))
+		d.U64(uint64(p.Bytes))
+		d.F64(p.Weight)
+	})
+}
+
+// Sum returns the folded checksum.
+func (d *Digest) Sum() uint64 { return d.h.Sum64() }
